@@ -1,0 +1,41 @@
+# Reproduction targets for the paper's evaluation. `make figures` writes
+# every data series into results/; expect a few minutes at full scale.
+
+GO ?= go
+
+.PHONY: all build test race bench figures ablations clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures: build
+	mkdir -p results
+	$(GO) run ./cmd/bwc-sim -fig 3 -dataset hp  > results/fig3_hp.txt
+	$(GO) run ./cmd/bwc-sim -fig 3 -dataset umd > results/fig3_umd.txt
+	$(GO) run ./cmd/bwc-sim -fig 4 -dataset hp  -scale 0.5 > results/fig4_hp.txt
+	$(GO) run ./cmd/bwc-sim -fig 4 -dataset umd -scale 0.3 > results/fig4_umd.txt
+	$(GO) run ./cmd/bwc-sim -fig 5 -dataset hp  > results/fig5_hp.txt
+	$(GO) run ./cmd/bwc-sim -fig 5 -dataset umd > results/fig5_umd.txt
+	$(GO) run ./cmd/bwc-sim -fig 6 -scale 0.4   > results/fig6.txt
+
+ablations: build
+	mkdir -p results
+	$(GO) run ./cmd/bwc-sim -ablation ncut -scale 0.3      > results/ablation_ncut.txt
+	$(GO) run ./cmd/bwc-sim -ablation trees -scale 0.3     > results/ablation_trees.txt
+	$(GO) run ./cmd/bwc-sim -ablation drift                > results/ablation_drift.txt
+	$(GO) run ./cmd/bwc-sim -ablation construction         > results/ablation_construction.txt
+
+clean:
+	rm -rf results

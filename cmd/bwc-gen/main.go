@@ -1,0 +1,140 @@
+// Command bwc-gen generates synthetic PlanetLab-like bandwidth matrices
+// (the access-link bottleneck model standing in for the paper's HP- and
+// UMD-PlanetLab datasets) and writes them as CSV or gob.
+//
+// Usage:
+//
+//	bwc-gen -preset hp -out hp.csv
+//	bwc-gen -preset umd -n 100 -noise 0.3 -seed 7 -out subset.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"bwcluster/internal/dataset"
+	"bwcluster/internal/metric"
+	"bwcluster/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bwc-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bwc-gen", flag.ContinueOnError)
+	kind := fs.String("kind", "bw", "matrix kind: bw (Mbps) or latency (ms)")
+	preset := fs.String("preset", "hp", "bandwidth preset: hp (190 nodes) or umd (317 nodes)")
+	n := fs.Int("n", 0, "override the number of hosts")
+	noise := fs.Float64("noise", -1, "override the treeness noise sigma (0 = exact tree metric)")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("out", "", "output file (.csv or .gob); required")
+	stats := fs.Bool("stats", false, "print percentile and treeness statistics")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	switch *kind {
+	case "bw":
+		var cfg dataset.Config
+		switch *preset {
+		case "hp":
+			cfg = dataset.HPConfig()
+		case "umd":
+			cfg = dataset.UMDConfig()
+		default:
+			return fmt.Errorf("unknown preset %q (want hp or umd)", *preset)
+		}
+		if *n > 0 {
+			cfg = cfg.WithN(*n)
+		}
+		if *noise >= 0 {
+			cfg = cfg.WithNoise(*noise)
+		}
+		bw, err := dataset.Generate(cfg, rng)
+		if err != nil {
+			return err
+		}
+		if err := dataset.SaveFile(*out, bw); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-host bandwidth matrix to %s\n", bw.N(), *out)
+		if *stats {
+			return printStats(bw, rng)
+		}
+		return nil
+	case "latency":
+		cfg := dataset.DefaultLatencyConfig()
+		if *n > 0 {
+			cfg.N = *n
+		}
+		if *noise >= 0 {
+			cfg.NoiseSigma = *noise
+		}
+		lat, err := dataset.GenerateLatency(cfg, rng)
+		if err != nil {
+			return err
+		}
+		if err := dataset.SaveFile(*out, lat); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d-host latency matrix to %s\n", lat.N(), *out)
+		if *stats {
+			return printLatencyStats(lat, rng)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown kind %q (want bw or latency)", *kind)
+	}
+}
+
+func printLatencyStats(lat *metric.Matrix, rng *rand.Rand) error {
+	eps, err := metric.AvgEpsilon(lat, 20000, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("treeness epsilon_avg = %.4f (epsilon* = %.4f)\n", eps, metric.EpsilonStar(eps))
+	vals := lat.Values()
+	for _, p := range []float64{10, 50, 90} {
+		v, err := stats.Percentile(vals, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("P%02.0f latency = %.1f ms\n", p, v)
+	}
+	return nil
+}
+
+func printStats(bw *metric.Matrix, rng *rand.Rand) error {
+	d, err := metric.DistanceFromBandwidth(bw, metric.DefaultC)
+	if err != nil {
+		return err
+	}
+	eps, err := metric.AvgEpsilon(d, 20000, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("treeness epsilon_avg = %.4f (epsilon* = %.4f)\n", eps, metric.EpsilonStar(eps))
+	epsPcts, err := metric.EpsilonDistribution(d, 20000, []float64{50, 90, 99}, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("epsilon P50/P90/P99 = %.4f / %.4f / %.4f\n", epsPcts[0], epsPcts[1], epsPcts[2])
+	vals := bw.Values()
+	for _, p := range []float64{10, 20, 50, 80, 90} {
+		v, err := stats.Percentile(vals, p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("P%02.0f bandwidth = %.1f Mbps\n", p, v)
+	}
+	return nil
+}

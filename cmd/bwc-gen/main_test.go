@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"bwcluster/internal/dataset"
+)
+
+func TestRunGeneratesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.csv")
+	err := run([]string{"-preset", "hp", "-n", "20", "-seed", "3", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 20 {
+		t.Errorf("N = %d, want 20", m.N())
+	}
+}
+
+func TestRunGeneratesGobWithStats(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "m.gob")
+	err := run([]string{"-preset", "umd", "-n", "15", "-noise", "0", "-out", out, "-stats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 15 {
+		t.Errorf("N = %d, want 15", m.N())
+	}
+}
+
+func TestRunGeneratesLatency(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "lat.csv")
+	err := run([]string{"-kind", "latency", "-n", "25", "-seed", "2", "-out", out, "-stats"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dataset.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 25 {
+		t.Errorf("N = %d, want 25", m.N())
+	}
+	if err := run([]string{"-kind", "nope", "-out", out}); err == nil {
+		t.Error("unknown kind should fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{"-preset", "hp"}); err == nil {
+		t.Error("missing -out should fail")
+	}
+	if err := run([]string{"-preset", "nope", "-out", filepath.Join(t.TempDir(), "x.csv")}); err == nil {
+		t.Error("unknown preset should fail")
+	}
+	if err := run([]string{"-bogusflag"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-preset", "hp", "-n", "5", "-out", filepath.Join(t.TempDir(), "x.txt")}); err == nil {
+		t.Error("unknown extension should fail")
+	}
+}

@@ -1,0 +1,188 @@
+// Command bwc-query loads a bandwidth matrix, builds the clustering
+// system, and answers bandwidth-constrained cluster queries from the
+// command line.
+//
+// Usage:
+//
+//	bwc-query -data hp.csv -k 10 -b 50
+//	bwc-query -data hp.csv -k 10 -b 50 -mode decentral -start 3
+//	bwc-query -data hp.csv -label 7       # print a host's distance label
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"bwcluster"
+	"bwcluster/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bwc-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bwc-query", flag.ContinueOnError)
+	data := fs.String("data", "", "bandwidth matrix file (.csv or .gob); required")
+	k := fs.Int("k", 0, "cluster size constraint (>= 2)")
+	b := fs.Float64("b", 0, "minimum pairwise bandwidth constraint (Mbps)")
+	mode := fs.String("mode", "central", "query mode: central or decentral")
+	start := fs.Int("start", -1, "start host for decentralized queries (-1: random)")
+	nCut := fs.Int("ncut", 10, "overlay propagation cutoff n_cut")
+	seed := fs.Int64("seed", 1, "construction seed")
+	classesFlag := fs.String("classes", "", "comma-separated bandwidth classes in Mbps (default: percentile-derived)")
+	label := fs.Int("label", -1, "print this host's distance label and exit")
+	maxSize := fs.Float64("maxsize", 0, "print the maximum cluster size for this bandwidth constraint and exit")
+	dot := fs.String("dot", "", "write the overlay structure as Graphviz DOT and exit: anchor or pred")
+	crt := fs.Int("crt", -1, "print this host's cluster routing table and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	m, err := dataset.LoadFile(*data)
+	if err != nil {
+		return err
+	}
+	raw := make([][]float64, m.N())
+	for i := range raw {
+		raw[i] = make([]float64, m.N())
+		for j := range raw[i] {
+			if i != j {
+				raw[i][j] = m.At(i, j)
+			}
+		}
+	}
+	opts := []bwcluster.Option{bwcluster.WithNCut(*nCut), bwcluster.WithSeed(*seed)}
+	if *classesFlag != "" {
+		classes, err := parseClasses(*classesFlag)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, bwcluster.WithBandwidthClasses(classes))
+	}
+	sys, err := bwcluster.New(raw, opts...)
+	if err != nil {
+		return err
+	}
+	if *dot == "" {
+		fmt.Printf("system: %d hosts, classes %v Mbps\n", sys.Len(), roundAll(sys.Classes()))
+	}
+
+	switch {
+	case *dot == "anchor":
+		return sys.WriteAnchorDOT(os.Stdout)
+	case *dot == "pred":
+		return sys.WritePredictionDOT(os.Stdout)
+	case *dot != "":
+		return fmt.Errorf("unknown -dot value %q (want anchor or pred)", *dot)
+	case *crt >= 0:
+		self, entries, err := sys.RoutingTable(*crt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cluster routing table of host %d (classes %v Mbps):\n", *crt, roundAll(sys.Classes()))
+		fmt.Printf("  %-10s %v\n", "self", self)
+		for _, e := range entries {
+			fmt.Printf("  via %-6d %v\n", e.Neighbor, e.MaxSizes)
+		}
+		return nil
+	case *label >= 0:
+		s, err := sys.DistanceLabel(*label)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("label(%d): %s\n", *label, s)
+		return nil
+	case *maxSize > 0:
+		size, err := sys.MaxClusterSize(*maxSize)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("max cluster size at b=%.1f Mbps: %d hosts\n", *maxSize, size)
+		return nil
+	}
+
+	if *k < 2 || *b <= 0 {
+		return fmt.Errorf("need -k >= 2 and -b > 0 (or -label / -maxsize)")
+	}
+	switch *mode {
+	case "central":
+		members, err := sys.FindCluster(*k, *b)
+		if err != nil {
+			return err
+		}
+		if members == nil {
+			fmt.Println("no cluster found")
+			return nil
+		}
+		printCluster(sys, members, *b)
+	case "decentral":
+		s := *start
+		if s < 0 {
+			s = rand.New(rand.NewSource(*seed)).Intn(sys.Len())
+		}
+		res, err := sys.Query(s, *k, *b)
+		if err != nil {
+			return err
+		}
+		if !res.Found() {
+			fmt.Printf("no cluster found (query from host %d, %d hops)\n", s, res.Hops)
+			return nil
+		}
+		fmt.Printf("query from host %d answered by host %d after %d hops (class %.1f Mbps)\n",
+			s, res.AnsweredBy, res.Hops, res.Class)
+		printCluster(sys, res.Members, res.Class)
+	default:
+		return fmt.Errorf("unknown mode %q (want central or decentral)", *mode)
+	}
+	return nil
+}
+
+func printCluster(sys *bwcluster.System, members []int, b float64) {
+	fmt.Printf("cluster (%d hosts): %v\n", len(members), members)
+	worstPred, worstReal := -1.0, -1.0
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			p, err := sys.PredictBandwidth(members[i], members[j])
+			if err == nil && (worstPred < 0 || p < worstPred) {
+				worstPred = p
+			}
+			r, err := sys.MeasuredBandwidth(members[i], members[j])
+			if err == nil && (worstReal < 0 || r < worstReal) {
+				worstReal = r
+			}
+		}
+	}
+	fmt.Printf("worst pair: predicted %.1f Mbps, measured %.1f Mbps (constraint %.1f)\n",
+		worstPred, worstReal, b)
+}
+
+func parseClasses(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad class %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func roundAll(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(int(x*10+0.5)) / 10
+	}
+	return out
+}

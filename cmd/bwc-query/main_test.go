@@ -1,0 +1,99 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"bwcluster/internal/dataset"
+)
+
+func writeMatrix(t *testing.T, n int) string {
+	t.Helper()
+	bw, err := dataset.Generate(dataset.HPConfig().WithN(n), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.csv")
+	if err := dataset.SaveFile(path, bw); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCentralQuery(t *testing.T) {
+	path := writeMatrix(t, 30)
+	if err := run([]string{"-data", path, "-k", "4", "-b", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDecentralQuery(t *testing.T) {
+	path := writeMatrix(t, 30)
+	if err := run([]string{"-data", path, "-k", "4", "-b", "20", "-mode", "decentral", "-start", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	// Random start.
+	if err := run([]string{"-data", path, "-k", "4", "-b", "20", "-mode", "decentral"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLabelAndMaxSize(t *testing.T) {
+	path := writeMatrix(t, 20)
+	if err := run([]string{"-data", path, "-label", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-maxsize", "25"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitClasses(t *testing.T) {
+	path := writeMatrix(t, 20)
+	if err := run([]string{"-data", path, "-classes", "10, 20,40", "-k", "3", "-b", "20", "-mode", "decentral"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCRT(t *testing.T) {
+	path := writeMatrix(t, 15)
+	if err := run([]string{"-data", path, "-crt", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-crt", "99"}); err == nil {
+		t.Error("unknown host should fail")
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	path := writeMatrix(t, 12)
+	if err := run([]string{"-data", path, "-dot", "anchor"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-dot", "pred"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-dot", "nope"}); err == nil {
+		t.Error("unknown dot mode should fail")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	path := writeMatrix(t, 10)
+	if err := run([]string{"-k", "3", "-b", "20"}); err == nil {
+		t.Error("missing -data should fail")
+	}
+	if err := run([]string{"-data", path}); err == nil {
+		t.Error("missing k/b should fail")
+	}
+	if err := run([]string{"-data", path, "-k", "3", "-b", "20", "-mode", "nope"}); err == nil {
+		t.Error("unknown mode should fail")
+	}
+	if err := run([]string{"-data", path, "-classes", "x", "-k", "3", "-b", "20"}); err == nil {
+		t.Error("bad classes should fail")
+	}
+	if err := run([]string{"-data", filepath.Join(t.TempDir(), "missing.csv"), "-k", "3", "-b", "20"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}

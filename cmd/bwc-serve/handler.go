@@ -1,0 +1,239 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+
+	"bwcluster"
+)
+
+// handler serves the JSON API. Queries against a built System are
+// read-only, but decentralized queries share internal scratch state in
+// the facade's overlay through local cluster searches, so a mutex keeps
+// request handling simple and safe.
+type handler struct {
+	mu  sync.Mutex
+	sys *bwcluster.System
+}
+
+func newHandler(sys *bwcluster.System) http.Handler {
+	h := &handler{sys: sys}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/info", h.info)
+	mux.HandleFunc("GET /v1/cluster", h.cluster)
+	mux.HandleFunc("GET /v1/node", h.node)
+	mux.HandleFunc("GET /v1/predict", h.predict)
+	mux.HandleFunc("GET /v1/tightest", h.tightest)
+	mux.HandleFunc("GET /v1/label", h.label)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding failures after the header is out can only be logged by the
+	// server; the encoder writing to a ResponseWriter cannot fail for the
+	// value types used here.
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+func badRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+}
+
+func intParam(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, errors.New("missing required parameter " + name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, errors.New("parameter " + name + " must be an integer")
+	}
+	return v, nil
+}
+
+func floatParam(r *http.Request, name string) (float64, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, errors.New("missing required parameter " + name)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, errors.New("parameter " + name + " must be a number")
+	}
+	return v, nil
+}
+
+func (h *handler) info(w http.ResponseWriter, r *http.Request) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := h.sys.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hosts":          h.sys.Len(),
+		"classes":        h.sys.Classes(),
+		"constant":       h.sys.Constant(),
+		"trees":          st.Trees,
+		"measurements":   st.Measurements,
+		"gossipRounds":   st.GossipRounds,
+		"gossipMessages": st.GossipMessages,
+	})
+}
+
+type clusterBody struct {
+	Members    []int   `json:"members"`
+	Found      bool    `json:"found"`
+	Hops       int     `json:"hops,omitempty"`
+	AnsweredBy int     `json:"answeredBy,omitempty"`
+	ClassMbps  float64 `json:"classMbps,omitempty"`
+}
+
+func (h *handler) cluster(w http.ResponseWriter, r *http.Request) {
+	k, err := intParam(r, "k")
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	b, err := floatParam(r, "b")
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch mode := r.URL.Query().Get("mode"); mode {
+	case "", "central":
+		members, err := h.sys.FindCluster(k, b)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, clusterBody{Members: members, Found: members != nil})
+	case "decentral":
+		start := 0
+		if r.URL.Query().Get("start") != "" {
+			if start, err = intParam(r, "start"); err != nil {
+				badRequest(w, err)
+				return
+			}
+		}
+		res, err := h.sys.Query(start, k, b)
+		if err != nil {
+			badRequest(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, clusterBody{
+			Members: res.Members, Found: res.Found(),
+			Hops: res.Hops, AnsweredBy: res.AnsweredBy, ClassMbps: res.Class,
+		})
+	default:
+		badRequest(w, errors.New("mode must be central or decentral"))
+	}
+}
+
+func (h *handler) node(w http.ResponseWriter, r *http.Request) {
+	b, err := floatParam(r, "b")
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	rawSet := r.URL.Query().Get("set")
+	if rawSet == "" {
+		badRequest(w, errors.New("missing required parameter set"))
+		return
+	}
+	var set []int
+	for _, part := range strings.Split(rawSet, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			badRequest(w, errors.New("set must be comma-separated host ids"))
+			return
+		}
+		set = append(set, v)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	res, err := h.sys.FindNodeForSet(set, b)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"node":           res.Node,
+		"found":          res.Found(),
+		"worstBandwidth": res.WorstBandwidth,
+	})
+}
+
+func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
+	u, err := intParam(r, "u")
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	v, err := intParam(r, "v")
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	pred, err := h.sys.PredictBandwidth(u, v)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	measured, err := h.sys.MeasuredBandwidth(u, v)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"predictedMbps": pred,
+		"measuredMbps":  measured,
+	})
+}
+
+func (h *handler) tightest(w http.ResponseWriter, r *http.Request) {
+	k, err := intParam(r, "k")
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	members, worst, err := h.sys.TightestCluster(k)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"members":        members,
+		"found":          members != nil,
+		"worstBandwidth": worst,
+	})
+}
+
+func (h *handler) label(w http.ResponseWriter, r *http.Request) {
+	host, err := intParam(r, "h")
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	label, err := h.sys.DistanceLabel(host)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"host": host, "label": label})
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"bwcluster/internal/dataset"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	bw, err := dataset.Generate(dataset.HPConfig().WithN(30), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.gob")
+	if err := dataset.SaveFile(path, bw); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := buildSystem(path, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(sys))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return body
+}
+
+func TestInfoEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := getJSON(t, srv.URL+"/v1/info", http.StatusOK)
+	if body["hosts"].(float64) != 30 {
+		t.Errorf("hosts = %v", body["hosts"])
+	}
+	if body["constant"].(float64) != 100 {
+		t.Errorf("constant = %v", body["constant"])
+	}
+}
+
+func TestClusterEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := getJSON(t, srv.URL+"/v1/cluster?k=4&b=15", http.StatusOK)
+	if body["found"] != true {
+		t.Fatalf("central cluster not found: %v", body)
+	}
+	if len(body["members"].([]any)) != 4 {
+		t.Errorf("members = %v", body["members"])
+	}
+
+	body = getJSON(t, srv.URL+"/v1/cluster?k=4&b=15&mode=decentral&start=5", http.StatusOK)
+	if body["found"] != true {
+		t.Fatalf("decentral cluster not found: %v", body)
+	}
+	if body["classMbps"].(float64) < 15 {
+		t.Errorf("class %v below request", body["classMbps"])
+	}
+
+	getJSON(t, srv.URL+"/v1/cluster?b=15", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/cluster?k=4", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/cluster?k=x&b=15", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/cluster?k=4&b=15&mode=nope", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/cluster?k=4&b=15&mode=decentral&start=999", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/cluster?k=1&b=15", http.StatusBadRequest)
+}
+
+func TestNodeEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := getJSON(t, srv.URL+"/v1/node?set=0,1,2&b=10", http.StatusOK)
+	if body["found"] != true {
+		t.Fatalf("node not found: %v", body)
+	}
+	node := int(body["node"].(float64))
+	if node == 0 || node == 1 || node == 2 {
+		t.Errorf("node %d is in the input set", node)
+	}
+	getJSON(t, srv.URL+"/v1/node?b=10", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/node?set=0,x&b=10", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/node?set=0,99&b=10", http.StatusBadRequest)
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := getJSON(t, srv.URL+"/v1/predict?u=2&v=7", http.StatusOK)
+	if body["predictedMbps"].(float64) <= 0 || body["measuredMbps"].(float64) <= 0 {
+		t.Errorf("non-positive bandwidths: %v", body)
+	}
+	getJSON(t, srv.URL+"/v1/predict?u=2", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/predict?u=2&v=99", http.StatusBadRequest)
+}
+
+func TestTightestEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := getJSON(t, srv.URL+"/v1/tightest?k=5", http.StatusOK)
+	if body["found"] != true || len(body["members"].([]any)) != 5 {
+		t.Fatalf("tightest = %v", body)
+	}
+	getJSON(t, srv.URL+"/v1/tightest?k=1", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/tightest", http.StatusBadRequest)
+}
+
+func TestLabelEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := getJSON(t, srv.URL+"/v1/label?h=3", http.StatusOK)
+	if body["label"].(string) == "" {
+		t.Error("empty label")
+	}
+	getJSON(t, srv.URL+"/v1/label?h=99", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/label", http.StatusBadRequest)
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -data should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-data", filepath.Join(t.TempDir(), "missing.csv")}); err == nil {
+		t.Error("missing file should fail")
+	}
+}

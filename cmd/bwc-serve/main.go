@@ -1,0 +1,77 @@
+// Command bwc-serve exposes a built clustering system over HTTP: load a
+// bandwidth matrix, build the prediction framework and overlay once, and
+// answer cluster/node/prediction queries as JSON.
+//
+//	bwc-serve -data hp.csv -addr :8080
+//
+// Endpoints:
+//
+//	GET /v1/info                         system summary
+//	GET /v1/cluster?k=10&b=50            centralized cluster query
+//	GET /v1/cluster?k=10&b=50&mode=decentral&start=3
+//	GET /v1/node?set=1,2,3&b=50          single-node search
+//	GET /v1/predict?u=3&v=29             bandwidth prediction
+//	GET /v1/tightest?k=8                 minimum-diameter cluster
+//	GET /v1/label?h=7                    a host's distance label
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"bwcluster"
+	"bwcluster/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("bwc-serve: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bwc-serve", flag.ContinueOnError)
+	data := fs.String("data", "", "bandwidth matrix file (.csv or .gob); required")
+	addr := fs.String("addr", ":8080", "listen address")
+	nCut := fs.Int("ncut", 10, "overlay propagation cutoff n_cut")
+	seed := fs.Int64("seed", 1, "construction seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("-data is required")
+	}
+	sys, err := buildSystem(*data, *nCut, *seed)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(sys),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("bwc-serve: %d hosts ready on %s", sys.Len(), *addr)
+	return srv.ListenAndServe()
+}
+
+// buildSystem loads the matrix and constructs the clustering system.
+func buildSystem(path string, nCut int, seed int64) (*bwcluster.System, error) {
+	m, err := dataset.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([][]float64, m.N())
+	for i := range raw {
+		raw[i] = make([]float64, m.N())
+		for j := range raw[i] {
+			if i != j {
+				raw[i][j] = m.At(i, j)
+			}
+		}
+	}
+	return bwcluster.New(raw, bwcluster.WithNCut(nCut), bwcluster.WithSeed(seed))
+}

@@ -1,0 +1,326 @@
+// Command bwc-sim regenerates the paper's evaluation figures. Each -fig
+// value reruns one experiment and prints the data series the
+// corresponding figure plots.
+//
+//	bwc-sim -fig 3 -dataset hp          # Fig. 3: clustering accuracy + error CDFs
+//	bwc-sim -fig 4 -dataset umd         # Fig. 4: tradeoff of decentralization
+//	bwc-sim -fig 5 -dataset hp          # Fig. 5: effect of treeness
+//	bwc-sim -fig 6                      # Fig. 6: query routing scalability
+//
+// Full paper-scale runs take minutes; -scale trades precision for time
+// (e.g. -scale 0.1 for a quick look).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bwcluster/internal/sim"
+	"bwcluster/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bwc-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bwc-sim", flag.ContinueOnError)
+	fig := fs.Int("fig", 0, "figure to regenerate: 3, 4, 5 or 6")
+	ablation := fs.String("ablation", "", "ablation to run instead of a figure: ncut, trees, drift, construction or sword")
+	ds := fs.String("dataset", "hp", "dataset: hp or umd (figures 3-5)")
+	scale := fs.Float64("scale", 1, "work scale factor (rounds/queries multiplied by this)")
+	seed := fs.Int64("seed", 0, "override the experiment seed (0: per-figure default)")
+	jsonOut := fs.Bool("json", false, "emit the result as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var d sim.Dataset
+	switch *ds {
+	case "hp":
+		d = sim.HP
+	case "umd":
+		d = sim.UMD
+	default:
+		return fmt.Errorf("unknown dataset %q (want hp or umd)", *ds)
+	}
+	start := time.Now()
+	var err error
+	switch {
+	case *ablation == "ncut":
+		err = runAblationNCut(d, *scale, *seed, *jsonOut)
+	case *ablation == "trees":
+		err = runAblationTrees(d, *scale, *seed, *jsonOut)
+	case *ablation == "drift":
+		err = runAblationDrift(d, *scale, *seed, *jsonOut)
+	case *ablation == "construction":
+		err = runAblationConstruction(*scale, *seed, *jsonOut)
+	case *ablation == "sword":
+		err = runAblationSword(d, *scale, *seed, *jsonOut)
+	case *ablation != "":
+		return fmt.Errorf("unknown ablation %q (want ncut, trees, drift, construction or sword)", *ablation)
+	case *fig == 3:
+		err = runFig3(d, *scale, *seed, *jsonOut)
+	case *fig == 4:
+		err = runFig4(d, *scale, *seed, *jsonOut)
+	case *fig == 5:
+		err = runFig5(d, *scale, *seed, *jsonOut)
+	case *fig == 6:
+		err = runFig6(*scale, *seed, *jsonOut)
+	default:
+		return fmt.Errorf("-fig must be 3, 4, 5 or 6 (or use -ablation)")
+	}
+	if err != nil {
+		return err
+	}
+	if !*jsonOut {
+		fmt.Printf("\n# completed in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func runFig3(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+	cfg := sim.DefaultAccuracyConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := sim.RunAccuracy(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# Fig. 3 (%s): WPR vs b, k=%d\n", d, res.K)
+	fmt.Printf("%-8s %-14s %-16s %-14s\n", "b(Mbps)", d+"-TREE-CENTRAL", d+"-TREE-DECENTRAL", d+"-EUCL-CENTRAL")
+	for _, p := range res.Points {
+		fmt.Printf("%-8.1f %-14.4f %-16.4f %-14.4f\n",
+			p.B, p.WPR[sim.TreeCentral], p.WPR[sim.TreeDecentral], p.WPR[sim.EuclCentral])
+	}
+	fmt.Printf("\n# Fig. 3 (%s): CDF of relative bandwidth prediction error\n", d)
+	fmt.Printf("%-12s %-10s %-10s\n", "rel.error", d+"-TREE", d+"-EUCL")
+	for _, x := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0, 1.5, 2.0} {
+		fmt.Printf("%-12.2f %-10.4f %-10.4f\n", x,
+			cdfAt(res.ErrCDF[sim.TreeCentral], x), cdfAt(res.ErrCDF[sim.EuclCentral], x))
+	}
+	return nil
+}
+
+// emitJSON marshals an experiment result for downstream tooling.
+func emitJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("encode json: %w", err)
+	}
+	return nil
+}
+
+// cdfAt evaluates a stepwise CDF at x.
+func cdfAt(points []stats.CDFPoint, x float64) float64 {
+	f := 0.0
+	for _, p := range points {
+		if p.X > x {
+			break
+		}
+		f = p.F
+	}
+	return f
+}
+
+func runFig4(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+	cfg := sim.DefaultTradeoffConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := sim.RunTradeoff(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# Fig. 4 (%s): RR vs k, n_cut=%d\n", d, res.NCut)
+	fmt.Printf("%-6s %-14s %-16s\n", "k", d+"-TREE-CENTRAL", d+"-TREE-DECENTRAL")
+	for _, p := range res.Points {
+		fmt.Printf("%-6d %-14.4f %-16.4f\n", p.K, p.RR[sim.TreeCentral], p.RR[sim.TreeDecentral])
+	}
+	return nil
+}
+
+func runFig5(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+	cfg := sim.DefaultTreenessConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := sim.RunTreeness(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# Fig. 5 (%s): WPR vs f_b per treeness level, k=%d, alpha=%.1f\n", d, res.K, res.Alpha)
+	for _, s := range res.Series {
+		fmt.Printf("\n# dataset eps_avg=%.3f (noise sigma %.2f)\n", s.EpsAvg, s.Noise)
+		fmt.Printf("%-8s %-8s %-8s %-8s %-10s %-8s\n", "b", "f_b", "f_a", "WPR", "WPR^f_a*", "eq1")
+		for _, p := range s.Points {
+			fmt.Printf("%-8.1f %-8.4f %-8.4f %-8.4f %-10.4f %-8.4f\n",
+				p.B, p.FB, p.FA, p.WPR, p.WPRNorm, p.Model)
+		}
+	}
+	return nil
+}
+
+func runAblationNCut(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+	cfg := sim.DefaultTradeoffConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := sim.RunNCutAblation(cfg, []int{5, 10, 20})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# n_cut ablation (%s): decentralized RR vs k per cutoff\n", d)
+	fmt.Printf("%-6s", "k")
+	for _, c := range res.Curves {
+		fmt.Printf(" ncut=%-9d", c.NCut)
+	}
+	fmt.Println(" central")
+	for i := range res.Curves[0].Points {
+		fmt.Printf("%-6d", res.Curves[0].Points[i].K)
+		for _, c := range res.Curves {
+			fmt.Printf(" %-14.4f", c.Points[i].RR[sim.TreeDecentral])
+		}
+		fmt.Printf(" %-8.4f\n", res.Curves[len(res.Curves)-1].Points[i].RR[sim.TreeCentral])
+	}
+	return nil
+}
+
+func runAblationTrees(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+	cfg := sim.DefaultAccuracyConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := sim.RunTreesAblation(cfg, []int{1, 3, 5})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# forest-size ablation (%s): TREE-CENTRAL WPR vs b per forest size\n", d)
+	fmt.Printf("%-8s", "b(Mbps)")
+	for _, c := range res.Curves {
+		fmt.Printf(" trees=%-8d", c.Trees)
+	}
+	fmt.Println()
+	for i := range res.Curves[0].Points {
+		fmt.Printf("%-8.1f", res.Curves[0].Points[i].B)
+		for _, c := range res.Curves {
+			fmt.Printf(" %-14.4f", c.Points[i].WPR[sim.TreeCentral])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runAblationDrift(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+	cfg := sim.DefaultDynamicsConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := sim.RunDynamics(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# dynamics (%s): bandwidth drifts sigma=%.2f per epoch; stale vs refreshed framework, k=%d\n",
+		d, res.DriftSigma, res.K)
+	fmt.Printf("%-7s %-10s %-13s %-9s %-12s\n", "epoch", "WPR.stale", "WPR.refreshed", "RR.stale", "RR.refreshed")
+	for _, p := range res.Points {
+		fmt.Printf("%-7d %-10.4f %-13.4f %-9.4f %-12.4f\n",
+			p.Epoch, p.WPRStale, p.WPRRefreshed, p.RRStale, p.RRRefreshed)
+	}
+	return nil
+}
+
+func runAblationConstruction(scale float64, seed int64, jsonOut bool) error {
+	cfg := sim.DefaultConstructionConfig().Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := sim.RunConstructionCost(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# construction cost (%s subsets): measurements per joining host\n", res.Base)
+	fmt.Printf("%-6s %-14s %-14s %-8s\n", "n", "full-scan", "anchor-search", "ratio")
+	for _, p := range res.Points {
+		fmt.Printf("%-6d %-14.1f %-14.1f %-8.2f\n",
+			p.N, p.FullPerJoin, p.AnchorPerJoin, p.AnchorPerJoin/p.FullPerJoin)
+	}
+	return nil
+}
+
+func runAblationSword(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+	cfg := sim.DefaultSwordConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := sim.RunSwordComparison(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# SWORD-like exhaustive baseline vs tree-metric clustering (%s, n=%d)\n", d, res.N)
+	fmt.Printf("# SWORD needs %d n-to-n measurements up front; framework construction used %.0f (%.1f%%)\n",
+		res.SwordMeasurements, res.TreeMeasurements,
+		100*res.TreeMeasurements/float64(res.SwordMeasurements))
+	fmt.Printf("# SWORD answers are always correct (WPR 0) but its search is budget-bounded (%d expansions)\n",
+		res.Budget)
+	fmt.Printf("%-6s %-9s %-11s %-11s %-8s %-8s\n",
+		"k", "swordRR", "swordSteps", "exhausted", "treeRR", "treeWPR")
+	for _, p := range res.Points {
+		fmt.Printf("%-6d %-9.3f %-11.1f %-11.3f %-8.3f %-8.3f\n",
+			p.K, p.SwordRR, p.SwordSteps, p.SwordExhausted, p.TreeRR, p.TreeWPR)
+	}
+	return nil
+}
+
+func runFig6(scale float64, seed int64, jsonOut bool) error {
+	cfg := sim.DefaultScalabilityConfig().Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	res, err := sim.RunScalability(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# Fig. 6 (%s subsets): query routing hops vs system size\n", res.Base)
+	fmt.Printf("%-6s %-10s %-9s %-6s %-14s %-10s\n",
+		"n", "avg.hops", "max.hops", "RR", "msgs/host/rnd", "cvg.rounds")
+	for _, p := range res.Points {
+		fmt.Printf("%-6d %-10.3f %-9d %-6.3f %-14.2f %-10.1f\n",
+			p.N, p.AvgHops, p.MaxHops, p.RR, p.MsgsPerHostRound, p.ConvergeRounds)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -fig should fail")
+	}
+	if err := run([]string{"-fig", "9"}); err == nil {
+		t.Error("unknown figure should fail")
+	}
+	if err := run([]string{"-fig", "3", "-dataset", "nope"}); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestRunAblationsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	if err := run([]string{"-ablation", "ncut", "-scale", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-ablation", "trees", "-scale", "0.02"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-ablation", "drift", "-scale", "0.05"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-ablation", "construction", "-scale", "0.2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-ablation", "nope"}); err == nil {
+		t.Error("unknown ablation should fail")
+	}
+}
+
+func TestRunFig3Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	if err := run([]string{"-fig", "3", "-dataset", "hp", "-scale", "0.02", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig4Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	if err := run([]string{"-fig", "4", "-dataset", "hp", "-scale", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig5Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	if err := run([]string{"-fig", "5", "-dataset", "hp", "-scale", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig6Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	if err := run([]string{"-fig", "6", "-scale", "0.01"}); err != nil {
+		t.Fatal(err)
+	}
+}

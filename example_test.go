@@ -1,0 +1,96 @@
+package bwcluster_test
+
+import (
+	"fmt"
+	"log"
+
+	"bwcluster"
+)
+
+// fourHosts is a tiny deterministic bandwidth matrix: hosts 0-2 share a
+// fast network segment; host 3 sits behind a slow uplink.
+func fourHosts() [][]float64 {
+	return [][]float64{
+		{0, 90, 85, 12},
+		{90, 0, 95, 11},
+		{85, 95, 0, 10},
+		{12, 11, 10, 0},
+	}
+}
+
+// Build a system and run a centralized bandwidth-constrained query.
+func ExampleSystem_FindCluster() {
+	sys, err := bwcluster.New(fourHosts(), bwcluster.WithBandwidthClasses([]float64{10, 50}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	members, err := sys.FindCluster(3, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(members)
+	// Output: [0 1 2]
+}
+
+// Submit the same query through the decentralized protocol.
+func ExampleSystem_Query() {
+	sys, err := bwcluster.New(fourHosts(), bwcluster.WithBandwidthClasses([]float64{10, 50}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Query(3, 3, 50) // submitted at the slow host
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Found(), res.Members)
+	// Output: true [0 1 2]
+}
+
+// Find the host best connected to an existing working set.
+func ExampleSystem_FindNodeForSet() {
+	sys, err := bwcluster.New(fourHosts(), bwcluster.WithBandwidthClasses([]float64{10, 50}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.FindNodeForSet([]int{0, 1}, 50)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Node)
+	// Output: 2
+}
+
+// Ask for the best-possible cluster of a given size.
+func ExampleSystem_TightestCluster() {
+	sys, err := bwcluster.New(fourHosts(), bwcluster.WithBandwidthClasses([]float64{10, 50}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	members, _, err := sys.TightestCluster(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(members)
+	// Output: [1 2]
+}
+
+// Latency-constrained clustering uses the same machinery with millisecond
+// bounds.
+func ExampleNewLatency() {
+	latency := [][]float64{
+		{0, 5, 6, 80},
+		{5, 0, 4, 82},
+		{6, 4, 0, 85},
+		{80, 82, 85, 0},
+	}
+	sys, err := bwcluster.NewLatency(latency, bwcluster.WithLatencyClasses([]float64{10, 100}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	members, err := sys.FindCluster(3, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(members)
+	// Output: [0 1 2]
+}

@@ -1,0 +1,166 @@
+// Content delivery: carve a subscriber population into high-bandwidth
+// clusters, push the content once to a representative of each cluster,
+// and let it fan out inside the cluster — the paper's second motivating
+// application. Compared against naive unicast from the origin, the
+// cluster plan cuts total origin egress and distribution time.
+//
+//	go run ./examples/cdn
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"bwcluster"
+)
+
+const (
+	numSubscribers = 120
+	contentMB      = 2048
+	clusterSize    = 8  // subscribers per delivery cluster
+	clusterMbps    = 30 // required intra-cluster bandwidth
+	originMbps     = 200
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(21))
+	bw := subscriberMatrix(rng)
+
+	// Plan: repeatedly build the system over the remaining subscribers and
+	// extract one cluster at a time until no more qualify.
+	remaining := make([]int, numSubscribers)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var clusters [][]int
+	for len(remaining) >= clusterSize {
+		sub := submatrix(bw, remaining)
+		sys, err := bwcluster.New(sub, bwcluster.WithSeed(int64(len(clusters))+1))
+		if err != nil {
+			return err
+		}
+		members, err := sys.FindCluster(clusterSize, clusterMbps)
+		if err != nil {
+			return err
+		}
+		if members == nil {
+			break
+		}
+		cluster := make([]int, len(members))
+		for i, m := range members {
+			cluster[i] = remaining[m]
+		}
+		clusters = append(clusters, cluster)
+		remaining = remove(remaining, cluster)
+	}
+	fmt.Printf("delivery plan: %d clusters of %d subscribers, %d served directly\n",
+		len(clusters), clusterSize, len(remaining))
+
+	// Distribution time, cluster plan: origin sends to one representative
+	// per cluster (sequentially over its uplink), then each cluster fans
+	// out internally in parallel.
+	seconds := 0.0
+	originSends := len(clusters) + len(remaining)
+	originSeconds := float64(originSends) * contentMB * 8 / originMbps
+	worstFanout := 0.0
+	for _, c := range clusters {
+		rep := representative(bw, c)
+		for _, m := range c {
+			if m == rep {
+				continue
+			}
+			t := contentMB * 8 / bw[rep][m]
+			if t > worstFanout {
+				worstFanout = t
+			}
+		}
+	}
+	seconds = originSeconds + worstFanout
+	fmt.Printf("cluster plan: origin sends %d copies (%.0f s) + parallel fan-out (%.0f s) = %.0f s\n",
+		originSends, originSeconds, worstFanout, seconds)
+
+	naive := float64(numSubscribers) * contentMB * 8 / originMbps
+	fmt.Printf("naive unicast: origin sends %d copies = %.0f s\n", numSubscribers, naive)
+	fmt.Printf("speedup: %.1fx, origin egress reduced %.1fx\n",
+		naive/seconds, float64(numSubscribers)/float64(originSends))
+	return nil
+}
+
+// representative picks the cluster member with the highest total measured
+// bandwidth to the rest — the natural fan-out seed.
+func representative(bw [][]float64, members []int) int {
+	best, bestSum := members[0], -1.0
+	for _, m := range members {
+		sum := 0.0
+		for _, o := range members {
+			if o != m {
+				sum += bw[m][o]
+			}
+		}
+		if sum > bestSum {
+			best, bestSum = m, sum
+		}
+	}
+	return best
+}
+
+func submatrix(bw [][]float64, idx []int) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, a := range idx {
+		out[i] = make([]float64, len(idx))
+		for j, b := range idx {
+			if i != j {
+				out[i][j] = bw[a][b]
+			}
+		}
+	}
+	return out
+}
+
+func remove(from, drop []int) []int {
+	dropSet := make(map[int]bool, len(drop))
+	for _, d := range drop {
+		dropSet[d] = true
+	}
+	out := from[:0]
+	for _, v := range from {
+		if !dropSet[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// subscriberMatrix models subscribers spread over a few metro regions
+// with fast intra-metro paths and slower long-haul links.
+func subscriberMatrix(rng *rand.Rand) [][]float64 {
+	metro := make([]int, numSubscribers)
+	access := make([]float64, numSubscribers)
+	for i := range metro {
+		metro[i] = rng.Intn(5)
+		access[i] = 20 + 120*rng.Float64()
+	}
+	bw := make([][]float64, numSubscribers)
+	for i := range bw {
+		bw[i] = make([]float64, numSubscribers)
+	}
+	for i := 0; i < numSubscribers; i++ {
+		for j := i + 1; j < numSubscribers; j++ {
+			v := math.Min(access[i], access[j])
+			if metro[i] != metro[j] {
+				v = math.Min(v, 8+22*rng.Float64()) // long-haul bottleneck
+			}
+			v *= 0.9 + 0.2*rng.Float64()
+			bw[i][j], bw[j][i] = v, v
+		}
+	}
+	return bw
+}

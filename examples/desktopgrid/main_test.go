@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// The example must run end to end without error (its output is the
+// demonstration; determinism comes from the fixed seeds).
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Latency-constrained clustering: the paper's future-work extension.
+// Latency embeds into tree metric spaces just like bandwidth (without
+// even needing the rational transform), so the same machinery answers
+// "find k hosts within X ms of each other" — here used to place a
+// gaming/conferencing session.
+//
+//	go run ./examples/latency
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"bwcluster"
+)
+
+const (
+	numHosts    = 120
+	sessionSize = 8
+	maxLatency  = 30 // ms
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(41))
+	lat := wideAreaLatency(rng)
+	sys, err := bwcluster.NewLatency(lat,
+		bwcluster.WithSeed(4),
+		bwcluster.WithLatencyClasses([]float64{15, maxLatency, 60, 120}))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built latency system over %d hosts; classes %v ms\n",
+		sys.Len(), sys.Classes())
+
+	// Centralized placement.
+	members, err := sys.FindCluster(sessionSize, maxLatency)
+	if err != nil {
+		return err
+	}
+	if members == nil {
+		return fmt.Errorf("no %d-host session fits under %d ms", sessionSize, maxLatency)
+	}
+	fmt.Printf("session placement: hosts %v\n", members)
+	fmt.Printf("  worst predicted pair: %.1f ms, worst measured pair: %.1f ms\n",
+		worstPredicted(sys, members), worstMeasured(sys, members))
+
+	// The same request through the decentralized protocol, from a random
+	// host.
+	res, err := sys.Query(rng.Intn(numHosts), sessionSize, maxLatency)
+	if err != nil {
+		return err
+	}
+	if res.Found() {
+		fmt.Printf("decentralized: answered by host %d after %d hops (class %.0f ms)\n",
+			res.AnsweredBy, res.Hops, res.Class)
+	} else {
+		fmt.Println("decentralized: no session found")
+	}
+
+	// Contrast with a random placement.
+	random := rng.Perm(numHosts)[:sessionSize]
+	fmt.Printf("random placement worst measured pair: %.1f ms\n", worstMeasured(sys, random))
+	return nil
+}
+
+func worstPredicted(sys *bwcluster.LatencySystem, members []int) float64 {
+	worst := 0.0
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if v, err := sys.PredictLatency(members[i], members[j]); err == nil && v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+func worstMeasured(sys *bwcluster.LatencySystem, members []int) float64 {
+	worst := 0.0
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if v, err := sys.MeasuredLatency(members[i], members[j]); err == nil && v > worst {
+				worst = v
+			}
+		}
+	}
+	return worst
+}
+
+// wideAreaLatency models hosts in a few metros: short local paths, long
+// cross-continent ones, per-host access delays.
+func wideAreaLatency(rng *rand.Rand) [][]float64 {
+	metroPos := [][2]float64{{0, 0}, {20, 5}, {70, 10}, {75, 60}, {10, 80}}
+	metro := make([]int, numHosts)
+	access := make([]float64, numHosts)
+	for i := range metro {
+		metro[i] = rng.Intn(len(metroPos))
+		access[i] = 1 + 9*rng.Float64()
+	}
+	lat := make([][]float64, numHosts)
+	for i := range lat {
+		lat[i] = make([]float64, numHosts)
+	}
+	for i := 0; i < numHosts; i++ {
+		for j := i + 1; j < numHosts; j++ {
+			a, b := metroPos[metro[i]], metroPos[metro[j]]
+			core := math.Hypot(a[0]-b[0], a[1]-b[1]) // ~1 ms per unit
+			v := (access[i] + access[j] + core) * (0.95 + 0.1*rng.Float64())
+			lat[i][j], lat[j][i] = v, v
+		}
+	}
+	return lat
+}

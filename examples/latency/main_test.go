@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// The example must run end to end without error.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Live network: runs the protocol on the asynchronous goroutine-per-peer
+// runtime. Hosts join the prediction framework one by one while gossip
+// (Algorithms 2 and 3) runs in the background, and queries are submitted
+// to random peers both before and after the network settles — showing
+// dynamic membership and eventually-consistent routing state.
+//
+// This example uses the in-repo runtime package directly; the public
+// facade (package bwcluster) covers the static case.
+//
+//	go run ./examples/livenet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"bwcluster/internal/dataset"
+	"bwcluster/internal/metric"
+	"bwcluster/internal/overlay"
+	"bwcluster/internal/predtree"
+	"bwcluster/internal/runtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		totalHosts   = 60
+		initialHosts = 20
+		k            = 5
+	)
+	rng := rand.New(rand.NewSource(5))
+	bw, err := dataset.Generate(dataset.HPConfig().WithN(totalHosts), rng)
+	if err != nil {
+		return err
+	}
+	dist, err := metric.DistanceFromBandwidth(bw, metric.DefaultC)
+	if err != nil {
+		return err
+	}
+	bValues := []float64{20, 35, 50, 70}
+	classes, err := overlay.ClassesFromBandwidths(bValues, metric.DefaultC)
+	if err != nil {
+		return err
+	}
+
+	// Bootstrap the prediction tree with the first batch of hosts.
+	order := rng.Perm(totalHosts)
+	tree, err := predtree.New(metric.DefaultC, predtree.SearchAnchor)
+	if err != nil {
+		return err
+	}
+	for _, h := range order[:initialHosts] {
+		if err := tree.Add(h, dist); err != nil {
+			return err
+		}
+	}
+	rt, err := runtime.New(tree, overlay.Config{NCut: 8, Classes: classes}, time.Millisecond)
+	if err != nil {
+		return err
+	}
+	rt.Start()
+	defer rt.Stop()
+
+	fmt.Printf("started %d peers; gossip running\n", initialHosts)
+
+	// Query while the network is still converging: the protocol answers
+	// with whatever routing state exists (it may miss).
+	early, err := rt.Query(order[0], k, classL(50), 5*time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("early query (k=%d, b=50):  found=%v after %d hops\n", k, early.Found(), early.Hops)
+
+	// Stream in the remaining hosts while everything keeps running.
+	for i, h := range order[initialHosts:] {
+		if err := rt.AddHost(h, dist); err != nil {
+			return err
+		}
+		if (i+1)%10 == 0 {
+			fmt.Printf("joined %d more hosts (now %d)\n", 10, initialHosts+i+1)
+		}
+	}
+	if err := rt.Settle(50*time.Millisecond, 30*time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("network settled with %d peers\n", len(rt.Hosts()))
+
+	// Now the routing tables are consistent: query from several peers.
+	for _, b := range bValues {
+		start := order[rng.Intn(totalHosts)]
+		res, err := rt.Query(start, k, classL(b), 5*time.Second)
+		if err != nil {
+			return err
+		}
+		status := "not found"
+		if res.Found() {
+			status = fmt.Sprintf("cluster %v", res.Cluster)
+		}
+		fmt.Printf("query (k=%d, b=%.0f) from host %2d: %s (%d hops, answered by %d)\n",
+			k, b, start, status, res.Hops, res.Answered)
+	}
+	return nil
+}
+
+// classL converts a bandwidth constraint to the equivalent diameter.
+func classL(b float64) float64 { return metric.DefaultC / b }

@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// The live-network example spins up real goroutine peers; it must run to
+// completion (joins, settling, queries) without error.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+// Node search: the paper's future-work extension, implemented here. A
+// running job set wants one more worker — the host whose *worst*
+// bandwidth to every current member is best — and a replica placement
+// wants the overall tightest group. Both come straight from the public
+// API.
+//
+//	go run ./examples/nodesearch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"bwcluster"
+)
+
+const numHosts = 100
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := rand.New(rand.NewSource(31))
+	bw := clusteredMatrix(rng)
+	sys, err := bwcluster.New(bw,
+		bwcluster.WithSeed(2),
+		bwcluster.WithBandwidthClasses([]float64{10, 25, 50, 100}))
+	if err != nil {
+		return err
+	}
+
+	// Step 1: the overall tightest 6-host group (minimum-diameter
+	// k-cluster — exact in tree metric spaces).
+	members, worst, err := sys.TightestCluster(6)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("tightest 6-host group: %v (worst predicted pair %.0f Mbps)\n", members, worst)
+
+	// Step 2: the job grows — find the best 7th member, centrally...
+	res, err := sys.FindNodeForSet(members, 25)
+	if err != nil {
+		return err
+	}
+	if !res.Found() {
+		return fmt.Errorf("no extra worker sustains 25 Mbps to the whole set")
+	}
+	fmt.Printf("best extra worker (central): host %d, worst link %.0f Mbps\n",
+		res.Node, res.WorstBandwidth)
+
+	// ...and decentrally, submitted at an arbitrary host: the query
+	// hill-climbs the overlay toward the set's region.
+	dres, err := sys.QueryNode(numHosts-1, members, 25)
+	if err != nil {
+		return err
+	}
+	if dres.Found() {
+		fmt.Printf("best extra worker (decentral, from host %d): host %d after %d hops, worst link %.0f Mbps\n",
+			numHosts-1, dres.Node, dres.Hops, dres.WorstBandwidth)
+	} else {
+		fmt.Printf("decentralized search found no candidate (answered by %d after %d hops)\n",
+			dres.AnsweredBy, dres.Hops)
+	}
+
+	// Sanity: report the measured (ground-truth) worst link of the pick.
+	worstReal := math.Inf(1)
+	for _, m := range members {
+		if v, err := sys.MeasuredBandwidth(res.Node, m); err == nil && v < worstReal {
+			worstReal = v
+		}
+	}
+	fmt.Printf("measured worst link of the central pick: %.0f Mbps\n", worstReal)
+	return nil
+}
+
+// clusteredMatrix models pods of well-connected hosts joined by a slower
+// backbone.
+func clusteredMatrix(rng *rand.Rand) [][]float64 {
+	pod := make([]int, numHosts)
+	access := make([]float64, numHosts)
+	for i := range pod {
+		pod[i] = rng.Intn(6)
+		access[i] = 30 + 170*rng.Float64()
+	}
+	bw := make([][]float64, numHosts)
+	for i := range bw {
+		bw[i] = make([]float64, numHosts)
+	}
+	for i := 0; i < numHosts; i++ {
+		for j := i + 1; j < numHosts; j++ {
+			v := math.Min(access[i], access[j])
+			if pod[i] != pod[j] {
+				v = math.Min(v, 12+28*rng.Float64())
+			}
+			v *= 0.9 + 0.2*rng.Float64()
+			bw[i][j], bw[j][i] = v, v
+		}
+	}
+	return bw
+}

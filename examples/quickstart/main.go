@@ -1,0 +1,103 @@
+// Quickstart: build a clustering system from a bandwidth matrix and ask
+// it for bandwidth-constrained clusters, both centrally and through the
+// decentralized protocol.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"bwcluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Synthesize measurements for 50 hosts with the access-link bottleneck
+	// model: every host has an access capacity, and the bandwidth between
+	// two hosts is the slower of the two access links, times a little
+	// measurement noise. (Real deployments would plug in pathChirp-style
+	// measurements here.)
+	const n = 50
+	rng := rand.New(rand.NewSource(7))
+	access := make([]float64, n)
+	for i := range access {
+		access[i] = 20 + 180*rng.Float64() // 20..200 Mbps
+	}
+	bw := make([][]float64, n)
+	for i := range bw {
+		bw[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := math.Min(access[i], access[j]) * (0.9 + 0.2*rng.Float64())
+			bw[i][j], bw[j][i] = v, v
+		}
+	}
+
+	// Build the system: prediction forest, anchor-tree overlay, cluster
+	// routing tables.
+	sys, err := bwcluster.New(bw, bwcluster.WithSeed(1))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built system over %d hosts; bandwidth classes: %.0f Mbps\n",
+		sys.Len(), sys.Classes())
+
+	// How big could a 60 Mbps cluster get?
+	size, err := sys.MaxClusterSize(60)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("largest possible cluster at >= 60 Mbps: %d hosts\n", size)
+
+	// Centralized query: 6 hosts with >= 60 Mbps pairwise.
+	members, err := sys.FindCluster(6, 60)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("centralized: cluster %v\n", members)
+	printWorstPair(sys, members)
+
+	// Decentralized query: submitted to an arbitrary host, routed by the
+	// cluster routing tables.
+	res, err := sys.Query(17, 6, 60)
+	if err != nil {
+		return err
+	}
+	if !res.Found() {
+		return fmt.Errorf("decentralized query found no cluster")
+	}
+	fmt.Printf("decentralized: query from host 17 answered by host %d after %d hops (class %.0f Mbps)\n",
+		res.AnsweredBy, res.Hops, res.Class)
+	fmt.Printf("decentralized: cluster %v\n", res.Members)
+	printWorstPair(sys, res.Members)
+
+	// Every host carries a compact distance label (its "coordinate").
+	label, err := sys.DistanceLabel(res.Members[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("distance label of host %d: %s\n", res.Members[0], label)
+	return nil
+}
+
+func printWorstPair(sys *bwcluster.System, members []int) {
+	worst := math.Inf(1)
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if v, err := sys.MeasuredBandwidth(members[i], members[j]); err == nil && v < worst {
+				worst = v
+			}
+		}
+	}
+	fmt.Printf("  worst measured pair inside the cluster: %.1f Mbps\n", worst)
+}

@@ -1,0 +1,72 @@
+package bwcluster
+
+import "testing"
+
+// FuzzLoadBytes feeds arbitrary bytes to the system snapshot loader: it
+// must reject anything that is not a valid snapshot without panicking.
+func FuzzLoadBytes(f *testing.F) {
+	// Seed with a real snapshot and mutations of it.
+	bw := [][]float64{
+		{0, 50, 40},
+		{50, 0, 60},
+		{40, 60, 0},
+	}
+	sys, err := New(bw, WithBandwidthClasses([]float64{30, 60}))
+	if err != nil {
+		f.Fatal(err)
+	}
+	blob, err := sys.SaveBytes()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)/2])
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := LoadBytes(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a usable system.
+		if restored.Len() < 2 {
+			t.Fatalf("loader accepted a %d-host system", restored.Len())
+		}
+		if _, err := restored.PredictBandwidth(0, 1); err != nil {
+			t.Fatalf("accepted system is unusable: %v", err)
+		}
+	})
+}
+
+// FuzzNewMatrixInput feeds adversarial bandwidth matrices to New.
+func FuzzNewMatrixInput(f *testing.F) {
+	f.Add(3, 10.0, 20.0)
+	f.Add(2, 0.0, 5.0)
+	f.Add(4, -3.0, 1e300)
+	f.Fuzz(func(t *testing.T, n int, a, b float64) {
+		if n < 0 || n > 12 {
+			return
+		}
+		raw := make([][]float64, n)
+		for i := range raw {
+			raw[i] = make([]float64, n)
+			for j := range raw[i] {
+				if i == j {
+					continue
+				}
+				if (i+j)%2 == 0 {
+					raw[i][j] = a
+				} else {
+					raw[i][j] = b
+				}
+			}
+		}
+		sys, err := New(raw)
+		if err != nil {
+			return
+		}
+		if sys.Len() != n {
+			t.Fatalf("system has %d hosts, want %d", sys.Len(), n)
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module bwcluster
+
+go 1.22

@@ -1,0 +1,315 @@
+// Package cluster implements the paper's Algorithm 1 — the centralized
+// polynomial-time clustering algorithm for tree metric spaces — together
+// with a reusable precomputed index and a brute-force reference used in
+// tests.
+//
+// Given a metric space (V, d), a size constraint k >= 2 and a diameter
+// constraint l, the algorithm considers for every node pair (p, q) the
+// candidate cluster
+//
+//	S*pq = { x in V : d(x,p) <= d(p,q) and d(x,q) <= d(p,q) },
+//
+// the largest cluster whose diameter is determined by (p, q). In a tree
+// metric space diam(S*pq) = d(p,q) (Theorem 3.1), so scanning pairs with
+// d(p,q) <= l and returning k nodes from the first sufficiently large
+// S*pq solves the problem in O(n^3). Pairs are scanned in lexicographic
+// (p, q) order, matching the paper's "foreach node pair" loop: the first
+// qualifying pair answers the query, deterministically.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"bwcluster/internal/metric"
+)
+
+// FindCluster runs Algorithm 1 on s: it returns k node indices forming a
+// cluster of diameter at most l (under the tree-metric assumption), or nil
+// if no node pair admits one. k must be at least 2 and l non-negative.
+func FindCluster(s metric.Space, k int, l float64) ([]int, error) {
+	if err := validate(s, k, l); err != nil {
+		return nil, err
+	}
+	n := s.N()
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			if s.Dist(p, q) > l {
+				continue
+			}
+			members := Members(s, p, q)
+			if len(members) >= k {
+				return members[:k], nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+func validate(s metric.Space, k int, l float64) error {
+	if k < 2 {
+		return fmt.Errorf("cluster: size constraint k must be >= 2, got %d", k)
+	}
+	if l < 0 {
+		return fmt.Errorf("cluster: diameter constraint l must be >= 0, got %v", l)
+	}
+	if s == nil {
+		return fmt.Errorf("cluster: nil space")
+	}
+	return nil
+}
+
+// Members returns S*pq: every node within d(p,q) of both p and q, in
+// ascending index order. p and q are always members.
+func Members(s metric.Space, p, q int) []int {
+	dpq := s.Dist(p, q)
+	members := make([]int, 0, 8)
+	for x := 0; x < s.N(); x++ {
+		if s.Dist(x, p) <= dpq && s.Dist(x, q) <= dpq {
+			members = append(members, x)
+		}
+	}
+	return members
+}
+
+// MaxClusterSize returns the largest k for which FindCluster(s, k, l)
+// succeeds, together with a witness cluster of that size. Spaces where no
+// pair satisfies d(p,q) <= l yield min(N,1) with a singleton (or nil)
+// witness: a lone node is trivially a "cluster" of size one, but no k >= 2
+// query can be satisfied.
+func MaxClusterSize(s metric.Space, l float64) (int, []int) {
+	if s == nil || s.N() == 0 {
+		return 0, nil
+	}
+	best, witness := 0, []int(nil)
+	for p := 0; p < s.N(); p++ {
+		for q := p + 1; q < s.N(); q++ {
+			if s.Dist(p, q) > l {
+				continue
+			}
+			members := Members(s, p, q)
+			if len(members) > best {
+				best, witness = len(members), members
+			}
+		}
+	}
+	if best == 0 {
+		return 1, []int{0}
+	}
+	return best, witness
+}
+
+// MaxClusterSizeBinary computes the same maximum via binary search over k
+// with repeated FindCluster calls, the strategy Algorithm 3 suggests for a
+// node's local clustering space. It exists for the ablation benchmark
+// comparing the two strategies; MaxClusterSize is the direct O(n^3) scan.
+func MaxClusterSizeBinary(s metric.Space, l float64) (int, error) {
+	if s == nil || s.N() == 0 {
+		return 0, nil
+	}
+	lo, hi := 2, s.N() // invariant: answer < hi+1
+	if c, err := FindCluster(s, 2, l); err != nil {
+		return 0, err
+	} else if c == nil {
+		return 1, nil
+	}
+	// Largest feasible k in [lo, hi].
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		c, err := FindCluster(s, mid, l)
+		if err != nil {
+			return 0, err
+		}
+		if c != nil {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, nil
+}
+
+// MinDiameter finds k nodes whose diameter is minimal (the k-diameter
+// problem of Aggarwal et al., exact in tree metric spaces): scanning node
+// pairs by ascending distance, the first pair whose S*pq reaches k nodes
+// determines the optimal cluster, because diam(S*pq) = d(p,q) in a tree
+// metric. It returns the members and the achieved diameter, or nil when
+// the space has fewer than k nodes.
+func MinDiameter(s metric.Space, k int) ([]int, float64, error) {
+	if k < 2 {
+		return nil, 0, fmt.Errorf("cluster: size constraint k must be >= 2, got %d", k)
+	}
+	if s == nil {
+		return nil, 0, fmt.Errorf("cluster: nil space")
+	}
+	if s.N() < k {
+		return nil, 0, nil
+	}
+	for _, pr := range sortedPairs(s) {
+		members := Members(s, pr.p, pr.q)
+		if len(members) >= k {
+			return members[:k], pr.d, nil
+		}
+	}
+	return nil, 0, nil
+}
+
+// Valid reports whether the given nodes form a cluster of diameter at most
+// l in s (checking every pair against the actual distances, with no
+// tree-metric assumption).
+func Valid(s metric.Space, nodes []int, l float64) bool {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if s.Dist(nodes[i], nodes[j]) > l {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BruteForce searches all subsets for k nodes with true diameter at most l
+// (exact in any metric space, exponential time). It is the test reference
+// for FindCluster's completeness on tree metrics.
+func BruteForce(s metric.Space, k int, l float64) ([]int, error) {
+	if err := validate(s, k, l); err != nil {
+		return nil, err
+	}
+	picked := make([]int, 0, k)
+	var rec func(next int) []int
+	rec = func(next int) []int {
+		if len(picked) == k {
+			out := make([]int, k)
+			copy(out, picked)
+			return out
+		}
+		// Not enough nodes left to finish.
+		if s.N()-next < k-len(picked) {
+			return nil
+		}
+		for x := next; x < s.N(); x++ {
+			ok := true
+			for _, m := range picked {
+				if s.Dist(m, x) > l {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			picked = append(picked, x)
+			if out := rec(x + 1); out != nil {
+				return out
+			}
+			picked = picked[:len(picked)-1]
+		}
+		return nil
+	}
+	return rec(0), nil
+}
+
+type pair struct {
+	p, q int
+	d    float64
+}
+
+func sortedPairs(s metric.Space) []pair {
+	n := s.N()
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			pairs = append(pairs, pair{p: p, q: q, d: s.Dist(p, q)})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		a, b := pairs[i], pairs[j]
+		if a.d != b.d {
+			return a.d < b.d
+		}
+		if a.p != b.p {
+			return a.p < b.p
+		}
+		return a.q < b.q
+	})
+	return pairs
+}
+
+// Index precomputes, for one metric space, every |S*pq|, so that queries
+// with arbitrary (k, l) run in O(n^2) after an O(n^3) build. Index.Find
+// returns exactly what FindCluster would.
+type Index struct {
+	space     metric.Space
+	n         int
+	lexSizes  []int  // |S*pq| indexed p*n+q (p < q)
+	pairs     []pair // sorted ascending by distance, for MaxSize
+	sizes     []int  // |S*pq| aligned with pairs
+	prefixMax []int  // prefixMax[i] = max sizes[0..i]
+}
+
+// NewIndex builds the query index for s.
+func NewIndex(s metric.Space) (*Index, error) {
+	if s == nil {
+		return nil, fmt.Errorf("cluster: nil space")
+	}
+	n := s.N()
+	lexSizes := make([]int, n*n)
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			lexSizes[p*n+q] = len(Members(s, p, q))
+		}
+	}
+	pairs := sortedPairs(s)
+	sizes := make([]int, len(pairs))
+	prefixMax := make([]int, len(pairs))
+	running := 0
+	for i, pr := range pairs {
+		sizes[i] = lexSizes[pr.p*n+pr.q]
+		if sizes[i] > running {
+			running = sizes[i]
+		}
+		prefixMax[i] = running
+	}
+	return &Index{space: s, n: n, lexSizes: lexSizes, pairs: pairs, sizes: sizes, prefixMax: prefixMax}, nil
+}
+
+// N reports the number of nodes in the indexed space.
+func (ix *Index) N() int { return ix.space.N() }
+
+// lastWithin returns the index of the last pair with d <= l, or -1.
+func (ix *Index) lastWithin(l float64) int {
+	return sort.Search(len(ix.pairs), func(i int) bool { return ix.pairs[i].d > l }) - 1
+}
+
+// MaxSize returns the largest cluster size achievable with diameter
+// constraint l (semantics identical to MaxClusterSize).
+func (ix *Index) MaxSize(l float64) int {
+	last := ix.lastWithin(l)
+	if last < 0 {
+		if ix.space.N() == 0 {
+			return 0
+		}
+		return 1
+	}
+	return ix.prefixMax[last]
+}
+
+// Find answers a (k, l) query, returning the same cluster FindCluster
+// would compute directly, or nil when none exists.
+func (ix *Index) Find(k int, l float64) ([]int, error) {
+	if err := validate(ix.space, k, l); err != nil {
+		return nil, err
+	}
+	last := ix.lastWithin(l)
+	if last < 0 || ix.prefixMax[last] < k {
+		return nil, nil
+	}
+	for p := 0; p < ix.n; p++ {
+		for q := p + 1; q < ix.n; q++ {
+			if ix.lexSizes[p*ix.n+q] >= k && ix.space.Dist(p, q) <= l {
+				return Members(ix.space, p, q)[:k], nil
+			}
+		}
+	}
+	return nil, nil
+}

@@ -1,0 +1,329 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwcluster/internal/metric"
+	"bwcluster/internal/testutil"
+)
+
+func lineMetric(positions ...float64) *metric.Matrix {
+	return metric.FromFunc(len(positions), func(i, j int) float64 {
+		d := positions[i] - positions[j]
+		if d < 0 {
+			d = -d
+		}
+		return d
+	})
+}
+
+func TestFindClusterValidation(t *testing.T) {
+	m := metric.NewMatrix(3)
+	if _, err := FindCluster(m, 1, 5); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := FindCluster(m, 2, -1); err == nil {
+		t.Error("l<0 should fail")
+	}
+	if _, err := FindCluster(nil, 2, 1); err == nil {
+		t.Error("nil space should fail")
+	}
+}
+
+func TestFindClusterLine(t *testing.T) {
+	// Nodes at 0, 1, 2, 10, 11.
+	m := lineMetric(0, 1, 2, 10, 11)
+	tests := []struct {
+		name    string
+		k       int
+		l       float64
+		wantNil bool
+		wantLen int
+	}{
+		{name: "tight triple", k: 3, l: 2, wantLen: 3},
+		{name: "tight pair far side", k: 2, l: 1, wantLen: 2},
+		{name: "impossible size", k: 4, l: 2, wantNil: true},
+		{name: "huge l takes all", k: 5, l: 100, wantLen: 5},
+		{name: "zero l no pair", k: 2, l: 0, wantNil: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := FindCluster(m, tt.k, tt.l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tt.wantNil {
+				if got != nil {
+					t.Fatalf("got %v, want nil", got)
+				}
+				return
+			}
+			if len(got) != tt.wantLen {
+				t.Fatalf("got %v, want %d nodes", got, tt.wantLen)
+			}
+			if !Valid(m, got, tt.l) {
+				t.Errorf("cluster %v violates diameter %v", got, tt.l)
+			}
+		})
+	}
+}
+
+func TestFindClusterFirstQualifyingPair(t *testing.T) {
+	// Two qualifying pairs: (0,1) at distance 1 and (3,4) at distance 0.5.
+	// The lexicographic pair scan (the paper's "foreach node pair") must
+	// return the (0,1) cluster even though (3,4) is tighter.
+	m := lineMetric(0, 1, 100, 200, 200.5)
+	got, err := FindCluster(m, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("got %v, want [0 1]", got)
+	}
+}
+
+func TestMembers(t *testing.T) {
+	m := lineMetric(0, 1, 2, 10)
+	got := Members(m, 0, 2) // d=2; members: 0,1,2
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaxClusterSize(t *testing.T) {
+	m := lineMetric(0, 1, 2, 10, 11)
+	tests := []struct {
+		l    float64
+		want int
+	}{
+		{l: 0, want: 1},   // no pair qualifies
+		{l: 1, want: 2},   // {0,1} or {1,2} or {10,11}
+		{l: 2, want: 3},   // {0,1,2}
+		{l: 100, want: 5}, // everything
+	}
+	for _, tt := range tests {
+		got, witness := MaxClusterSize(m, tt.l)
+		if got != tt.want {
+			t.Errorf("MaxClusterSize(l=%v) = %d, want %d", tt.l, got, tt.want)
+		}
+		if got >= 2 && !Valid(m, witness, tt.l) {
+			t.Errorf("witness %v violates l=%v", witness, tt.l)
+		}
+		if len(witness) != got && got >= 2 {
+			t.Errorf("witness size %d != reported %d", len(witness), got)
+		}
+	}
+	if n, w := MaxClusterSize(metric.NewMatrix(0), 1); n != 0 || w != nil {
+		t.Errorf("empty space: %d %v", n, w)
+	}
+	if n, _ := MaxClusterSize(nil, 1); n != 0 {
+		t.Errorf("nil space: %d", n)
+	}
+}
+
+func TestMaxClusterSizeBinaryMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(15)
+		m := testutil.NoisyTreeMetric(n, 0.2, rng)
+		for _, l := range []float64{0.1, 1, 5, 20, 100} {
+			direct, _ := MaxClusterSize(m, l)
+			binary, err := MaxClusterSizeBinary(m, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if direct != binary {
+				t.Fatalf("n=%d l=%v: direct=%d binary=%d", n, l, direct, binary)
+			}
+		}
+	}
+	if n, err := MaxClusterSizeBinary(nil, 1); err != nil || n != 0 {
+		t.Errorf("nil space: %d %v", n, err)
+	}
+}
+
+// Theorem 3.1 in practice: on exact tree metrics, Algorithm 1 finds a
+// cluster if and only if brute force does, and its answers satisfy the
+// diameter constraint on the true distances.
+func TestFindClusterCompleteOnTreeMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(8) // small enough for brute force
+		m := testutil.RandomTreeMetric(n, rng)
+		vals := m.Values()
+		for _, li := range []int{0, len(vals) / 4, len(vals) / 2, len(vals) - 1} {
+			l := vals[li]
+			for k := 2; k <= n; k++ {
+				fast, err := FindCluster(m, k, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow, err := BruteForce(m, k, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if (fast == nil) != (slow == nil) {
+					t.Fatalf("n=%d k=%d l=%v: algorithm1=%v bruteforce=%v", n, k, l, fast, slow)
+				}
+				if fast != nil {
+					if len(fast) != k {
+						t.Fatalf("cluster size %d, want %d", len(fast), k)
+					}
+					if !Valid(m, fast, l*(1+1e-9)) {
+						t.Fatalf("n=%d k=%d l=%v: cluster %v violates diameter", n, k, l, fast)
+					}
+				}
+			}
+		}
+	}
+}
+
+// On non-tree metrics Algorithm 1 may return diameter-violating sets (it
+// trusts diam(S*pq) = d(p,q)); that is exactly the error source the WPR
+// experiments measure. Here we only assert it still terminates and
+// returns sets of the right size.
+func TestFindClusterOnNoisyMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := testutil.NoisyTreeMetric(20, 0.5, rng)
+	vals := m.Values()
+	med := vals[len(vals)/2]
+	got, err := FindCluster(m, 5, med)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil && len(got) != 5 {
+		t.Errorf("size %d, want 5", len(got))
+	}
+}
+
+func TestValid(t *testing.T) {
+	m := lineMetric(0, 1, 5)
+	if !Valid(m, []int{0, 1}, 1) {
+		t.Error("pair within l rejected")
+	}
+	if Valid(m, []int{0, 2}, 1) {
+		t.Error("pair beyond l accepted")
+	}
+	if !Valid(m, nil, 0) {
+		t.Error("empty set should be valid")
+	}
+	if !Valid(m, []int{2}, 0) {
+		t.Error("singleton should be valid")
+	}
+}
+
+func TestBruteForce(t *testing.T) {
+	m := lineMetric(0, 1, 2, 10)
+	got, err := BruteForce(m, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !Valid(m, got, 2) {
+		t.Errorf("brute force got %v", got)
+	}
+	got, err = BruteForce(m, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Errorf("impossible query returned %v", got)
+	}
+	if _, err := BruteForce(m, 0, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
+
+func TestIndexMatchesFindCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(15)
+		m := testutil.NoisyTreeMetric(n, 0.3, rng)
+		ix, err := NewIndex(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.N() != n {
+			t.Fatalf("index N = %d, want %d", ix.N(), n)
+		}
+		vals := m.Values()
+		for _, l := range []float64{0, vals[0], vals[len(vals)/2], vals[len(vals)-1] * 2} {
+			for k := 2; k <= n; k++ {
+				direct, err := FindCluster(m, k, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				indexed, err := ix.Find(k, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if (direct == nil) != (indexed == nil) {
+					t.Fatalf("n=%d k=%d l=%v: direct=%v indexed=%v", n, k, l, direct, indexed)
+				}
+				for i := range direct {
+					if direct[i] != indexed[i] {
+						t.Fatalf("n=%d k=%d l=%v: direct=%v indexed=%v", n, k, l, direct, indexed)
+					}
+				}
+			}
+			dm, _ := MaxClusterSize(m, l)
+			if im := ix.MaxSize(l); im != dm {
+				t.Fatalf("MaxSize(l=%v): indexed=%d direct=%d", l, im, dm)
+			}
+		}
+	}
+}
+
+func TestIndexEdgeCases(t *testing.T) {
+	if _, err := NewIndex(nil); err == nil {
+		t.Error("nil space should fail")
+	}
+	empty, err := NewIndex(metric.NewMatrix(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := empty.MaxSize(10); got != 0 {
+		t.Errorf("empty MaxSize = %d", got)
+	}
+	single, err := NewIndex(metric.NewMatrix(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.MaxSize(10); got != 1 {
+		t.Errorf("single MaxSize = %d", got)
+	}
+	c, err := single.Find(2, 10)
+	if err != nil || c != nil {
+		t.Errorf("single Find = %v, %v", c, err)
+	}
+	if _, err := single.Find(0, 1); err == nil {
+		t.Error("invalid k should fail")
+	}
+}
+
+func TestFindClusterDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := testutil.NoisyTreeMetric(12, 0.4, rng)
+	a, err := FindCluster(m, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FindCluster(m, 4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}

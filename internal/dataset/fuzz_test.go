@@ -1,0 +1,61 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadCSV feeds arbitrary bytes to the CSV matrix parser: it must
+// either return a well-formed matrix or an error — never panic.
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("0,10\n10,0\n"))
+	f.Add([]byte("0,1,2\n1,0,3\n2,3,0\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a,b\nc,d\n"))
+	f.Add([]byte("0,1\n1\n"))
+	f.Add([]byte("1e309,0\n0,1\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m.N() < 1 {
+			t.Fatalf("parser accepted an empty matrix")
+		}
+		// Returned matrices are symmetric with a zero diagonal.
+		for i := 0; i < m.N() && i < 8; i++ {
+			if m.At(i, i) != 0 {
+				t.Fatalf("diagonal (%d,%d) = %v", i, i, m.At(i, i))
+			}
+			for j := i + 1; j < m.N() && j < 8; j++ {
+				if m.At(i, j) != m.At(j, i) {
+					t.Fatalf("asymmetric at (%d,%d)", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadGob feeds arbitrary bytes to the gob matrix decoder.
+func FuzzReadGob(f *testing.F) {
+	var buf bytes.Buffer
+	m, err := Generate(HPConfig().WithN(5), newTestRand())
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteGob(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if m, err := ReadGob(bytes.NewReader(data)); err == nil && m.N() < 0 {
+			t.Fatal("negative size accepted")
+		}
+	})
+}
+
+// newTestRand gives fuzz seeds a deterministic source.
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,142 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"bwcluster/internal/metric"
+)
+
+// WriteCSV writes the full symmetric matrix as CSV rows of floats (one row
+// per host, n columns), the interchange format of the bwc-gen tool.
+func WriteCSV(w io.Writer, m *metric.Matrix) error {
+	cw := csv.NewWriter(w)
+	n := m.N()
+	row := make([]string, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			row[j] = strconv.FormatFloat(m.Dist(i, j), 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a square CSV matrix, symmetrizing it by averaging
+// (i,j)/(j,i) — the same preprocessing the paper applies to asymmetric
+// measurements.
+func ReadCSV(r io.Reader) (*metric.Matrix, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	n := len(records)
+	if n == 0 {
+		return nil, fmt.Errorf("dataset: empty csv matrix")
+	}
+	raw := make([][]float64, n)
+	for i, rec := range records {
+		if len(rec) != n {
+			return nil, fmt.Errorf("dataset: csv row %d has %d columns, want %d", i, len(rec), n)
+		}
+		raw[i] = make([]float64, n)
+		for j, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: csv cell (%d,%d) %q: %w", i, j, cell, err)
+			}
+			raw[i][j] = v
+		}
+	}
+	m, err := metric.Symmetrize(raw)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: symmetrize csv: %w", err)
+	}
+	return m, nil
+}
+
+// gobMatrix is the serialized form of a matrix.
+type gobMatrix struct {
+	N      int
+	Values []float64 // upper triangle, row-major
+}
+
+// WriteGob writes the matrix in a compact binary format.
+func WriteGob(w io.Writer, m *metric.Matrix) error {
+	g := gobMatrix{N: m.N(), Values: m.Values()}
+	if err := gob.NewEncoder(w).Encode(g); err != nil {
+		return fmt.Errorf("dataset: encode gob: %w", err)
+	}
+	return nil
+}
+
+// ReadGob reads a matrix written by WriteGob.
+func ReadGob(r io.Reader) (*metric.Matrix, error) {
+	var g gobMatrix
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("dataset: decode gob: %w", err)
+	}
+	if want := g.N * (g.N - 1) / 2; len(g.Values) != want {
+		return nil, fmt.Errorf("dataset: gob matrix has %d values, want %d", len(g.Values), want)
+	}
+	m := metric.NewMatrix(g.N)
+	idx := 0
+	for i := 0; i < g.N; i++ {
+		for j := i + 1; j < g.N; j++ {
+			m.Set(i, j, g.Values[idx])
+			idx++
+		}
+	}
+	return m, nil
+}
+
+// SaveFile writes the matrix to path, choosing the format by extension
+// (".csv" or ".gob").
+func SaveFile(path string, m *metric.Matrix) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("dataset: close %s: %w", path, cerr)
+		}
+	}()
+	switch filepath.Ext(path) {
+	case ".csv":
+		return WriteCSV(f, m)
+	case ".gob":
+		return WriteGob(f, m)
+	default:
+		return fmt.Errorf("dataset: unknown extension %q (want .csv or .gob)", filepath.Ext(path))
+	}
+}
+
+// LoadFile reads a matrix from path, choosing the format by extension.
+func LoadFile(path string) (*metric.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: open %s: %w", path, err)
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".csv":
+		return ReadCSV(f)
+	case ".gob":
+		return ReadGob(f)
+	default:
+		return nil, fmt.Errorf("dataset: unknown extension %q (want .csv or .gob)", filepath.Ext(path))
+	}
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"bwcluster/internal/metric"
+)
+
+// LatencyConfig parameterizes the synthetic latency generator. The model
+// is additive on a region tree: regions form a random tree whose edges
+// carry propagation delays, every host adds its own access delay, and
+// lat(u,v) = access(u) + treeDist(region(u), region(v)) + access(v) — an
+// exact (additive) tree metric, matching the paper's observation that
+// latency, like bandwidth, embeds well into tree metric spaces.
+// Per-pair multiplicative noise controls the deviation from treeness.
+type LatencyConfig struct {
+	// N is the number of hosts.
+	N int
+	// Regions is the number of metro regions (tree vertices).
+	Regions int
+	// AccessMsLo/Hi bound each host's access (last-mile) delay.
+	AccessMsLo, AccessMsHi float64
+	// EdgeMsLo/Hi bound each region-tree edge's propagation delay.
+	EdgeMsLo, EdgeMsHi float64
+	// NoiseSigma is the lognormal sigma of per-pair noise; 0 keeps the
+	// metric an exact tree metric.
+	NoiseSigma float64
+}
+
+// DefaultLatencyConfig returns a 150-host, 6-region wide-area scenario
+// with mild measurement noise.
+func DefaultLatencyConfig() LatencyConfig {
+	return LatencyConfig{
+		N:          150,
+		Regions:    6,
+		AccessMsLo: 1,
+		AccessMsHi: 12,
+		EdgeMsLo:   8,
+		EdgeMsHi:   60,
+		NoiseSigma: 0.08,
+	}
+}
+
+func (c LatencyConfig) validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("dataset: latency N must be >= 1, got %d", c.N)
+	}
+	if c.Regions < 1 {
+		return fmt.Errorf("dataset: latency Regions must be >= 1, got %d", c.Regions)
+	}
+	if c.AccessMsLo <= 0 || c.AccessMsHi < c.AccessMsLo {
+		return fmt.Errorf("dataset: need 0 < AccessMsLo <= AccessMsHi")
+	}
+	if c.EdgeMsLo < 0 || c.EdgeMsHi < c.EdgeMsLo {
+		return fmt.Errorf("dataset: need 0 <= EdgeMsLo <= EdgeMsHi")
+	}
+	if c.NoiseSigma < 0 {
+		return fmt.Errorf("dataset: NoiseSigma must be >= 0")
+	}
+	return nil
+}
+
+// GenerateLatency builds a symmetric latency matrix (milliseconds).
+// Deterministic for a given rng.
+func GenerateLatency(cfg LatencyConfig, rng *rand.Rand) (*metric.Matrix, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("dataset: nil rng")
+	}
+	// Random region tree with edge delays; distances via root paths.
+	parent := make([]int, cfg.Regions)
+	edge := make([]float64, cfg.Regions)
+	depthMs := make([]float64, cfg.Regions)
+	depth := make([]int, cfg.Regions)
+	parent[0] = -1
+	for r := 1; r < cfg.Regions; r++ {
+		parent[r] = rng.Intn(r)
+		edge[r] = cfg.EdgeMsLo + (cfg.EdgeMsHi-cfg.EdgeMsLo)*rng.Float64()
+		depthMs[r] = depthMs[parent[r]] + edge[r]
+		depth[r] = depth[parent[r]] + 1
+	}
+	regionDist := func(a, b int) float64 {
+		d := 0.0
+		for depth[a] > depth[b] {
+			d += edge[a]
+			a = parent[a]
+		}
+		for depth[b] > depth[a] {
+			d += edge[b]
+			b = parent[b]
+		}
+		for a != b {
+			d += edge[a] + edge[b]
+			a = parent[a]
+			b = parent[b]
+		}
+		return d
+	}
+	region := make([]int, cfg.N)
+	access := make([]float64, cfg.N)
+	for h := 0; h < cfg.N; h++ {
+		region[h] = rng.Intn(cfg.Regions)
+		access[h] = cfg.AccessMsLo + (cfg.AccessMsHi-cfg.AccessMsLo)*rng.Float64()
+	}
+	lat := metric.NewMatrix(cfg.N)
+	for u := 0; u < cfg.N; u++ {
+		for v := u + 1; v < cfg.N; v++ {
+			ms := access[u] + access[v] + regionDist(region[u], region[v])
+			ms *= math.Exp(cfg.NoiseSigma * rng.NormFloat64())
+			if ms < 0.05 {
+				ms = 0.05
+			}
+			lat.Set(u, v, ms)
+		}
+	}
+	return lat, nil
+}

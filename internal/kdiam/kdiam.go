@@ -1,0 +1,254 @@
+package kdiam
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a 2-d coordinate. It mirrors vivaldi.Point without importing it
+// so the two packages stay independent.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between two points.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// FindCluster returns the indices of k points with pairwise distance at
+// most l, or nil if no such set exists. It is exact in 2-d Euclidean
+// space: for each candidate determining pair (p, q) with d(p,q) <= l
+// (scanned in lexicographic order, mirroring the tree-metric Algorithm
+// 1's pair loop), the points within d(p,q) of both ends form a lens;
+// same-side points of the lens are automatically within d(p,q) of each
+// other, so a maximum independent set of the cross-side conflict graph
+// (pairs further than l apart) yields the largest cluster whose diameter
+// pair is (p, q).
+func FindCluster(points []Point, k int, l float64) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("kdiam: size constraint k must be >= 2, got %d", k)
+	}
+	if l < 0 {
+		return nil, fmt.Errorf("kdiam: diameter constraint l must be >= 0, got %v", l)
+	}
+	n := len(points)
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			d := points[p].Dist(points[q])
+			if d > l {
+				continue
+			}
+			if members := clusterForPair(points, p, q, d, l, k); members != nil {
+				return members, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// MaxClusterSize returns the largest k for which FindCluster succeeds,
+// with the same singleton conventions as the tree-metric variant.
+func MaxClusterSize(points []Point, l float64) int {
+	n := len(points)
+	if n == 0 {
+		return 0
+	}
+	best := 1
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			d := points[p].Dist(points[q])
+			if d > l {
+				continue
+			}
+			if members := clusterForPair(points, p, q, d, l, 0); len(members) > best {
+				best = len(members)
+			}
+		}
+	}
+	return best
+}
+
+// clusterForPair computes the largest cluster containing p and q whose
+// members all lie within d of both, with every cross-side pair within l;
+// it returns the first k members (or the full set when k <= 0 is treated
+// as "all") if at least k are found, nil otherwise.
+func clusterForPair(points []Point, p, q int, d, l float64, k int) []int {
+	// Lens membership.
+	lens := make([]int, 0, 8)
+	for x := range points {
+		if points[x].Dist(points[p]) <= d && points[x].Dist(points[q]) <= d {
+			lens = append(lens, x)
+		}
+	}
+	if len(lens) < k {
+		return nil
+	}
+	// Split by the signed area relative to the directed line p -> q.
+	px, py := points[p].X, points[p].Y
+	qx, qy := points[q].X, points[q].Y
+	var leftIdx, rightIdx []int
+	for _, x := range lens {
+		cross := (qx-px)*(points[x].Y-py) - (qy-py)*(points[x].X-px)
+		if cross >= 0 {
+			leftIdx = append(leftIdx, x)
+		} else {
+			rightIdx = append(rightIdx, x)
+		}
+	}
+	// Conflict edges: cross-side pairs farther than l apart.
+	g := &bipartite{nLeft: len(leftIdx), nRight: len(rightIdx), adj: make([][]int, len(leftIdx))}
+	for i, a := range leftIdx {
+		for j, b := range rightIdx {
+			if points[a].Dist(points[b]) > l {
+				g.adj[i] = append(g.adj[i], j)
+			}
+		}
+	}
+	inL, inR := g.maxIndependentSet()
+	members := make([]int, 0, len(lens))
+	for i, ok := range inL {
+		if ok {
+			members = append(members, leftIdx[i])
+		}
+	}
+	for j, ok := range inR {
+		if ok {
+			members = append(members, rightIdx[j])
+		}
+	}
+	if len(members) < k {
+		return nil
+	}
+	sort.Ints(members)
+	if k > 0 && len(members) > k {
+		members = members[:k]
+	}
+	return members
+}
+
+// Index caches pairwise distances of a fixed point set so repeated
+// queries with different (k, l) skip the O(n^2) distance recomputation.
+// Results are identical to FindCluster.
+type Index struct {
+	points []Point
+	n      int
+	dist   []float64 // p*n+q, p < q
+}
+
+// NewIndex builds the query index for the given points (copied).
+func NewIndex(points []Point) *Index {
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	n := len(pts)
+	dist := make([]float64, n*n)
+	for p := 0; p < n; p++ {
+		for q := p + 1; q < n; q++ {
+			dist[p*n+q] = pts[p].Dist(pts[q])
+		}
+	}
+	return &Index{points: pts, n: n, dist: dist}
+}
+
+// Find answers a (k, l) query like FindCluster.
+func (ix *Index) Find(k int, l float64) ([]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("kdiam: size constraint k must be >= 2, got %d", k)
+	}
+	if l < 0 {
+		return nil, fmt.Errorf("kdiam: diameter constraint l must be >= 0, got %v", l)
+	}
+	for p := 0; p < ix.n; p++ {
+		for q := p + 1; q < ix.n; q++ {
+			d := ix.dist[p*ix.n+q]
+			if d > l {
+				continue
+			}
+			if members := clusterForPair(ix.points, p, q, d, l, k); members != nil {
+				return members, nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// MinDiameter finds k points of minimal diameter (the original problem of
+// Aggarwal et al.): scanning pairs by ascending distance, the first pair
+// (p, q) admitting a k-point cluster with all pairwise distances at most
+// d(p,q) is optimal, because any k-set's diameter is realized by one of
+// its pairs. Returns nil when there are fewer than k points.
+func MinDiameter(points []Point, k int) ([]int, float64, error) {
+	if k < 2 {
+		return nil, 0, fmt.Errorf("kdiam: size constraint k must be >= 2, got %d", k)
+	}
+	if len(points) < k {
+		return nil, 0, nil
+	}
+	type pair struct {
+		p, q int
+		d    float64
+	}
+	pairs := make([]pair, 0, len(points)*(len(points)-1)/2)
+	for p := 0; p < len(points); p++ {
+		for q := p + 1; q < len(points); q++ {
+			pairs = append(pairs, pair{p: p, q: q, d: points[p].Dist(points[q])})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
+	for _, pr := range pairs {
+		if members := clusterForPair(points, pr.p, pr.q, pr.d, pr.d, k); members != nil {
+			return members, pr.d, nil
+		}
+	}
+	return nil, 0, nil
+}
+
+// Valid reports whether the selected points have pairwise distance at
+// most l.
+func Valid(points []Point, sel []int, l float64) bool {
+	for i := 0; i < len(sel); i++ {
+		for j := i + 1; j < len(sel); j++ {
+			if points[sel[i]].Dist(points[sel[j]]) > l {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BruteForce finds k points with pairwise distance at most l by
+// backtracking over all subsets. Exact and exponential; test reference.
+func BruteForce(points []Point, k int, l float64) []int {
+	picked := make([]int, 0, k)
+	var rec func(next int) []int
+	rec = func(next int) []int {
+		if len(picked) == k {
+			out := make([]int, k)
+			copy(out, picked)
+			return out
+		}
+		if len(points)-next < k-len(picked) {
+			return nil
+		}
+		for x := next; x < len(points); x++ {
+			ok := true
+			for _, m := range picked {
+				if points[m].Dist(points[x]) > l {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			picked = append(picked, x)
+			if out := rec(x + 1); out != nil {
+				return out
+			}
+			picked = picked[:len(picked)-1]
+		}
+		return nil
+	}
+	return rec(0)
+}

@@ -1,0 +1,349 @@
+package kdiam
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randPoints(n int, scale float64, rng *rand.Rand) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: rng.Float64() * scale, Y: rng.Float64() * scale}
+	}
+	return pts
+}
+
+// bruteMatching computes maximum bipartite matching size by backtracking.
+func bruteMatching(g *bipartite) int {
+	usedR := make([]bool, g.nRight)
+	var rec func(u int) int
+	rec = func(u int) int {
+		if u == g.nLeft {
+			return 0
+		}
+		best := rec(u + 1) // leave u unmatched
+		for _, v := range g.adj[u] {
+			if !usedR[v] {
+				usedR[v] = true
+				if got := 1 + rec(u+1); got > best {
+					best = got
+				}
+				usedR[v] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestHopcroftKarpMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		nl, nr := 1+rng.Intn(7), 1+rng.Intn(7)
+		g := &bipartite{nLeft: nl, nRight: nr, adj: make([][]int, nl)}
+		for u := 0; u < nl; u++ {
+			for v := 0; v < nr; v++ {
+				if rng.Float64() < 0.4 {
+					g.adj[u] = append(g.adj[u], v)
+				}
+			}
+		}
+		matchL, matchR := g.maxMatching()
+		size := 0
+		for u, v := range matchL {
+			if v != unmatched {
+				size++
+				if matchR[v] != u {
+					t.Fatalf("inconsistent matching: matchL[%d]=%d but matchR[%d]=%d", u, v, v, matchR[v])
+				}
+			}
+		}
+		if want := bruteMatching(g); size != want {
+			t.Fatalf("trial %d: HK size %d, brute force %d", trial, size, want)
+		}
+	}
+}
+
+func TestMaxIndependentSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		nl, nr := 1+rng.Intn(6), 1+rng.Intn(6)
+		g := &bipartite{nLeft: nl, nRight: nr, adj: make([][]int, nl)}
+		edges := 0
+		for u := 0; u < nl; u++ {
+			for v := 0; v < nr; v++ {
+				if rng.Float64() < 0.35 {
+					g.adj[u] = append(g.adj[u], v)
+					edges++
+				}
+			}
+		}
+		left, right := g.maxIndependentSet()
+		// Independence: no selected cross edge.
+		for u := 0; u < nl; u++ {
+			if !left[u] {
+				continue
+			}
+			for _, v := range g.adj[u] {
+				if right[v] {
+					t.Fatalf("trial %d: edge (%d,%d) inside independent set", trial, u, v)
+				}
+			}
+		}
+		// Maximality via König: |MIS| = nl + nr - maxMatching.
+		size := 0
+		for _, ok := range left {
+			if ok {
+				size++
+			}
+		}
+		for _, ok := range right {
+			if ok {
+				size++
+			}
+		}
+		if want := nl + nr - bruteMatching(g); size != want {
+			t.Fatalf("trial %d: MIS size %d, want %d (edges=%d)", trial, size, want, edges)
+		}
+	}
+}
+
+func TestFindClusterValidation(t *testing.T) {
+	pts := randPoints(5, 10, rand.New(rand.NewSource(3)))
+	if _, err := FindCluster(pts, 1, 5); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := FindCluster(pts, 2, -1); err == nil {
+		t.Error("l<0 should fail")
+	}
+}
+
+func TestFindClusterSimple(t *testing.T) {
+	pts := []Point{{0, 0}, {1, 0}, {0, 1}, {50, 50}, {51, 50}}
+	got, err := FindCluster(pts, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || !Valid(pts, got, 2) {
+		t.Fatalf("got %v", got)
+	}
+	got, err = FindCluster(pts, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("impossible query returned %v", got)
+	}
+}
+
+// Exactness: FindCluster succeeds exactly when brute force does, on random
+// point sets, and its output always satisfies the constraint.
+func TestFindClusterMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(8)
+		pts := randPoints(n, 10, rng)
+		for _, l := range []float64{1, 3, 6, 15} {
+			for k := 2; k <= n; k++ {
+				fast, err := FindCluster(pts, k, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				slow := BruteForce(pts, k, l)
+				if (fast == nil) != (slow == nil) {
+					t.Fatalf("n=%d k=%d l=%v: kdiam=%v brute=%v pts=%v", n, k, l, fast, slow, pts)
+				}
+				if fast != nil {
+					if len(fast) != k {
+						t.Fatalf("size %d, want %d", len(fast), k)
+					}
+					if !Valid(pts, fast, l*(1+1e-9)) {
+						t.Fatalf("n=%d k=%d l=%v: %v violates constraint", n, k, l, fast)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaxClusterSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(8)
+		pts := randPoints(n, 10, rng)
+		for _, l := range []float64{2, 5, 20} {
+			got := MaxClusterSize(pts, l)
+			// Brute-force maximum.
+			want := 1
+			for k := 2; k <= n; k++ {
+				if BruteForce(pts, k, l) != nil {
+					want = k
+				}
+			}
+			if got != want {
+				t.Fatalf("n=%d l=%v: MaxClusterSize=%d brute=%d", n, l, got, want)
+			}
+		}
+	}
+	if got := MaxClusterSize(nil, 5); got != 0 {
+		t.Errorf("empty points: %d", got)
+	}
+	if got := MaxClusterSize([]Point{{0, 0}}, 5); got != 1 {
+		t.Errorf("single point: %d", got)
+	}
+}
+
+// Geometric fact the algorithm relies on: two points in the same half-lens
+// of a pair (p,q) are within d(p,q) of each other.
+func TestHalfLensDiameterProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		p := Point{X: 0, Y: 0}
+		q := Point{X: 1 + rng.Float64()*10, Y: 0}
+		d := p.Dist(q)
+		// Sample points in the lens.
+		var upper []Point
+		for len(upper) < 6 {
+			c := Point{X: rng.Float64()*2*d - d/2, Y: rng.Float64() * d}
+			if c.Dist(p) <= d && c.Dist(q) <= d && c.Y >= 0 {
+				upper = append(upper, c)
+			}
+		}
+		for i := 0; i < len(upper); i++ {
+			for j := i + 1; j < len(upper); j++ {
+				if upper[i].Dist(upper[j]) > d*(1+1e-9) {
+					t.Fatalf("same-side points %v and %v are %v apart (> d=%v)",
+						upper[i], upper[j], upper[i].Dist(upper[j]), d)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexMatchesFindCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(10)
+		pts := randPoints(n, 10, rng)
+		ix := NewIndex(pts)
+		for _, l := range []float64{1, 4, 12} {
+			for k := 2; k <= n; k++ {
+				direct, err := FindCluster(pts, k, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				indexed, err := ix.Find(k, l)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if (direct == nil) != (indexed == nil) {
+					t.Fatalf("n=%d k=%d l=%v: direct=%v indexed=%v", n, k, l, direct, indexed)
+				}
+				for i := range direct {
+					if direct[i] != indexed[i] {
+						t.Fatalf("n=%d k=%d l=%v: direct=%v indexed=%v", n, k, l, direct, indexed)
+					}
+				}
+			}
+		}
+	}
+	ix := NewIndex(randPoints(4, 10, rng))
+	if _, err := ix.Find(1, 5); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := ix.Find(2, -1); err == nil {
+		t.Error("l<0 should fail")
+	}
+}
+
+func TestValid(t *testing.T) {
+	pts := []Point{{0, 0}, {3, 0}}
+	if Valid(pts, []int{0, 1}, 1) {
+		t.Error("distant pair accepted")
+	}
+	if !Valid(pts, []int{0, 1}, 5) {
+		t.Error("close pair rejected")
+	}
+	if !Valid(pts, nil, 0) {
+		t.Error("empty selection rejected")
+	}
+}
+
+// bruteMinDiam finds the true minimum diameter over all k-subsets.
+func bruteMinDiam(pts []Point, k int) float64 {
+	best := -1.0
+	picked := make([]int, 0, k)
+	var rec func(next int)
+	rec = func(next int) {
+		if len(picked) == k {
+			d := 0.0
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if v := pts[picked[i]].Dist(pts[picked[j]]); v > d {
+						d = v
+					}
+				}
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+			return
+		}
+		if len(pts)-next < k-len(picked) {
+			return
+		}
+		for x := next; x < len(pts); x++ {
+			picked = append(picked, x)
+			rec(x + 1)
+			picked = picked[:len(picked)-1]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestMinDiameterMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(6)
+		pts := randPoints(n, 10, rng)
+		for k := 2; k <= n && k <= 5; k++ {
+			members, diam, err := MinDiameter(pts, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(members) != k {
+				t.Fatalf("got %d members, want %d", len(members), k)
+			}
+			want := bruteMinDiam(pts, k)
+			// The achieved set diameter must equal the optimum.
+			got := 0.0
+			for i := 0; i < k; i++ {
+				for j := i + 1; j < k; j++ {
+					if v := pts[members[i]].Dist(pts[members[j]]); v > got {
+						got = v
+					}
+				}
+			}
+			if got > want*(1+1e-9) {
+				t.Fatalf("n=%d k=%d: diameter %v, optimal %v", n, k, got, want)
+			}
+			if diam < got*(1-1e-9) {
+				t.Fatalf("reported diameter %v below achieved %v", diam, got)
+			}
+		}
+	}
+}
+
+func TestMinDiameterValidation(t *testing.T) {
+	if _, _, err := MinDiameter(nil, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+	members, _, err := MinDiameter([]Point{{0, 0}}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if members != nil {
+		t.Error("k > n should return nil members")
+	}
+}

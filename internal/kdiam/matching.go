@@ -1,0 +1,126 @@
+// Package kdiam implements the comparison clustering algorithm the paper
+// evaluates against: the fixed-diameter variant of Aggarwal, Imai, Katoh
+// and Suri's k-diameter algorithm ("Finding k points with minimum diameter
+// and related problems", SoCG 1989) on 2-d Euclidean coordinates. The
+// geometric structure — for a candidate diameter pair (p, q), the lens of
+// points close to both splits along the line pq into two halves of width
+// at most d(p,q) — reduces the search to a maximum independent set in a
+// bipartite conflict graph, solved exactly via Hopcroft–Karp maximum
+// matching and König's theorem, both implemented here.
+package kdiam
+
+// bipartite is an adjacency-list bipartite graph with nLeft left vertices
+// and nRight right vertices; adj[u] lists the right neighbors of left u.
+type bipartite struct {
+	nLeft, nRight int
+	adj           [][]int
+}
+
+const unmatched = -1
+
+// maxMatching runs Hopcroft–Karp and returns matchL (left vertex -> right
+// partner or unmatched) and matchR (the reverse map).
+func (g *bipartite) maxMatching() (matchL, matchR []int) {
+	matchL = make([]int, g.nLeft)
+	matchR = make([]int, g.nRight)
+	for i := range matchL {
+		matchL[i] = unmatched
+	}
+	for i := range matchR {
+		matchR[i] = unmatched
+	}
+	dist := make([]int, g.nLeft)
+	const inf = int(^uint(0) >> 1)
+
+	bfs := func() bool {
+		queue := make([]int, 0, g.nLeft)
+		for u := 0; u < g.nLeft; u++ {
+			if matchL[u] == unmatched {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		reachable := false
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				w := matchR[v]
+				if w == unmatched {
+					reachable = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return reachable
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range g.adj[u] {
+			w := matchR[v]
+			if w == unmatched || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	for bfs() {
+		for u := 0; u < g.nLeft; u++ {
+			if matchL[u] == unmatched {
+				dfs(u)
+			}
+		}
+	}
+	return matchL, matchR
+}
+
+// maxIndependentSet returns a maximum independent set of the bipartite
+// graph as (left-vertex selections, right-vertex selections), using
+// König's theorem: MIS = V minus a minimum vertex cover, and the cover is
+// (L \ Z) ∪ (R ∩ Z) where Z is the set of vertices reachable from
+// unmatched left vertices by alternating paths.
+func (g *bipartite) maxIndependentSet() (left, right []bool) {
+	matchL, matchR := g.maxMatching()
+	zL := make([]bool, g.nLeft)
+	zR := make([]bool, g.nRight)
+	queue := make([]int, 0, g.nLeft)
+	for u := 0; u < g.nLeft; u++ {
+		if matchL[u] == unmatched {
+			zL[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if zR[v] {
+				continue
+			}
+			zR[v] = true // reached via a non-matching edge
+			if w := matchR[v]; w != unmatched && !zL[w] {
+				zL[w] = true // continue via the matching edge
+				queue = append(queue, w)
+			}
+		}
+	}
+	// Cover = (L \ Z) ∪ (R ∩ Z); independent set is the complement.
+	left = make([]bool, g.nLeft)
+	right = make([]bool, g.nRight)
+	for u := 0; u < g.nLeft; u++ {
+		left[u] = zL[u]
+	}
+	for v := 0; v < g.nRight; v++ {
+		right[v] = !zR[v]
+	}
+	return left, right
+}

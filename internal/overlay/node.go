@@ -1,0 +1,122 @@
+package overlay
+
+import (
+	"fmt"
+	"math"
+
+	"bwcluster/internal/cluster"
+)
+
+// NodeResult is the outcome of a decentralized single-node search.
+type NodeResult struct {
+	// Node is the selected host, -1 if none satisfied the constraint.
+	Node int
+	// Radius is the selected node's maximum predicted distance to the
+	// input set.
+	Radius float64
+	// Hops and Answered describe the route, as in Result.
+	Hops     int
+	Answered int
+}
+
+// Found reports whether a node was returned.
+func (r NodeResult) Found() bool { return r.Node >= 0 }
+
+// QueryNode implements the paper's future-work single-node search
+// decentrally: find one host whose maximum predicted distance to every
+// member of set is at most l (equivalently, whose worst bandwidth to the
+// set is at least the transformed constraint), preferring the smallest
+// such radius.
+//
+// The query hill-climbs over the overlay: each visited peer evaluates
+// its own clustering space against the set and forwards toward the
+// neighbor direction whose aggregated node info produced the incumbent
+// best candidate. Routing never returns to the sender, so on the tree
+// overlay it terminates after at most the anchor-tree diameter. The
+// result is exact whenever the true best node lies in some visited
+// peer's clustering space (guaranteed for n_cut >= n, a heuristic
+// otherwise — mirroring the clustering protocol's n_cut tradeoff).
+func (nw *Network) QueryNode(start int, set []int, l float64) (NodeResult, error) {
+	if _, ok := nw.peers[start]; !ok {
+		return NodeResult{}, fmt.Errorf("overlay: unknown start host %d", start)
+	}
+	if len(set) == 0 {
+		return NodeResult{}, fmt.Errorf("overlay: empty input set")
+	}
+	inSet := make(map[int]bool, len(set))
+	for _, m := range set {
+		if _, ok := nw.peers[m]; !ok {
+			return NodeResult{}, fmt.Errorf("overlay: set member %d is not an overlay host", m)
+		}
+		inSet[m] = true
+	}
+	if l < 0 {
+		return NodeResult{}, fmt.Errorf("overlay: constraint l must be >= 0, got %v", l)
+	}
+
+	res := NodeResult{Node: -1, Radius: math.Inf(1)}
+	cur, prev := start, -1
+	for hop := 0; hop <= len(nw.hosts); hop++ {
+		p := nw.peers[cur]
+		// Evaluate the local clustering space, remembering which neighbor
+		// direction contributed the incumbent.
+		bestDir := -1
+		consider := func(u, dir int) {
+			if inSet[u] {
+				return
+			}
+			r := nw.setRadius(u, set)
+			if r < res.Radius {
+				res.Node, res.Radius = u, r
+				bestDir = dir
+			}
+		}
+		consider(cur, -1)
+		for _, v := range p.neighbors {
+			for _, u := range p.aggrNode[v] {
+				consider(u, v)
+			}
+		}
+		if bestDir == -1 || bestDir == prev {
+			// No improvement from an unexplored direction: the search has
+			// converged on this side of the tree.
+			break
+		}
+		prev, cur = cur, bestDir
+		res.Hops++
+	}
+	res.Answered = cur
+	if res.Radius > l {
+		return NodeResult{Node: -1, Radius: 0, Hops: res.Hops, Answered: cur}, nil
+	}
+	return res, nil
+}
+
+// setRadius is the predicted-distance analogue of cluster.SetRadius.
+func (nw *Network) setRadius(x int, set []int) float64 {
+	worst := 0.0
+	for _, m := range set {
+		if d := nw.predDist(x, m); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// FindNodeCentral runs the centralized single-node search over the full
+// predicted metric (the reference the decentralized search approximates).
+func (nw *Network) FindNodeCentral(set []int, l float64) (int, float64, error) {
+	idxSet := make([]int, len(set))
+	for i, m := range set {
+		pos, ok := nw.index[m]
+		if !ok {
+			return -1, 0, fmt.Errorf("overlay: set member %d is not an overlay host", m)
+		}
+		idxSet[i] = pos
+	}
+	node, radius, err := cluster.FindNodeForSet(nw.dist, idxSet, l)
+	if err != nil || node < 0 {
+		return -1, 0, err
+	}
+	return nw.hosts[node], radius, nil
+}

@@ -1,0 +1,463 @@
+// Package overlay implements the paper's decentralized clustering
+// protocol on top of the prediction-tree substrate: every host is a peer
+// on the anchor-tree overlay and runs the two background aggregation
+// mechanisms —
+//
+//   - Algorithm 2 (DynAggrNodeInfo): each peer learns, per neighbor, the
+//     n_cut closest nodes reachable through that neighbor;
+//   - Algorithm 3 (DynAggrMaxCluster): each peer learns, per neighbor and
+//     per bandwidth class, the maximum cluster size available through that
+//     neighbor, forming its cluster routing table (CRT);
+//
+// and answers queries with Algorithm 4 (ProcessQuery): try the local
+// clustering space first, otherwise forward toward a neighbor whose CRT
+// promises a big-enough cluster.
+//
+// The engine here is synchronous and deterministic: rounds exchange all
+// messages simultaneously, which converges to the unique fixed point the
+// correctness theorems (3.2, 3.3) describe. Package runtime runs the same
+// peer logic asynchronously over channels.
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"bwcluster/internal/cluster"
+	"bwcluster/internal/metric"
+)
+
+// DefaultNCut is the paper's propagation cutoff (Sec. IV-B).
+const DefaultNCut = 10
+
+// Config parameterizes the protocol.
+type Config struct {
+	// NCut caps how many node records a peer propagates to a neighbor per
+	// round (the paper's n_cut).
+	NCut int
+	// Classes is the predetermined set of diameter classes L, ascending.
+	// Queries snap their constraint to the largest class that does not
+	// exceed it, which is conservative (never relaxes the constraint).
+	Classes []float64
+}
+
+func (c Config) validate() error {
+	if c.NCut < 1 {
+		return fmt.Errorf("overlay: NCut must be >= 1, got %d", c.NCut)
+	}
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("overlay: at least one diameter class is required")
+	}
+	for i, l := range c.Classes {
+		if l <= 0 {
+			return fmt.Errorf("overlay: class %d = %v must be positive", i, l)
+		}
+		if i > 0 && c.Classes[i] <= c.Classes[i-1] {
+			return fmt.Errorf("overlay: classes must be strictly ascending")
+		}
+	}
+	return nil
+}
+
+// ClassesFromBandwidths converts a set of bandwidth classes (Mbps) into
+// ascending diameter classes using the rational transform with constant c.
+func ClassesFromBandwidths(bws []float64, c float64) ([]float64, error) {
+	out := make([]float64, 0, len(bws))
+	for _, b := range bws {
+		l, err := metric.DistanceForBandwidthConstraint(b, c)
+		if err != nil {
+			return nil, fmt.Errorf("overlay: bandwidth class %v: %w", b, err)
+		}
+		out = append(out, l)
+	}
+	sort.Float64s(out)
+	// Drop duplicates.
+	dedup := out[:0]
+	for i, l := range out {
+		if i == 0 || l != dedup[len(dedup)-1] {
+			dedup = append(dedup, l)
+		}
+	}
+	return dedup, nil
+}
+
+// Substrate is what the protocol needs from the prediction framework: the
+// member hosts, the anchor-tree adjacency (the overlay links), and the
+// predicted pairwise distances. Both predtree.Tree and predtree.Forest
+// satisfy it.
+type Substrate interface {
+	Len() int
+	Hosts() []int
+	AnchorNeighbors(h int) []int
+	DistMatrix() (*metric.Matrix, []int)
+}
+
+// peer is the protocol state of one host.
+type peer struct {
+	id        int
+	neighbors []int         // anchor-tree adjacency, sorted
+	aggrNode  map[int][]int // neighbor -> propagated close nodes
+	aggrCRT   map[int][]int // neighbor -> per-class max cluster size
+	selfCRT   []int         // per-class max cluster size of own space
+}
+
+// Stats counts the background traffic the protocol has generated,
+// quantifying the paper's scalability requirement: every peer talks only
+// to its anchor-tree neighbors, and each message carries at most n_cut
+// node records or |L| CRT entries.
+type Stats struct {
+	// NodeInfoMessages and CRTMessages count Algorithm 2 / Algorithm 3
+	// messages sent.
+	NodeInfoMessages int
+	CRTMessages      int
+	// NodeInfoRecords counts the node records shipped inside Algorithm 2
+	// messages (each <= n_cut per message).
+	NodeInfoRecords int
+	// CRTRecords counts per-class entries shipped inside Algorithm 3
+	// messages.
+	CRTRecords int
+}
+
+// Messages returns the total message count.
+func (s Stats) Messages() int { return s.NodeInfoMessages + s.CRTMessages }
+
+// Network is the collection of peers plus the predicted-distance metric
+// they share (each peer's slice of it is locally computable from distance
+// labels; the simulation keeps it materialized for speed).
+type Network struct {
+	cfg    Config
+	sub    Substrate
+	hosts  []int
+	index  map[int]int // host id -> row in dist
+	dist   *metric.Matrix
+	peers  map[int]*peer
+	rounds int // background rounds executed so far
+	stats  Stats
+}
+
+// NewNetwork builds the overlay for every host currently in the
+// substrate (a prediction tree or forest).
+func NewNetwork(sub Substrate, cfg Config) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if sub == nil || sub.Len() == 0 {
+		return nil, fmt.Errorf("overlay: empty prediction substrate")
+	}
+	nw := &Network{cfg: cfg, sub: sub}
+	nw.reload()
+	return nw, nil
+}
+
+// reload re-reads hosts, adjacency and predicted distances from the tree,
+// preserving any aggregation state for hosts that persist.
+func (nw *Network) reload() {
+	dist, hosts := nw.sub.DistMatrix()
+	nw.dist = dist
+	nw.hosts = hosts
+	nw.index = make(map[int]int, len(hosts))
+	for i, h := range hosts {
+		nw.index[h] = i
+	}
+	old := nw.peers
+	nw.peers = make(map[int]*peer, len(hosts))
+	for _, h := range hosts {
+		nb := nw.sub.AnchorNeighbors(h)
+		sort.Ints(nb)
+		p := &peer{
+			id:        h,
+			neighbors: nb,
+			aggrNode:  make(map[int][]int, len(nb)),
+			aggrCRT:   make(map[int][]int, len(nb)),
+		}
+		if prev, ok := old[h]; ok {
+			for _, m := range nb {
+				if v, ok := prev.aggrNode[m]; ok {
+					p.aggrNode[m] = v
+				}
+				if v, ok := prev.aggrCRT[m]; ok {
+					p.aggrCRT[m] = v
+				}
+			}
+		}
+		nw.peers[h] = p
+	}
+}
+
+// Refresh picks up hosts added to the underlying tree since the network
+// was built (used by dynamic-membership scenarios). Existing aggregation
+// state is kept and re-converged incrementally.
+func (nw *Network) Refresh() {
+	nw.reload()
+}
+
+// Hosts returns the overlay members in join order.
+func (nw *Network) Hosts() []int {
+	out := make([]int, len(nw.hosts))
+	copy(out, nw.hosts)
+	return out
+}
+
+// Rounds reports how many background rounds have been executed.
+func (nw *Network) Rounds() int { return nw.rounds }
+
+// Stats reports the background traffic generated so far.
+func (nw *Network) Stats() Stats { return nw.stats }
+
+// Classes returns the configured diameter classes.
+func (nw *Network) Classes() []float64 {
+	out := make([]float64, len(nw.cfg.Classes))
+	copy(out, nw.cfg.Classes)
+	return out
+}
+
+// predDist returns the predicted distance between hosts a and b.
+func (nw *Network) predDist(a, b int) float64 {
+	return nw.dist.Dist(nw.index[a], nw.index[b])
+}
+
+// RunNodeInfoRound executes one synchronous round of Algorithm 2 at every
+// peer: each neighbor pair exchanges propNode messages computed from the
+// previous round's state. It reports whether any aggrNode entry changed.
+func (nw *Network) RunNodeInfoRound() bool {
+	nw.rounds++
+	type msg struct {
+		from, to int
+		nodes    []int
+	}
+	var msgs []msg
+	for _, h := range nw.hosts {
+		m := nw.peers[h]
+		for _, x := range m.neighbors {
+			nodes := nw.propNode(m, x)
+			nw.stats.NodeInfoMessages++
+			nw.stats.NodeInfoRecords += len(nodes)
+			msgs = append(msgs, msg{from: h, to: x, nodes: nodes})
+		}
+	}
+	changed := false
+	for _, mg := range msgs {
+		p := nw.peers[mg.to]
+		if !equalInts(p.aggrNode[mg.from], mg.nodes) {
+			p.aggrNode[mg.from] = mg.nodes
+			changed = true
+		}
+	}
+	return changed
+}
+
+// propNode computes the message m sends to neighbor x per Algorithm 2:
+// the n_cut nodes of {m} ∪ ⋃_{v≠x} m.aggrNode[v] closest to x in
+// predicted distance. Ties break on host id, which makes the fixed point
+// unique.
+func (nw *Network) propNode(m *peer, x int) []int {
+	cand := map[int]bool{m.id: true}
+	for _, v := range m.neighbors {
+		if v == x {
+			continue
+		}
+		for _, u := range m.aggrNode[v] {
+			cand[u] = true
+		}
+	}
+	delete(cand, x)
+	ids := make([]int, 0, len(cand))
+	for u := range cand {
+		ids = append(ids, u)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := nw.predDist(x, ids[i]), nw.predDist(x, ids[j])
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > nw.cfg.NCut {
+		ids = ids[:nw.cfg.NCut]
+	}
+	sort.Ints(ids) // canonical storage order
+	return ids
+}
+
+// ClusteringSpace returns V_x = {x} ∪ ⋃_v x.aggrNode[v], sorted: the node
+// set peer x can form clusters from.
+func (nw *Network) ClusteringSpace(x int) ([]int, error) {
+	p, ok := nw.peers[x]
+	if !ok {
+		return nil, fmt.Errorf("overlay: unknown host %d", x)
+	}
+	set := map[int]bool{x: true}
+	for _, v := range p.neighbors {
+		for _, u := range p.aggrNode[v] {
+			set[u] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for u := range set {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// spaceFor materializes the predicted-distance submatrix over the given
+// hosts; the returned slice maps submatrix index back to host id.
+func (nw *Network) spaceFor(hosts []int) (*metric.Matrix, []int) {
+	sub := metric.FromFunc(len(hosts), func(i, j int) float64 {
+		return nw.predDist(hosts[i], hosts[j])
+	})
+	return sub, hosts
+}
+
+// RecomputeSelfCRT evaluates every peer's local clustering space against
+// all classes (the first half of Algorithm 3). Call after the node-info
+// aggregation has converged; Converge does this automatically.
+func (nw *Network) RecomputeSelfCRT() error {
+	for _, h := range nw.hosts {
+		p := nw.peers[h]
+		space, _, err := nw.localSpace(h)
+		if err != nil {
+			return err
+		}
+		ix, err := cluster.NewIndex(space)
+		if err != nil {
+			return fmt.Errorf("overlay: index for host %d: %w", h, err)
+		}
+		p.selfCRT = make([]int, len(nw.cfg.Classes))
+		for ci, l := range nw.cfg.Classes {
+			p.selfCRT[ci] = ix.MaxSize(l)
+		}
+	}
+	return nil
+}
+
+func (nw *Network) localSpace(x int) (*metric.Matrix, []int, error) {
+	hosts, err := nw.ClusteringSpace(x)
+	if err != nil {
+		return nil, nil, err
+	}
+	sub, ids := nw.spaceFor(hosts)
+	return sub, ids, nil
+}
+
+// RunCRTRound executes one synchronous propagation round of Algorithm 3
+// and reports whether any CRT entry changed. RecomputeSelfCRT must have
+// run first.
+func (nw *Network) RunCRTRound() bool {
+	nw.rounds++
+	type msg struct {
+		from, to int
+		crt      []int
+	}
+	var msgs []msg
+	for _, h := range nw.hosts {
+		m := nw.peers[h]
+		for _, x := range m.neighbors {
+			crt := make([]int, len(nw.cfg.Classes))
+			copy(crt, m.selfCRT)
+			for _, v := range m.neighbors {
+				if v == x {
+					continue
+				}
+				for ci, size := range m.aggrCRT[v] {
+					if size > crt[ci] {
+						crt[ci] = size
+					}
+				}
+			}
+			nw.stats.CRTMessages++
+			nw.stats.CRTRecords += len(crt)
+			msgs = append(msgs, msg{from: h, to: x, crt: crt})
+		}
+	}
+	changed := false
+	for _, mg := range msgs {
+		p := nw.peers[mg.to]
+		if !equalInts(p.aggrCRT[mg.from], mg.crt) {
+			p.aggrCRT[mg.from] = mg.crt
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Converge runs node-info rounds to their fixed point, recomputes local
+// CRTs, and runs CRT rounds to their fixed point. maxRounds bounds each
+// phase (the fixed point is reached within the anchor-tree diameter; pass
+// 0 to use the number of hosts). It returns the total rounds executed.
+func (nw *Network) Converge(maxRounds int) (int, error) {
+	if maxRounds <= 0 {
+		maxRounds = len(nw.hosts)
+	}
+	start := nw.rounds
+	for i := 0; i < maxRounds; i++ {
+		if !nw.RunNodeInfoRound() {
+			break
+		}
+	}
+	if err := nw.RecomputeSelfCRT(); err != nil {
+		return nw.rounds - start, err
+	}
+	for i := 0; i < maxRounds; i++ {
+		if !nw.RunCRTRound() {
+			break
+		}
+	}
+	return nw.rounds - start, nil
+}
+
+// AggrNode exposes x.aggrNode[m] (sorted copy) for tests and diagnostics.
+func (nw *Network) AggrNode(x, m int) []int {
+	p, ok := nw.peers[x]
+	if !ok {
+		return nil
+	}
+	out := make([]int, len(p.aggrNode[m]))
+	copy(out, p.aggrNode[m])
+	return out
+}
+
+// CRT exposes x.aggrCRT[m] (per-class copy).
+func (nw *Network) CRT(x, m int) []int {
+	p, ok := nw.peers[x]
+	if !ok {
+		return nil
+	}
+	out := make([]int, len(p.aggrCRT[m]))
+	copy(out, p.aggrCRT[m])
+	return out
+}
+
+// SelfCRT exposes x's own per-class maximum cluster sizes.
+func (nw *Network) SelfCRT(x int) []int {
+	p, ok := nw.peers[x]
+	if !ok {
+		return nil
+	}
+	out := make([]int, len(p.selfCRT))
+	copy(out, p.selfCRT)
+	return out
+}
+
+// Neighbors returns x's overlay neighbors.
+func (nw *Network) Neighbors(x int) []int {
+	p, ok := nw.peers[x]
+	if !ok {
+		return nil
+	}
+	out := make([]int, len(p.neighbors))
+	copy(out, p.neighbors)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

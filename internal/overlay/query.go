@@ -1,0 +1,122 @@
+package overlay
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bwcluster/internal/cluster"
+)
+
+// ErrNoClass is returned when a query's diameter constraint is tighter
+// than every configured class.
+var ErrNoClass = errors.New("overlay: constraint tighter than every diameter class")
+
+// Result describes the outcome of a decentralized query.
+type Result struct {
+	// Cluster holds the k selected host ids, nil if none was found.
+	Cluster []int
+	// Hops is how many times the query was forwarded before terminating.
+	Hops int
+	// Answered is the host that produced the final answer.
+	Answered int
+	// Class is the diameter class the query was snapped to.
+	Class float64
+	// Path lists every host the query visited, starting host first
+	// (len(Path) == Hops+1).
+	Path []int
+}
+
+// Found reports whether a cluster was returned.
+func (r Result) Found() bool { return len(r.Cluster) > 0 }
+
+// ClassFor snaps a diameter constraint l to the largest configured class
+// that does not exceed it (never relaxing the constraint). Returns the
+// class value and its index.
+func (nw *Network) ClassFor(l float64) (float64, int, error) {
+	idx := sort.SearchFloat64s(nw.cfg.Classes, l)
+	// Classes[idx-1] <= l < Classes[idx] unless Classes[idx] == l.
+	if idx < len(nw.cfg.Classes) && nw.cfg.Classes[idx] == l {
+		return l, idx, nil
+	}
+	if idx == 0 {
+		return 0, 0, fmt.Errorf("%w: l=%v < smallest class %v", ErrNoClass, l, nw.cfg.Classes[0])
+	}
+	return nw.cfg.Classes[idx-1], idx - 1, nil
+}
+
+// Query runs Algorithm 4 starting at host start with size constraint k and
+// diameter constraint l. The query is snapped to a class, tried against
+// the start peer's local clustering space, and forwarded along the overlay
+// while some neighbor's CRT promises a big-enough cluster. A nil Cluster
+// with no error means the network (correctly or not) concluded no cluster
+// exists.
+func (nw *Network) Query(start, k int, l float64) (Result, error) {
+	if _, ok := nw.peers[start]; !ok {
+		return Result{}, fmt.Errorf("overlay: unknown start host %d", start)
+	}
+	if k < 2 {
+		return Result{}, fmt.Errorf("overlay: size constraint k must be >= 2, got %d", k)
+	}
+	classL, classIdx, err := nw.ClassFor(l)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Class: classL}
+	cur, prev := start, -1
+	// The overlay is a tree, so a query that never returns to its sender
+	// cannot cycle; the bound is a safety net against inconsistent CRTs.
+	for hop := 0; hop <= len(nw.hosts); hop++ {
+		res.Path = append(res.Path, cur)
+		p := nw.peers[cur]
+		if len(p.selfCRT) > classIdx && k <= p.selfCRT[classIdx] {
+			members, err := nw.findLocal(cur, k, classL)
+			if err != nil {
+				return Result{}, err
+			}
+			if members != nil {
+				res.Cluster = members
+				res.Answered = cur
+				return res, nil
+			}
+		}
+		next := -1
+		for _, v := range p.neighbors {
+			if v == prev {
+				continue
+			}
+			if crt := p.aggrCRT[v]; len(crt) > classIdx && k <= crt[classIdx] {
+				next = v
+				break
+			}
+		}
+		if next == -1 {
+			res.Answered = cur
+			return res, nil
+		}
+		prev, cur = cur, next
+		res.Hops++
+	}
+	return res, fmt.Errorf("overlay: query (k=%d, l=%v) exceeded hop bound; inconsistent CRTs", k, l)
+}
+
+// findLocal runs Algorithm 1 on cur's clustering space and maps the
+// result back to host ids.
+func (nw *Network) findLocal(cur, k int, l float64) ([]int, error) {
+	space, ids, err := nw.localSpace(cur)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := cluster.FindCluster(space, k, l)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: local clustering at %d: %w", cur, err)
+	}
+	if sel == nil {
+		return nil, nil
+	}
+	members := make([]int, len(sel))
+	for i, s := range sel {
+		members[i] = ids[s]
+	}
+	return members, nil
+}

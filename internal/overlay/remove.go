@@ -1,0 +1,83 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RemoveHost handles a peer's failure or departure. The overlay heals by
+// splicing: the departed host's remaining neighbors are connected to its
+// lowest-id neighbor, which keeps the overlay a tree (the paper's
+// protocol needs acyclicity for query routing). All aggregation state is
+// reset — superseded entries cannot be repaired in place because every
+// peer's view may transitively contain the dead host — and the caller
+// re-runs Converge to rebuild it; predictions for the remaining pairs are
+// unaffected (their embedding does not involve the departed leaf).
+//
+// Note Refresh re-reads the substrate and therefore resurrects removed
+// hosts; removal is an overlay-level operation for failure scenarios.
+func (nw *Network) RemoveHost(h int) error {
+	p, ok := nw.peers[h]
+	if !ok {
+		return fmt.Errorf("overlay: unknown host %d", h)
+	}
+	if len(nw.peers) == 1 {
+		return fmt.Errorf("overlay: cannot remove the last host")
+	}
+	neighbors := append([]int(nil), p.neighbors...)
+	delete(nw.peers, h)
+
+	// Splice the survivors around the hole.
+	var hub int = -1
+	for _, nb := range neighbors {
+		if _, alive := nw.peers[nb]; alive {
+			hub = nb
+			break
+		}
+	}
+	for _, nb := range neighbors {
+		q, alive := nw.peers[nb]
+		if !alive {
+			continue
+		}
+		q.neighbors = removeSorted(q.neighbors, h)
+		if nb != hub {
+			q.neighbors = insertSorted(q.neighbors, hub)
+			nw.peers[hub].neighbors = insertSorted(nw.peers[hub].neighbors, nb)
+		}
+	}
+
+	// Drop the host from the roster and reset aggregation state.
+	hosts := nw.hosts[:0]
+	for _, hh := range nw.hosts {
+		if hh != h {
+			hosts = append(hosts, hh)
+		}
+	}
+	nw.hosts = hosts
+	for _, q := range nw.peers {
+		q.aggrNode = make(map[int][]int, len(q.neighbors))
+		q.aggrCRT = make(map[int][]int, len(q.neighbors))
+		q.selfCRT = nil
+	}
+	return nil
+}
+
+func removeSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	if i < len(xs) && xs[i] == v {
+		return append(xs[:i], xs[i+1:]...)
+	}
+	return xs
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	if i < len(xs) && xs[i] == v {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}

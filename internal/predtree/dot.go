@@ -1,0 +1,68 @@
+package predtree
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePredictionDOT renders the prediction tree in Graphviz DOT format:
+// box-shaped leaves are hosts, small circles are inner nodes (labelled
+// t<host> for the host whose insertion created them), and edge labels
+// carry the embedded weights. Useful for inspecting how a framework
+// embedded its measurements (compare the paper's Fig. 1).
+func (t *Tree) WritePredictionDOT(w io.Writer) error {
+	// Invert tVert for inner-node labels.
+	innerName := make(map[int]string, len(t.tVert))
+	for host, v := range t.tVert {
+		innerName[v] = fmt.Sprintf("t%d", host)
+	}
+	var b []byte
+	b = append(b, "graph prediction {\n  node [fontsize=10];\n"...)
+	for idx, vert := range t.verts {
+		if vert.host >= 0 {
+			b = append(b, fmt.Sprintf("  v%d [label=\"%d\", shape=box];\n", idx, vert.host)...)
+			continue
+		}
+		name := innerName[idx]
+		if name == "" {
+			name = fmt.Sprintf("i%d", idx)
+		}
+		b = append(b, fmt.Sprintf("  v%d [label=\"%s\", shape=circle, width=0.2];\n", idx, name)...)
+	}
+	for idx, vert := range t.verts {
+		for _, e := range vert.adj {
+			if e.to < idx {
+				continue // emit each undirected edge once
+			}
+			b = append(b, fmt.Sprintf("  v%d -- v%d [label=\"%.3g\"];\n", idx, e.to, e.w)...)
+		}
+	}
+	b = append(b, "}\n"...)
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("predtree: write prediction dot: %w", err)
+	}
+	return nil
+}
+
+// WriteAnchorDOT renders the anchor tree (the protocol's overlay) in DOT
+// format, root at the top.
+func (t *Tree) WriteAnchorDOT(w io.Writer) error {
+	var b []byte
+	b = append(b, "digraph anchor {\n  node [fontsize=10, shape=box];\n"...)
+	hosts := t.Hosts()
+	sort.Ints(hosts)
+	for _, h := range hosts {
+		b = append(b, fmt.Sprintf("  h%d [label=\"%d\"];\n", h, h)...)
+	}
+	for _, h := range hosts {
+		if p := t.AnchorParent(h); p >= 0 {
+			b = append(b, fmt.Sprintf("  h%d -> h%d;\n", p, h)...)
+		}
+	}
+	b = append(b, "}\n"...)
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("predtree: write anchor dot: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package predtree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"bwcluster/internal/testutil"
+)
+
+func TestWritePredictionDOT(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	o := testutil.RandomTreeMetric(8, rng)
+	tr, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WritePredictionDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "graph prediction {") || !strings.HasSuffix(out, "}\n") {
+		t.Errorf("malformed dot output:\n%s", out)
+	}
+	// Every host leaf appears.
+	for h := 0; h < 8; h++ {
+		if !strings.Contains(out, fmt.Sprintf("label=\"%d\", shape=box", h)) {
+			t.Errorf("host %d missing from dot output", h)
+		}
+	}
+	// A tree over V vertices has V-1 edges.
+	edges := strings.Count(out, " -- ")
+	if edges != len(tr.verts)-1 {
+		t.Errorf("dot has %d edges, want %d", edges, len(tr.verts)-1)
+	}
+}
+
+func TestWriteAnchorDOT(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	o := testutil.RandomTreeMetric(10, rng)
+	tr, err := Build(o, 100, SearchAnchor, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteAnchorDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph anchor {") {
+		t.Errorf("malformed dot output:\n%s", out)
+	}
+	// The anchor tree has exactly n-1 edges.
+	if edges := strings.Count(out, " -> "); edges != 9 {
+		t.Errorf("anchor dot has %d edges, want 9", edges)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("sink closed") }
+
+func TestDOTWriteErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	o := testutil.RandomTreeMetric(4, rng)
+	tr, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WritePredictionDOT(failingWriter{}); err == nil {
+		t.Error("failing writer should error")
+	}
+	if err := tr.WriteAnchorDOT(failingWriter{}); err == nil {
+		t.Error("failing writer should error")
+	}
+}

@@ -1,0 +1,220 @@
+package predtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bwcluster/internal/metric"
+)
+
+// Forest is a set of prediction trees over the same hosts, built with
+// different (random) insertion orders, predicting with the median of the
+// per-tree distances. Sequoia introduced this technique: single-tree
+// embeddings carry placement noise from unlucky insertion orders, and the
+// entrywise median of a few independent trees cancels most of it. The
+// first tree is the primary: its anchor tree is the overlay the
+// clustering protocol runs on (each host simply keeps one distance label
+// per tree).
+type Forest struct {
+	trees []*Tree
+}
+
+// BuildForest builds count trees from the oracle, each with an
+// independent random insertion order drawn from rng.
+func BuildForest(o Oracle, c float64, mode SearchMode, count int, rng *rand.Rand) (*Forest, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("predtree: forest needs at least 1 tree, got %d", count)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("predtree: forest needs a non-nil rng")
+	}
+	trees := make([]*Tree, 0, count)
+	for i := 0; i < count; i++ {
+		order := rng.Perm(o.N())
+		t, err := Build(o, c, mode, order)
+		if err != nil {
+			return nil, fmt.Errorf("predtree: forest tree %d: %w", i, err)
+		}
+		trees = append(trees, t)
+	}
+	return &Forest{trees: trees}, nil
+}
+
+// NewForest assembles a forest from pre-built trees (they must hold the
+// same host set; the first is the primary).
+func NewForest(trees ...*Tree) (*Forest, error) {
+	if len(trees) == 0 {
+		return nil, fmt.Errorf("predtree: forest needs at least 1 tree")
+	}
+	n := trees[0].Len()
+	for i, t := range trees {
+		if t == nil {
+			return nil, fmt.Errorf("predtree: forest tree %d is nil", i)
+		}
+		if t.Len() != n {
+			return nil, fmt.Errorf("predtree: forest tree %d has %d hosts, want %d", i, t.Len(), n)
+		}
+		for _, h := range trees[0].Hosts() {
+			if !t.Contains(h) {
+				return nil, fmt.Errorf("predtree: forest tree %d missing host %d", i, h)
+			}
+		}
+	}
+	return &Forest{trees: trees}, nil
+}
+
+// Primary returns the first tree, whose anchor tree serves as the
+// overlay.
+func (f *Forest) Primary() *Tree { return f.trees[0] }
+
+// Size reports the number of trees.
+func (f *Forest) Size() int { return len(f.trees) }
+
+// Len reports the number of hosts.
+func (f *Forest) Len() int { return f.trees[0].Len() }
+
+// Hosts returns the hosts in the primary tree's insertion order.
+func (f *Forest) Hosts() []int { return f.trees[0].Hosts() }
+
+// Contains reports whether host h is embedded.
+func (f *Forest) Contains(h int) bool { return f.trees[0].Contains(h) }
+
+// AnchorNeighbors returns h's neighbors on the primary anchor tree.
+func (f *Forest) AnchorNeighbors(h int) []int { return f.trees[0].AnchorNeighbors(h) }
+
+// Measurements sums the construction measurement lookups across trees.
+func (f *Forest) Measurements() int {
+	total := 0
+	for _, t := range f.trees {
+		total += t.Measurements()
+	}
+	return total
+}
+
+// DistinctMeasurements reports how many distinct host pairs the whole
+// forest measured: hosts cache measurement results, so a pair probed by
+// several trees costs one network measurement.
+func (f *Forest) DistinctMeasurements() int {
+	union := make(map[int64]struct{})
+	for _, t := range f.trees {
+		for pair := range t.measured {
+			union[pair] = struct{}{}
+		}
+	}
+	return len(union)
+}
+
+// Add inserts host h into every tree.
+func (f *Forest) Add(h int, o Oracle) error {
+	for i, t := range f.trees {
+		if err := t.Add(h, o); err != nil {
+			return fmt.Errorf("predtree: forest tree %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Dist returns the median of the per-tree predicted distances.
+func (f *Forest) Dist(u, v int) float64 {
+	if len(f.trees) == 1 {
+		return f.trees[0].Dist(u, v)
+	}
+	ds := make([]float64, len(f.trees))
+	for i, t := range f.trees {
+		ds[i] = t.Dist(u, v)
+	}
+	return median(ds)
+}
+
+// PredictBandwidth returns C / Dist(u, v) using the primary tree's
+// constant.
+func (f *Forest) PredictBandwidth(u, v int) float64 {
+	d := f.Dist(u, v)
+	if d == 0 {
+		return f.trees[0].C() / 1e-9
+	}
+	return f.trees[0].C() / d
+}
+
+// DistMatrix materializes the median predicted distances for all hosts,
+// indexed like the returned host slice (the primary tree's join order).
+func (f *Forest) DistMatrix() (*metric.Matrix, []int) {
+	hosts := f.Hosts()
+	pos := make(map[int]int, len(hosts))
+	for i, h := range hosts {
+		pos[h] = i
+	}
+	mats := make([]*metric.Matrix, len(f.trees))
+	for ti, t := range f.trees {
+		dm, th := t.DistMatrix()
+		// Re-index into the primary host order.
+		m := metric.NewMatrix(len(hosts))
+		for i := range th {
+			for j := i + 1; j < len(th); j++ {
+				m.Set(pos[th[i]], pos[th[j]], dm.Dist(i, j))
+			}
+		}
+		mats[ti] = m
+	}
+	if len(mats) == 1 {
+		return mats[0], hosts
+	}
+	out := metric.NewMatrix(len(hosts))
+	ds := make([]float64, len(mats))
+	for i := range hosts {
+		for j := i + 1; j < len(hosts); j++ {
+			for ti := range mats {
+				ds[ti] = mats[ti].Dist(i, j)
+			}
+			out.Set(i, j, median(ds))
+		}
+	}
+	return out, hosts
+}
+
+// Labels returns host h's distance label in every tree of the forest —
+// the complete "coordinate" a host gossips so that any peer can compute
+// median-of-trees distances locally via ForestLabelDist.
+func (f *Forest) Labels(h int) ([]Label, error) {
+	out := make([]Label, len(f.trees))
+	for i, t := range f.trees {
+		label, err := t.Label(h)
+		if err != nil {
+			return nil, fmt.Errorf("predtree: forest label (tree %d): %w", i, err)
+		}
+		out[i] = label
+	}
+	return out, nil
+}
+
+// ForestLabelDist computes the median-of-trees predicted distance between
+// two hosts from their label sets alone. The label sets must come from
+// the same forest (same length, tree by tree).
+func ForestLabelDist(a, b []Label) (float64, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return 0, fmt.Errorf("predtree: label sets must be non-empty and equal length (%d vs %d)",
+			len(a), len(b))
+	}
+	ds := make([]float64, len(a))
+	for i := range a {
+		d, err := LabelDist(a[i], b[i])
+		if err != nil {
+			return 0, fmt.Errorf("predtree: forest label dist (tree %d): %w", i, err)
+		}
+		ds[i] = d
+	}
+	return median(ds), nil
+}
+
+// median returns the median of xs (averaging the middle pair for even
+// lengths); xs is not modified.
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}

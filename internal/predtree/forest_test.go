@@ -1,0 +1,229 @@
+package predtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bwcluster/internal/testutil"
+)
+
+func TestBuildForestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	o := testutil.RandomTreeMetric(5, rng)
+	if _, err := BuildForest(o, 100, SearchFull, 0, rng); err == nil {
+		t.Error("count=0 should fail")
+	}
+	if _, err := BuildForest(o, 100, SearchFull, 2, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := BuildForest(o, 0, SearchFull, 2, rng); err == nil {
+		t.Error("bad constant should fail")
+	}
+}
+
+func TestNewForestValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	o := testutil.RandomTreeMetric(5, rng)
+	t1, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewForest(); err == nil {
+		t.Error("empty forest should fail")
+	}
+	if _, err := NewForest(t1, nil); err == nil {
+		t.Error("nil tree should fail")
+	}
+	small, err := Build(o, 100, SearchFull, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewForest(t1, small); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	f, err := NewForest(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 1 || f.Primary() != t1 {
+		t.Error("single-tree forest broken")
+	}
+}
+
+// On exact tree metrics every tree is exact, so the median is too.
+func TestForestExactOnTreeMetrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o := testutil.RandomTreeMetric(15, rng)
+	f, err := BuildForest(o, 100, SearchAnchor, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		for j := i + 1; j < 15; j++ {
+			want := o.Dist(i, j)
+			if got := f.Dist(i, j); math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("forest dist (%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+	dm, hosts := f.DistMatrix()
+	for a := range hosts {
+		for b := a + 1; b < len(hosts); b++ {
+			if math.Abs(dm.Dist(a, b)-f.Dist(hosts[a], hosts[b])) > 1e-9 {
+				t.Fatalf("DistMatrix disagrees with Dist at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+// The forest's median prediction must beat the single tree on noisy data
+// (the reason it exists). The gain is statistical, so compare totals over
+// several independent trials.
+func TestForestBeatsSingleTreeOnNoise(t *testing.T) {
+	singleTotal, multiTotal := 0.0, 0.0
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		o := testutil.NoisyTreeMetric(50, 0.15, rng)
+		single, err := BuildForest(o, 100, SearchAnchor, 1, rand.New(rand.NewSource(200+seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := BuildForest(o, 100, SearchAnchor, 3, rand.New(rand.NewSource(200+seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		errSum := func(f *Forest) float64 {
+			sum := 0.0
+			for i := 0; i < o.N(); i++ {
+				for j := i + 1; j < o.N(); j++ {
+					real := o.Dist(i, j)
+					sum += math.Abs(f.Dist(i, j)-real) / real
+				}
+			}
+			return sum
+		}
+		singleTotal += errSum(single)
+		multiTotal += errSum(multi)
+	}
+	if multiTotal >= singleTotal {
+		t.Errorf("3-tree forest total error %v not below single-tree %v", multiTotal, singleTotal)
+	}
+}
+
+func TestForestAddAndMembership(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	o := testutil.RandomTreeMetric(10, rng)
+	f, err := BuildForest(subOracle{o, 7}, 100, SearchFull, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 7 || !f.Contains(3) || f.Contains(8) {
+		t.Fatalf("initial membership broken: len=%d", f.Len())
+	}
+	for h := 7; h < 10; h++ {
+		if err := f.Add(h, o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Len() != 10 || !f.Contains(9) {
+		t.Fatalf("post-add membership broken: len=%d", f.Len())
+	}
+	if err := f.Add(9, o); err == nil {
+		t.Error("duplicate add should fail")
+	}
+	if f.Measurements() <= 0 {
+		t.Error("no measurements recorded")
+	}
+	if len(f.Hosts()) != 10 {
+		t.Errorf("Hosts() = %d", len(f.Hosts()))
+	}
+	if nb := f.AnchorNeighbors(f.Hosts()[0]); len(nb) == 0 {
+		t.Error("root has no anchor neighbors")
+	}
+}
+
+// subOracle exposes only the first n hosts of a matrix.
+type subOracle struct {
+	inner interface {
+		N() int
+		Dist(i, j int) float64
+	}
+	n int
+}
+
+func (s subOracle) N() int                { return s.n }
+func (s subOracle) Dist(i, j int) float64 { return s.inner.Dist(i, j) }
+
+func TestForestPredictBandwidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	o := testutil.RandomTreeMetric(8, rng)
+	f, err := BuildForest(o, 100, SearchFull, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := f.PredictBandwidth(0, 1)
+	want := 100 / f.Dist(0, 1)
+	if math.Abs(bw-want) > 1e-9 {
+		t.Errorf("PredictBandwidth = %v, want %v", bw, want)
+	}
+}
+
+// Label sets reproduce the forest's median distances exactly — the
+// decentralized coordinate property.
+func TestForestLabelDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	o := testutil.NoisyTreeMetric(18, 0.3, rng)
+	f, err := BuildForest(o, 100, SearchAnchor, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := make([][]Label, 18)
+	for h := 0; h < 18; h++ {
+		labels[h], err = f.Labels(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(labels[h]) != 3 {
+			t.Fatalf("host %d has %d labels, want 3", h, len(labels[h]))
+		}
+	}
+	for i := 0; i < 18; i++ {
+		for j := i + 1; j < 18; j++ {
+			got, err := ForestLabelDist(labels[i], labels[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := f.Dist(i, j)
+			if math.Abs(got-want) > 1e-6*(1+want) {
+				t.Fatalf("label dist (%d,%d) = %v, forest says %v", i, j, got, want)
+			}
+		}
+	}
+	if _, err := ForestLabelDist(nil, nil); err == nil {
+		t.Error("empty label sets should fail")
+	}
+	if _, err := ForestLabelDist(labels[0], labels[1][:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := f.Labels(99); err == nil {
+		t.Error("unknown host should fail")
+	}
+}
+
+func TestMedianHelper(t *testing.T) {
+	tests := []struct {
+		in   []float64
+		want float64
+	}{
+		{in: []float64{3}, want: 3},
+		{in: []float64{3, 1}, want: 2},
+		{in: []float64{5, 1, 3}, want: 3},
+		{in: []float64{4, 1, 3, 2}, want: 2.5},
+	}
+	for _, tt := range tests {
+		if got := median(tt.in); got != tt.want {
+			t.Errorf("median(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package predtree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Wire formats. Everything needed to reconstruct a Tree is flattened into
+// exported fields; the in-memory structure is rebuilt on decode.
+type (
+	edgeWire struct {
+		To      int
+		W       float64
+		Creator int
+	}
+	vertexWire struct {
+		Host int
+		Adj  []edgeWire
+	}
+	treeWire struct {
+		C              float64
+		Mode           int
+		Verts          []vertexWire
+		LeafVert       map[int]int
+		TVert          map[int]int
+		AnchorParent   map[int]int
+		AnchorChildren map[int][]int
+		Offset         map[int]float64
+		Pendant        map[int]float64
+		Root           int
+		Order          []int
+		Measurements   int
+		Measured       []int64
+	}
+	forestWire struct {
+		Trees []*Tree
+	}
+)
+
+// GobEncode implements gob.GobEncoder, making prediction trees
+// persistable (e.g. to avoid re-measuring on restart).
+func (t *Tree) GobEncode() ([]byte, error) {
+	w := treeWire{
+		C:              t.c,
+		Mode:           int(t.mode),
+		Verts:          make([]vertexWire, len(t.verts)),
+		LeafVert:       t.leafVert,
+		TVert:          t.tVert,
+		AnchorParent:   t.anchorParent,
+		AnchorChildren: t.anchorChildren,
+		Offset:         t.offset,
+		Pendant:        t.pendant,
+		Root:           t.root,
+		Order:          t.order,
+		Measurements:   t.measurements,
+		Measured:       make([]int64, 0, len(t.measured)),
+	}
+	for pair := range t.measured {
+		w.Measured = append(w.Measured, pair)
+	}
+	for i, v := range t.verts {
+		adj := make([]edgeWire, len(v.adj))
+		for j, e := range v.adj {
+			adj[j] = edgeWire{To: e.to, W: e.w, Creator: e.creator}
+		}
+		w.Verts[i] = vertexWire{Host: v.host, Adj: adj}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, fmt.Errorf("predtree: encode tree: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder.
+func (t *Tree) GobDecode(b []byte) error {
+	var w treeWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return fmt.Errorf("predtree: decode tree: %w", err)
+	}
+	if w.C <= 0 {
+		return fmt.Errorf("predtree: decode tree: invalid constant %v", w.C)
+	}
+	mode := SearchMode(w.Mode)
+	if mode != SearchFull && mode != SearchAnchor {
+		return fmt.Errorf("predtree: decode tree: invalid search mode %d", w.Mode)
+	}
+	verts := make([]vertex, len(w.Verts))
+	for i, vw := range w.Verts {
+		adj := make([]edge, len(vw.Adj))
+		for j, ew := range vw.Adj {
+			if ew.To < 0 || ew.To >= len(w.Verts) {
+				return fmt.Errorf("predtree: decode tree: edge to %d out of range", ew.To)
+			}
+			adj[j] = edge{to: ew.To, w: ew.W, creator: ew.Creator}
+		}
+		verts[i] = vertex{host: vw.Host, adj: adj}
+	}
+	t.c = w.C
+	t.mode = mode
+	t.verts = verts
+	t.leafVert = orEmptyIntMap(w.LeafVert)
+	t.tVert = orEmptyIntMap(w.TVert)
+	t.anchorParent = orEmptyIntMap(w.AnchorParent)
+	t.anchorChildren = w.AnchorChildren
+	if t.anchorChildren == nil {
+		t.anchorChildren = make(map[int][]int)
+	}
+	t.offset = w.Offset
+	if t.offset == nil {
+		t.offset = make(map[int]float64)
+	}
+	t.pendant = w.Pendant
+	if t.pendant == nil {
+		t.pendant = make(map[int]float64)
+	}
+	t.root = w.Root
+	t.order = w.Order
+	t.measurements = w.Measurements
+	t.measured = make(map[int64]struct{}, len(w.Measured))
+	for _, pair := range w.Measured {
+		t.measured[pair] = struct{}{}
+	}
+	return nil
+}
+
+func orEmptyIntMap(m map[int]int) map[int]int {
+	if m == nil {
+		return make(map[int]int)
+	}
+	return m
+}
+
+// GobEncode implements gob.GobEncoder for forests.
+func (f *Forest) GobEncode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(forestWire{Trees: f.trees}); err != nil {
+		return nil, fmt.Errorf("predtree: encode forest: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder for forests.
+func (f *Forest) GobDecode(b []byte) error {
+	var w forestWire
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&w); err != nil {
+		return fmt.Errorf("predtree: decode forest: %w", err)
+	}
+	if len(w.Trees) == 0 {
+		return fmt.Errorf("predtree: decode forest: no trees")
+	}
+	restored, err := NewForest(w.Trees...)
+	if err != nil {
+		return fmt.Errorf("predtree: decode forest: %w", err)
+	}
+	*f = *restored
+	return nil
+}

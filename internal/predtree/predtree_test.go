@@ -1,0 +1,453 @@
+package predtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bwcluster/internal/metric"
+	"bwcluster/internal/testutil"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, SearchFull); err == nil {
+		t.Error("c=0 should fail")
+	}
+	if _, err := New(-5, SearchFull); err == nil {
+		t.Error("c<0 should fail")
+	}
+	if _, err := New(100, SearchMode(0)); err == nil {
+		t.Error("invalid mode should fail")
+	}
+	tr, err := New(100, SearchAnchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.C() != 100 || tr.Root() != -1 || tr.Len() != 0 {
+		t.Errorf("fresh tree: C=%v root=%d len=%d", tr.C(), tr.Root(), tr.Len())
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	o := metric.FromFunc(3, func(i, j int) float64 { return 1 })
+	tr, _ := New(100, SearchFull)
+	if err := tr.Add(5, o); err == nil {
+		t.Error("out-of-range host should fail")
+	}
+	if err := tr.Add(-1, o); err == nil {
+		t.Error("negative host should fail")
+	}
+	if err := tr.Add(0, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Add(0, o); err == nil {
+		t.Error("duplicate host should fail")
+	}
+}
+
+func TestTwoNodeTree(t *testing.T) {
+	o := metric.NewMatrix(2)
+	o.Set(0, 1, 25)
+	tr, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Dist(0, 1); math.Abs(got-25) > 1e-12 {
+		t.Errorf("d_T(0,1) = %v, want 25", got)
+	}
+	if got := tr.PredictBandwidth(0, 1); math.Abs(got-4) > 1e-12 {
+		t.Errorf("BW_T(0,1) = %v, want 4", got)
+	}
+	if p := tr.AnchorParent(1); p != 0 {
+		t.Errorf("anchor of 1 = %d, want 0", p)
+	}
+	if p := tr.AnchorParent(0); p != -1 {
+		t.Errorf("anchor of root = %d, want -1", p)
+	}
+}
+
+func TestDistUnknownHosts(t *testing.T) {
+	tr, _ := New(100, SearchFull)
+	if d := tr.Dist(0, 1); !math.IsInf(d, 1) {
+		t.Errorf("unknown hosts: %v, want +Inf", d)
+	}
+	if d := tr.Dist(3, 3); d != 0 {
+		t.Errorf("same host: %v, want 0", d)
+	}
+}
+
+func TestPredictBandwidthCoincident(t *testing.T) {
+	// Two hosts at distance 0 embed at the same point.
+	o := metric.NewMatrix(3)
+	o.Set(0, 1, 10)
+	o.Set(0, 2, 10)
+	o.Set(1, 2, 0)
+	tr, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := tr.PredictBandwidth(1, 2); !math.IsInf(bw, 1) {
+		t.Errorf("coincident hosts BW = %v, want +Inf", bw)
+	}
+}
+
+// The headline substrate property: on an exact tree metric, the prediction
+// tree reproduces every pairwise distance exactly (up to float error), for
+// both search modes and arbitrary insertion orders.
+func TestExactTreeMetricEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, mode := range []SearchMode{SearchFull, SearchAnchor} {
+		for trial := 0; trial < 8; trial++ {
+			n := 4 + rng.Intn(20)
+			o := testutil.RandomTreeMetric(n, rng)
+			order := testutil.Perm(n, rng)
+			tr, err := Build(o, 100, mode, order)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					want := o.Dist(i, j)
+					got := tr.Dist(i, j)
+					if math.Abs(got-want) > 1e-6*(1+want) {
+						t.Fatalf("mode %d n=%d: d_T(%d,%d)=%v, want %v", mode, n, i, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDistMatrixMatchesDist(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	o := testutil.NoisyTreeMetric(15, 0.3, rng)
+	tr, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, hosts := tr.DistMatrix()
+	if m.N() != 15 || len(hosts) != 15 {
+		t.Fatalf("matrix size %d hosts %d", m.N(), len(hosts))
+	}
+	for i := range hosts {
+		for j := i + 1; j < len(hosts); j++ {
+			if math.Abs(m.Dist(i, j)-tr.Dist(hosts[i], hosts[j])) > 1e-9 {
+				t.Fatalf("matrix(%d,%d)=%v, Dist=%v", i, j, m.Dist(i, j), tr.Dist(hosts[i], hosts[j]))
+			}
+		}
+	}
+}
+
+func TestNoisyMetricStillBuilds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, mode := range []SearchMode{SearchFull, SearchAnchor} {
+		o := testutil.NoisyTreeMetric(30, 0.5, rng)
+		tr, err := Build(o, 100, mode, nil)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		// All distances must be finite and non-negative.
+		for i := 0; i < 30; i++ {
+			for j := i + 1; j < 30; j++ {
+				d := tr.Dist(i, j)
+				if d < 0 || math.IsInf(d, 0) || math.IsNaN(d) {
+					t.Fatalf("mode %d: d_T(%d,%d)=%v", mode, i, j, d)
+				}
+			}
+		}
+	}
+}
+
+func TestAnchorTreeStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	o := testutil.RandomTreeMetric(25, rng)
+	tr, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root()
+	if root != 0 {
+		t.Fatalf("root = %d, want 0 (insertion order)", root)
+	}
+	// Every non-root host has a parent that lists it as a child; the
+	// anchor tree is connected and acyclic (n-1 edges by construction).
+	edges := 0
+	for _, h := range tr.Hosts() {
+		p := tr.AnchorParent(h)
+		if h == root {
+			if p != -1 {
+				t.Errorf("root parent = %d", p)
+			}
+			continue
+		}
+		edges++
+		if p < 0 {
+			t.Fatalf("host %d has no anchor", h)
+		}
+		found := false
+		for _, c := range tr.AnchorChildren(p) {
+			if c == h {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("host %d missing from children of %d", h, p)
+		}
+		// Parent must have joined before the child.
+		if tr.AnchorDepth(p) >= tr.AnchorDepth(h) {
+			t.Errorf("depth(%d)=%d !< depth(%d)=%d", p, tr.AnchorDepth(p), h, tr.AnchorDepth(h))
+		}
+	}
+	if edges != tr.Len()-1 {
+		t.Errorf("anchor tree has %d edges, want %d", edges, tr.Len()-1)
+	}
+	// Neighbors = parent + children.
+	for _, h := range tr.Hosts() {
+		nb := tr.AnchorNeighbors(h)
+		want := len(tr.AnchorChildren(h))
+		if h != root {
+			want++
+		}
+		if len(nb) != want {
+			t.Errorf("host %d has %d neighbors, want %d", h, len(nb), want)
+		}
+	}
+}
+
+func TestHostsReturnsCopy(t *testing.T) {
+	o := metric.NewMatrix(2)
+	o.Set(0, 1, 1)
+	tr, _ := Build(o, 100, SearchFull, nil)
+	hosts := tr.Hosts()
+	hosts[0] = 99
+	if tr.Hosts()[0] == 99 {
+		t.Error("Hosts aliases internal state")
+	}
+	kids := tr.AnchorChildren(0)
+	if len(kids) == 1 {
+		kids[0] = 99
+		if tr.AnchorChildren(0)[0] == 99 {
+			t.Error("AnchorChildren aliases internal state")
+		}
+	}
+}
+
+func TestAnchorSearchUsesFewerMeasurements(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	o := testutil.RandomTreeMetric(60, rng)
+	full, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchor, err := Build(o, 100, SearchAnchor, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anchor.Measurements() >= full.Measurements() {
+		t.Errorf("anchor search measurements %d >= full %d",
+			anchor.Measurements(), full.Measurements())
+	}
+}
+
+func TestLabelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cases := []struct {
+		name  string
+		noise float64
+		mode  SearchMode
+	}{
+		{name: "exact/full", noise: 0, mode: SearchFull},
+		{name: "exact/anchor", noise: 0, mode: SearchAnchor},
+		{name: "noisy/full", noise: 0.4, mode: SearchFull},
+		{name: "noisy/anchor", noise: 0.4, mode: SearchAnchor},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := 20
+			o := testutil.NoisyTreeMetric(n, tc.noise, rng)
+			tr, err := Build(o, 100, tc.mode, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			labels := make([]Label, n)
+			for h := 0; h < n; h++ {
+				labels[h], err = tr.Label(h)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if labels[h].Host() != h {
+					t.Fatalf("label host = %d, want %d", labels[h].Host(), h)
+				}
+			}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					got, err := LabelDist(labels[i], labels[j])
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := tr.Dist(i, j)
+					if math.Abs(got-want) > 1e-6*(1+want) {
+						t.Fatalf("LabelDist(%d,%d)=%v, tree says %v\nLi=%v\nLj=%v",
+							i, j, got, want, labels[i], labels[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLabelErrors(t *testing.T) {
+	tr, _ := New(100, SearchFull)
+	if _, err := tr.Label(3); err == nil {
+		t.Error("label of unknown host should fail")
+	}
+	if _, err := LabelDist(Label{}, Label{}); err == nil {
+		t.Error("empty labels should fail")
+	}
+	a := Label{entries: []LabelEntry{{Host: 0}}}
+	b := Label{entries: []LabelEntry{{Host: 1}}}
+	if _, err := LabelDist(a, b); err == nil {
+		t.Error("different roots should fail")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	o := metric.NewMatrix(2)
+	o.Set(0, 1, 25)
+	tr, _ := Build(o, 100, SearchFull, nil)
+	l, err := tr.Label(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := l.String()
+	if s == "" {
+		t.Error("empty label string")
+	}
+	if l.Len() != 2 {
+		t.Errorf("label len = %d, want 2", l.Len())
+	}
+	ent := l.Entries()
+	if ent[0].Host != 0 || ent[1].Host != 1 {
+		t.Errorf("entries = %+v", ent)
+	}
+	if math.Abs(ent[1].Pendant-25) > 1e-12 {
+		t.Errorf("pendant = %v, want 25", ent[1].Pendant)
+	}
+	ent[0].Host = 42
+	if l.Entries()[0].Host == 42 {
+		t.Error("Entries aliases internal state")
+	}
+}
+
+// Paper Fig. 1 spot-check: the running example predicts BW_T(b,c) = 77
+// with C = 100 when d_T(b,c) = 23. We reconstruct an analogous case: three
+// hosts in a path metric.
+func TestPathMetricExample(t *testing.T) {
+	// Hosts on a line: 0 --10-- 1 --13-- 2 (tree metric).
+	o := metric.NewMatrix(3)
+	o.Set(0, 1, 10)
+	o.Set(1, 2, 13)
+	o.Set(0, 2, 23)
+	tr, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tr.Dist(0, 2); math.Abs(d-23) > 1e-9 {
+		t.Errorf("d_T(0,2) = %v, want 23", d)
+	}
+	bw := tr.PredictBandwidth(0, 2)
+	if math.Abs(bw-100.0/23.0) > 1e-9 {
+		t.Errorf("BW_T(0,2) = %v, want %v", bw, 100.0/23.0)
+	}
+}
+
+func TestBuildInsertionOrderIndependenceOnTreeMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	o := testutil.RandomTreeMetric(12, rng)
+	tr1, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := testutil.Perm(12, rng)
+	tr2, err := Build(o, 100, SearchFull, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		for j := i + 1; j < 12; j++ {
+			d1, d2 := tr1.Dist(i, j), tr2.Dist(i, j)
+			if math.Abs(d1-d2) > 1e-6*(1+d1) {
+				t.Fatalf("order dependence at (%d,%d): %v vs %v", i, j, d1, d2)
+			}
+		}
+	}
+}
+
+func TestAnchorStats(t *testing.T) {
+	empty, _ := New(100, SearchFull)
+	if s := empty.AnchorStats(); s.Hosts != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	rng := rand.New(rand.NewSource(91))
+	o := testutil.RandomTreeMetric(30, rng)
+	tr, err := Build(o, 100, SearchAnchor, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.AnchorStats()
+	if s.Hosts != 30 {
+		t.Errorf("hosts = %d", s.Hosts)
+	}
+	if s.MaxDepth < 1 || s.AvgDepth <= 0 || s.AvgDepth > float64(s.MaxDepth) {
+		t.Errorf("depth stats inconsistent: %+v", s)
+	}
+	// A tree over n hosts has n-1 edges, so average degree is 2(n-1)/n.
+	wantAvg := 2 * float64(29) / 30
+	if math.Abs(s.AvgDegree-wantAvg) > 1e-9 {
+		t.Errorf("avg degree = %v, want %v", s.AvgDegree, wantAvg)
+	}
+	if s.MaxDegree < 1 {
+		t.Errorf("max degree = %d", s.MaxDegree)
+	}
+}
+
+func TestDistinctMeasurements(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	o := testutil.RandomTreeMetric(20, rng)
+	tr, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := tr.DistinctMeasurements()
+	if distinct <= 0 || distinct > 20*19/2 {
+		t.Errorf("distinct = %d, want in (0, %d]", distinct, 20*19/2)
+	}
+	if distinct > tr.Measurements() {
+		t.Errorf("distinct %d exceeds lookups %d", distinct, tr.Measurements())
+	}
+	f, err := BuildForest(o, 100, SearchAnchor, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd := f.DistinctMeasurements(); fd <= 0 || fd > 20*19/2 {
+		t.Errorf("forest distinct = %d", fd)
+	}
+}
+
+func TestMeasurementsCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	o := testutil.RandomTreeMetric(10, rng)
+	tr, err := Build(o, 100, SearchFull, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Measurements() <= 0 {
+		t.Error("no measurements recorded")
+	}
+	// Full search measures every prior host (d(z,cand) + d(x,cand) per
+	// candidate, plus d(z,x)): strictly fewer than 2n^2 lookups.
+	if tr.Measurements() > 2*10*10 {
+		t.Errorf("full search used %d measurements (> 2n^2)", tr.Measurements())
+	}
+}

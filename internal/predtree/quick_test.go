@@ -1,0 +1,141 @@
+package predtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bwcluster/internal/testutil"
+)
+
+// Property (testing/quick over random seeds): for any constructed tree —
+// exact or noisy, either search mode — the embedded distances form a
+// metric-like structure: symmetric, zero on the diagonal, non-negative
+// and finite; and label distances agree with tree distances for every
+// pair.
+func TestTreeDistanceInvariantsQuick(t *testing.T) {
+	invariant := func(seed int64, anchorMode, noisy bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		noise := 0.0
+		if noisy {
+			noise = 0.5
+		}
+		o := testutil.NoisyTreeMetric(n, noise, rng)
+		mode := SearchFull
+		if anchorMode {
+			mode = SearchAnchor
+		}
+		tr, err := Build(o, 100, mode, testutil.Perm(n, rng))
+		if err != nil {
+			return false
+		}
+		labels := make([]Label, n)
+		for h := 0; h < n; h++ {
+			labels[h], err = tr.Label(h)
+			if err != nil {
+				return false
+			}
+		}
+		for i := 0; i < n; i++ {
+			if tr.Dist(i, i) != 0 {
+				return false
+			}
+			for j := i + 1; j < n; j++ {
+				d := tr.Dist(i, j)
+				if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+					return false
+				}
+				if tr.Dist(j, i) != d {
+					return false
+				}
+				ld, err := LabelDist(labels[i], labels[j])
+				if err != nil || math.Abs(ld-d) > 1e-6*(1+d) {
+					return false
+				}
+				rd, err := LabelDist(labels[j], labels[i])
+				if err != nil || math.Abs(rd-ld) > 1e-9*(1+ld) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(invariant, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the tree-distance function satisfies the four-point
+// condition exactly (it is induced by an edge-weighted tree), regardless
+// of how noisy the input was.
+func TestEmbeddedMetricIs4PCQuick(t *testing.T) {
+	fourPC := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(8)
+		o := testutil.NoisyTreeMetric(n, 0.5, rng)
+		tr, err := Build(o, 100, SearchAnchor, nil)
+		if err != nil {
+			return false
+		}
+		// Check a handful of random quartets: the two largest of the
+		// three pair sums must be equal (up to float error).
+		for trial := 0; trial < 20; trial++ {
+			p := rng.Perm(n)[:4]
+			s1 := tr.Dist(p[0], p[1]) + tr.Dist(p[2], p[3])
+			s2 := tr.Dist(p[0], p[2]) + tr.Dist(p[1], p[3])
+			s3 := tr.Dist(p[0], p[3]) + tr.Dist(p[1], p[2])
+			hi, mid := s1, s2
+			if mid > hi {
+				hi, mid = mid, hi
+			}
+			if s3 > hi {
+				hi, mid = s3, hi
+			} else if s3 > mid {
+				mid = s3
+			}
+			if hi-mid > 1e-6*(1+hi) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fourPC, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: anchor offsets stay within their anchor's pendant length —
+// the invariant the distance-label arithmetic relies on.
+func TestLabelGeometryInvariantQuick(t *testing.T) {
+	invariant := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		o := testutil.NoisyTreeMetric(n, 0.4, rng)
+		tr, err := Build(o, 100, SearchAnchor, nil)
+		if err != nil {
+			return false
+		}
+		for h := 0; h < n; h++ {
+			label, err := tr.Label(h)
+			if err != nil {
+				return false
+			}
+			entries := label.Entries()
+			for i := 1; i < len(entries); i++ {
+				parentPendant := entries[i-1].Pendant
+				if entries[i].Offset < -1e-9 || entries[i].Offset > parentPendant+1e-9 {
+					return false
+				}
+				if entries[i].Pendant < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(invariant, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

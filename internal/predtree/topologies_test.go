@@ -1,0 +1,146 @@
+package predtree
+
+import (
+	"math"
+	"testing"
+
+	"bwcluster/internal/metric"
+)
+
+// Hand-constructed adversarial metrics: degenerate geometries that stress
+// the insertion logic's tie handling and clamps.
+
+func buildBoth(t *testing.T, o *metric.Matrix) []*Tree {
+	t.Helper()
+	var out []*Tree
+	for _, mode := range []SearchMode{SearchFull, SearchAnchor} {
+		tr, err := Build(o, 100, mode, nil)
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+func assertExact(t *testing.T, tr *Tree, o *metric.Matrix, name string) {
+	t.Helper()
+	for i := 0; i < o.N(); i++ {
+		for j := i + 1; j < o.N(); j++ {
+			want := o.Dist(i, j)
+			got := tr.Dist(i, j)
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("%s: d_T(%d,%d)=%v, want %v", name, i, j, got, want)
+			}
+		}
+	}
+}
+
+// A star: every pairwise distance is the sum of two spoke lengths.
+func TestStarMetric(t *testing.T) {
+	spokes := []float64{1, 2, 3, 4, 5, 6}
+	o := metric.FromFunc(len(spokes), func(i, j int) float64 {
+		return spokes[i] + spokes[j]
+	})
+	for _, tr := range buildBoth(t, o) {
+		assertExact(t, tr, o, "star")
+	}
+}
+
+// A path: hosts on a line (massive tie-plateaus during search).
+func TestPathMetric(t *testing.T) {
+	pos := []float64{0, 1, 3, 6, 10, 15, 21}
+	o := metric.FromFunc(len(pos), func(i, j int) float64 {
+		return math.Abs(pos[i] - pos[j])
+	})
+	for _, tr := range buildBoth(t, o) {
+		assertExact(t, tr, o, "path")
+	}
+}
+
+// A uniform metric: every pair at distance 10 (every quartet is a perfect
+// tie; any insertion order must still embed exactly — the realizing tree
+// is a star with spokes 5).
+func TestUniformMetric(t *testing.T) {
+	o := metric.FromFunc(7, func(i, j int) float64 { return 10 })
+	for _, tr := range buildBoth(t, o) {
+		assertExact(t, tr, o, "uniform")
+	}
+}
+
+// Coincident hosts: two hosts at distance 0 from each other.
+func TestCoincidentHosts(t *testing.T) {
+	o := metric.NewMatrix(4)
+	o.Set(0, 1, 0)
+	o.Set(0, 2, 7)
+	o.Set(1, 2, 7)
+	o.Set(0, 3, 11)
+	o.Set(1, 3, 11)
+	o.Set(2, 3, 4)
+	for _, tr := range buildBoth(t, o) {
+		assertExact(t, tr, o, "coincident")
+		// Labels still work for the coincident pair.
+		la, err := tr.Label(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := tr.Label(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := LabelDist(la, lb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != 0 {
+			t.Fatalf("coincident label distance = %v", d)
+		}
+	}
+}
+
+// An ultrametric (max of two levels): the bottleneck structure underlying
+// the access-link model, full of exact ties.
+func TestUltrametric(t *testing.T) {
+	level := []float64{2, 2, 5, 5, 9, 9}
+	o := metric.FromFunc(len(level), func(i, j int) float64 {
+		return math.Max(level[i], level[j])
+	})
+	for _, tr := range buildBoth(t, o) {
+		assertExact(t, tr, o, "ultrametric")
+	}
+}
+
+// A caterpillar with zero-length internal edges: several inner nodes
+// coincide exactly, the case that defeats naive greedy search.
+func TestZeroInternalEdges(t *testing.T) {
+	// Leaves hanging at the same point with distinct pendant lengths.
+	pend := []float64{1, 2, 3, 4, 5}
+	o := metric.FromFunc(len(pend), func(i, j int) float64 {
+		return pend[i] + pend[j]
+	})
+	for _, tr := range buildBoth(t, o) {
+		assertExact(t, tr, o, "zero-internal")
+	}
+}
+
+// Triangle-violating input (possible with noisy measurements): the build
+// must not crash, produce negative weights, or emit non-finite distances.
+func TestTriangleViolatingInput(t *testing.T) {
+	o := metric.NewMatrix(4)
+	o.Set(0, 1, 1)
+	o.Set(1, 2, 1)
+	o.Set(0, 2, 10) // gross violation
+	o.Set(0, 3, 2)
+	o.Set(1, 3, 2)
+	o.Set(2, 3, 2)
+	for _, tr := range buildBoth(t, o) {
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				d := tr.Dist(i, j)
+				if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+					t.Fatalf("d_T(%d,%d)=%v on triangle-violating input", i, j, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"bwcluster/internal/overlay"
+)
+
+// nodeQueryMsg carries a single-node search (the paper's future-work
+// extension) across peers, with the incumbent best candidate riding
+// along.
+type nodeQueryMsg struct {
+	set        []int
+	l          float64
+	bestNode   int
+	bestRadius float64
+	prev       int
+	hops       int
+	reply      chan overlay.NodeResult
+}
+
+// QueryNode runs the decentralized single-node search over the live
+// network: find one host whose maximum predicted distance to every
+// member of set is at most l, hill-climbing toward the incumbent best
+// candidate's region (see overlay.Network.QueryNode for the algorithm).
+func (rt *Runtime) QueryNode(start int, set []int, l float64, timeout time.Duration) (overlay.NodeResult, error) {
+	p := rt.peerByID(start)
+	if p == nil {
+		return overlay.NodeResult{}, fmt.Errorf("runtime: unknown start host %d", start)
+	}
+	if len(set) == 0 {
+		return overlay.NodeResult{}, fmt.Errorf("runtime: empty input set")
+	}
+	for _, m := range set {
+		if rt.peerByID(m) == nil {
+			return overlay.NodeResult{}, fmt.Errorf("runtime: set member %d is not a live host", m)
+		}
+	}
+	if l < 0 {
+		return overlay.NodeResult{}, fmt.Errorf("runtime: constraint l must be >= 0, got %v", l)
+	}
+	reply := make(chan overlay.NodeResult, replyCapacity)
+	q := &nodeQueryMsg{
+		set:        append([]int(nil), set...),
+		l:          l,
+		bestNode:   -1,
+		bestRadius: math.Inf(1),
+		prev:       -1,
+		reply:      reply,
+	}
+	select {
+	case p.inbox <- message{kind: kindNodeQuery, nodeQuery: q}:
+	case <-time.After(timeout):
+		return overlay.NodeResult{}, fmt.Errorf("runtime: start peer %d did not accept the query", start)
+	}
+	select {
+	case res := <-reply:
+		return res, nil
+	case <-time.After(timeout):
+		return overlay.NodeResult{}, fmt.Errorf("runtime: node query timed out after %v", timeout)
+	}
+}
+
+// handleNodeQuery executes one hill-climbing step at this peer.
+func (p *peer) handleNodeQuery(q *nodeQueryMsg) {
+	inSet := make(map[int]bool, len(q.set))
+	for _, m := range q.set {
+		inSet[m] = true
+	}
+	setRadius := func(u int) float64 {
+		worst := 0.0
+		for _, m := range q.set {
+			if d := p.rt.predDist(u, m); d > worst {
+				worst = d
+			}
+		}
+		return worst
+	}
+
+	p.mu.Lock()
+	bestDir := -1
+	consider := func(u, dir int) {
+		if inSet[u] {
+			return
+		}
+		if r := setRadius(u); r < q.bestRadius {
+			q.bestNode, q.bestRadius = u, r
+			bestDir = dir
+		}
+	}
+	consider(p.id, -1)
+	for _, v := range p.neighbors {
+		for _, u := range p.aggrNode[v] {
+			consider(u, v)
+		}
+	}
+	p.mu.Unlock()
+
+	finish := func() {
+		res := overlay.NodeResult{Node: q.bestNode, Radius: q.bestRadius, Hops: q.hops, Answered: p.id}
+		if q.bestNode < 0 || q.bestRadius > q.l {
+			res = overlay.NodeResult{Node: -1, Hops: q.hops, Answered: p.id}
+		}
+		q.reply <- res
+	}
+	if bestDir == -1 || bestDir == q.prev || q.hops >= maxQueryHops {
+		finish()
+		return
+	}
+	target := p.rt.peerByID(bestDir)
+	if target == nil {
+		finish()
+		return
+	}
+	fwd := *q
+	fwd.prev = p.id
+	fwd.hops++
+	p.rt.wg.Add(1)
+	go func() {
+		defer p.rt.wg.Done()
+		select {
+		case target.inbox <- message{kind: kindNodeQuery, nodeQuery: &fwd}:
+		case <-target.stop:
+			fwd.reply <- overlay.NodeResult{Node: -1, Hops: fwd.hops, Answered: p.id}
+		}
+	}()
+}

@@ -1,0 +1,180 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bwcluster/internal/cluster"
+	"bwcluster/internal/overlay"
+	"bwcluster/internal/predtree"
+)
+
+// Query submits a (k, l) query to the given start peer and waits up to
+// timeout for the network to answer. The query travels peer-to-peer as
+// messages, exactly like Algorithm 4.
+func (rt *Runtime) Query(start, k int, l float64, timeout time.Duration) (overlay.Result, error) {
+	p := rt.peerByID(start)
+	if p == nil {
+		return overlay.Result{}, fmt.Errorf("runtime: unknown start host %d", start)
+	}
+	if k < 2 {
+		return overlay.Result{}, fmt.Errorf("runtime: size constraint k must be >= 2, got %d", k)
+	}
+	classL, classIdx, err := rt.classFor(l)
+	if err != nil {
+		return overlay.Result{}, err
+	}
+	reply := make(chan overlay.Result, replyCapacity)
+	q := &queryMsg{k: k, classIdx: classIdx, classL: classL, prev: -1, reply: reply}
+	select {
+	case p.inbox <- message{kind: kindQuery, query: q}:
+	case <-time.After(timeout):
+		return overlay.Result{}, fmt.Errorf("runtime: start peer %d did not accept the query", start)
+	}
+	select {
+	case res := <-reply:
+		return res, nil
+	case <-time.After(timeout):
+		return overlay.Result{}, fmt.Errorf("runtime: query (k=%d, l=%v) timed out after %v", k, l, timeout)
+	}
+}
+
+// classFor snaps l to the largest configured class <= l.
+func (rt *Runtime) classFor(l float64) (float64, int, error) {
+	classes := rt.cfg.Classes
+	idx := sort.SearchFloat64s(classes, l)
+	if idx < len(classes) && classes[idx] == l {
+		return l, idx, nil
+	}
+	if idx == 0 {
+		return 0, 0, fmt.Errorf("%w: l=%v < smallest class %v", overlay.ErrNoClass, l, classes[0])
+	}
+	return classes[idx-1], idx - 1, nil
+}
+
+// handleQuery runs one Algorithm 4 step at this peer: answer locally if
+// the local CRT admits the size, otherwise forward toward a promising
+// neighbor, otherwise report failure.
+func (p *peer) handleQuery(q *queryMsg) {
+	q.path = append(q.path, p.id)
+	p.mu.Lock()
+	if p.dirty {
+		p.recomputeSelfCRTLocked()
+		p.dirty = false
+	}
+	var members []int
+	if len(p.selfCRT) > q.classIdx && q.k <= p.selfCRT[q.classIdx] {
+		hosts, space := p.spaceLocked()
+		if sel, err := cluster.FindCluster(space, q.k, q.classL); err == nil && sel != nil {
+			members = make([]int, len(sel))
+			for i, s := range sel {
+				members[i] = hosts[s]
+			}
+		}
+	}
+	next := -1
+	if members == nil {
+		for _, v := range p.neighbors {
+			if v == q.prev {
+				continue
+			}
+			if crt := p.aggrCRT[v]; len(crt) > q.classIdx && q.k <= crt[q.classIdx] {
+				next = v
+				break
+			}
+		}
+	}
+	p.mu.Unlock()
+
+	switch {
+	case members != nil:
+		q.reply <- overlay.Result{Cluster: members, Hops: q.hops, Answered: p.id, Class: q.classL, Path: q.path}
+	case next != -1 && q.hops < maxQueryHops:
+		fwd := *q
+		fwd.prev = p.id
+		fwd.hops++
+		target := p.rt.peerByID(next)
+		if target == nil {
+			q.reply <- overlay.Result{Hops: q.hops, Answered: p.id, Class: q.classL, Path: q.path}
+			return
+		}
+		// Forward from a helper goroutine so a full inbox cannot stall
+		// this peer's main loop; the send is bounded by the target's stop.
+		p.rt.wg.Add(1)
+		go func() {
+			defer p.rt.wg.Done()
+			select {
+			case target.inbox <- message{kind: kindQuery, query: &fwd}:
+			case <-target.stop:
+				fwd.reply <- overlay.Result{Hops: fwd.hops, Answered: p.id, Class: q.classL, Path: fwd.path}
+			}
+		}()
+	default:
+		q.reply <- overlay.Result{Hops: q.hops, Answered: p.id, Class: q.classL, Path: q.path}
+	}
+}
+
+// maxQueryHops is a safety bound against routing on inconsistent
+// (not-yet-settled) CRTs; the overlay is a tree, so settled routing never
+// gets near it.
+const maxQueryHops = 10000
+
+// DynamicSubstrate is a substrate that accepts new hosts (both
+// predtree.Tree and predtree.Forest qualify).
+type DynamicSubstrate interface {
+	overlay.Substrate
+	Add(h int, o predtree.Oracle) error
+}
+
+// AddHost inserts a new host into the runtime's substrate, wires a peer
+// for it, and refreshes the adjacency of peers whose neighbor sets
+// changed (its anchor gains a child). The new peer starts gossiping
+// immediately; call Settle to wait for the state to re-converge. It fails
+// if the substrate the runtime was built on does not support growth.
+func (rt *Runtime) AddHost(h int, o predtree.Oracle) error {
+	dyn, ok := rt.sub.(DynamicSubstrate)
+	if !ok {
+		return fmt.Errorf("runtime: substrate %T does not support adding hosts", rt.sub)
+	}
+	if err := dyn.Add(h, o); err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
+	dist, hosts := rt.sub.DistMatrix()
+	tbl := &distTable{dist: dist, index: make(map[int]int, len(hosts))}
+	for i, hh := range hosts {
+		tbl.index[hh] = i
+	}
+
+	rt.mu.Lock()
+	rt.table.Store(tbl)
+	nb := rt.sub.AnchorNeighbors(h)
+	sort.Ints(nb)
+	p := rt.newPeer(h, nb)
+	rt.peers[h] = p
+	// The anchor parent gained a neighbor.
+	for _, other := range nb {
+		if q := rt.peers[other]; q != nil {
+			q.mu.Lock()
+			q.neighbors = insertSorted(q.neighbors, h)
+			q.dirty = true
+			q.mu.Unlock()
+			rt.version.Add(1)
+		}
+	}
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+	go p.run()
+	return nil
+}
+
+func insertSorted(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	if i < len(xs) && xs[i] == v {
+		return xs
+	}
+	xs = append(xs, 0)
+	copy(xs[i+1:], xs[i:])
+	xs[i] = v
+	return xs
+}

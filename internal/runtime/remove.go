@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RemoveHost simulates a peer crash: the peer's goroutine is stopped, the
+// overlay splices its neighbors to its lowest-id neighbor (the same
+// healing rule as overlay.Network.RemoveHost, so the two engines stay
+// comparable), and every survivor's aggregation state is purged — gossip
+// rebuilds it within a few ticks. Queries in flight toward the dead peer
+// fail over to a not-found reply.
+func (rt *Runtime) RemoveHost(h int) error {
+	rt.mu.Lock()
+	p, ok := rt.peers[h]
+	if !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("runtime: unknown host %d", h)
+	}
+	if len(rt.peers) == 1 {
+		rt.mu.Unlock()
+		return fmt.Errorf("runtime: cannot remove the last host")
+	}
+	delete(rt.peers, h)
+
+	p.mu.Lock()
+	neighbors := append([]int(nil), p.neighbors...)
+	p.mu.Unlock()
+
+	hub := -1
+	for _, nb := range neighbors {
+		if _, alive := rt.peers[nb]; alive {
+			hub = nb
+			break
+		}
+	}
+	for _, nb := range neighbors {
+		q, alive := rt.peers[nb]
+		if !alive {
+			continue
+		}
+		q.mu.Lock()
+		q.neighbors = removeSortedInt(q.neighbors, h)
+		if nb != hub {
+			q.neighbors = insertSorted(q.neighbors, hub)
+		}
+		q.mu.Unlock()
+	}
+	if hub >= 0 {
+		hp := rt.peers[hub]
+		hp.mu.Lock()
+		for _, nb := range neighbors {
+			if nb == hub {
+				continue
+			}
+			if _, alive := rt.peers[nb]; alive {
+				hp.neighbors = insertSorted(hp.neighbors, nb)
+			}
+		}
+		hp.mu.Unlock()
+	}
+	// Purge every survivor's aggregation state: entries anywhere may
+	// transitively contain the dead host.
+	for _, q := range rt.peers {
+		q.mu.Lock()
+		q.aggrNode = make(map[int][]int, len(q.neighbors))
+		q.aggrCRT = make(map[int][]int, len(q.neighbors))
+		q.selfCRT = nil
+		q.dirty = true
+		q.mu.Unlock()
+	}
+	rt.version.Add(1)
+	rt.mu.Unlock()
+
+	// Stop the dead peer's goroutine (idempotent with Stop).
+	select {
+	case <-p.stop:
+	default:
+		close(p.stop)
+	}
+	return nil
+}
+
+func removeSortedInt(xs []int, v int) []int {
+	i := sort.SearchInts(xs, v)
+	if i < len(xs) && xs[i] == v {
+		return append(xs[:i], xs[i+1:]...)
+	}
+	return xs
+}

@@ -1,0 +1,99 @@
+package runtime
+
+import (
+	"testing"
+
+	"bwcluster/internal/overlay"
+)
+
+// A crashed peer's network heals and re-converges to exactly the state
+// the synchronous engine computes after the same removals.
+func TestRemoveHostHealsToSyncFixedPoint(t *testing.T) {
+	tree, _ := buildTree(t, 16, 0.2, 71)
+	cfg := testConfig()
+
+	rt, err := New(tree, cfg, testTick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+	if err := rt.Settle(settleQuiet, settleMax); err != nil {
+		t.Fatal(err)
+	}
+
+	victims := []int{3, 7}
+	for _, v := range victims {
+		if err := rt.RemoveHost(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.Settle(settleQuiet, settleMax); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rt.Hosts()); got != 14 {
+		t.Fatalf("hosts = %d, want 14", got)
+	}
+
+	// Reference: the synchronous engine after the same removals.
+	nw, err := overlay.NewNetwork(tree, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range victims {
+		if err := nw.RemoveHost(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nw.Converge(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range nw.Hosts() {
+		if want, got := nw.Neighbors(x), rt.Neighbors(x); !equalInts(want, got) {
+			t.Fatalf("adjacency mismatch at %d: sync=%v async=%v", x, want, got)
+		}
+		for _, m := range nw.Neighbors(x) {
+			if want, got := nw.AggrNode(x, m), rt.AggrNode(x, m); !equalInts(want, got) {
+				t.Fatalf("post-crash aggrNode mismatch at x=%d m=%d: sync=%v async=%v", x, m, want, got)
+			}
+			if want, got := nw.CRT(x, m), rt.CRT(x, m); !equalInts(want, got) {
+				t.Fatalf("post-crash CRT mismatch at x=%d m=%d: sync=%v async=%v", x, m, want, got)
+			}
+		}
+	}
+
+	// Queries on the healed network work and avoid the dead hosts.
+	res, err := rt.Query(rt.Hosts()[0], 3, 64, queryWait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, member := range res.Cluster {
+		for _, v := range victims {
+			if member == v {
+				t.Fatalf("query returned crashed host %d", v)
+			}
+		}
+	}
+}
+
+func TestRemoveHostValidation(t *testing.T) {
+	tree, _ := buildTree(t, 4, 0, 72)
+	rt, err := New(tree, testConfig(), testTick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start()
+	defer rt.Stop()
+	if err := rt.RemoveHost(99); err == nil {
+		t.Error("unknown host should fail")
+	}
+	hosts := rt.Hosts()
+	for _, h := range hosts[:3] {
+		if err := rt.RemoveHost(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rt.RemoveHost(hosts[3]); err == nil {
+		t.Error("removing the last host should fail")
+	}
+}

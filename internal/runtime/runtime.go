@@ -1,0 +1,469 @@
+// Package runtime runs the clustering protocol asynchronously: one
+// goroutine per peer, gossip over buffered channels, periodic
+// (tick-driven) execution of Algorithms 2 and 3, and message-forwarded
+// queries (Algorithm 4). It exists to validate that the protocol — whose
+// correctness the synchronous engine in package overlay establishes
+// against Theorems 3.2/3.3 — also converges under real message passing
+// with arbitrary interleavings, and to power the livenet example.
+//
+// Both engines share the same deterministic propagation rules, so a
+// settled Runtime reaches exactly the fixed point overlay.Network
+// computes; the cross-engine test asserts that equality.
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bwcluster/internal/cluster"
+	"bwcluster/internal/metric"
+	"bwcluster/internal/overlay"
+)
+
+const (
+	defaultTick   = 2 * time.Millisecond
+	inboxCapacity = 256
+	replyCapacity = 1
+)
+
+type msgKind int
+
+const (
+	kindNodeInfo msgKind = iota + 1
+	kindCRT
+	kindQuery
+	kindNodeQuery
+)
+
+type message struct {
+	kind      msgKind
+	from      int
+	nodes     []int
+	crt       []int
+	query     *queryMsg
+	nodeQuery *nodeQueryMsg
+}
+
+type queryMsg struct {
+	k        int
+	classIdx int
+	classL   float64
+	prev     int
+	hops     int
+	path     []int
+	reply    chan overlay.Result
+}
+
+// distTable is an immutable snapshot of the predicted distances; Runtime
+// swaps in a new snapshot atomically when membership changes.
+type distTable struct {
+	dist  *metric.Matrix
+	index map[int]int
+}
+
+// Runtime hosts the asynchronous peers.
+type Runtime struct {
+	cfg     overlay.Config
+	sub     overlay.Substrate
+	tick    time.Duration
+	table   atomic.Pointer[distTable]
+	version atomic.Int64 // bumped on every peer state change
+
+	lossRate atomic.Uint64 // gossip loss probability, stored as math.Float64bits
+
+	// Traffic counters (delivered messages by kind).
+	nodeInfoMsgs atomic.Int64
+	crtMsgs      atomic.Int64
+	queryMsgs    atomic.Int64
+
+	mu    sync.Mutex // guards peers map during Add/Stop
+	peers map[int]*peer
+	wg    sync.WaitGroup
+}
+
+// Traffic reports how many messages of each kind have been delivered
+// (gossip counts exclude injected losses).
+func (rt *Runtime) Traffic() (nodeInfo, crt, queries int64) {
+	return rt.nodeInfoMsgs.Load(), rt.crtMsgs.Load(), rt.queryMsgs.Load()
+}
+
+// InjectLoss makes every gossip message (not queries) get dropped with
+// the given probability — failure injection for testing convergence
+// under unreliable delivery. The protocol is periodic and idempotent, so
+// any rate below 1 only delays settling. Safe to call at any time.
+func (rt *Runtime) InjectLoss(rate float64) error {
+	if rate < 0 || rate >= 1 {
+		return fmt.Errorf("runtime: loss rate must be in [0,1), got %v", rate)
+	}
+	rt.lossRate.Store(math.Float64bits(rate))
+	return nil
+}
+
+type peer struct {
+	id        int
+	rt        *Runtime
+	neighbors []int
+	inbox     chan message
+	stop      chan struct{}
+	done      chan struct{}
+	lossRng   *rand.Rand // per-peer source for loss injection
+
+	mu       sync.Mutex
+	aggrNode map[int][]int
+	aggrCRT  map[int][]int
+	selfCRT  []int
+	dirty    bool // V_x changed since selfCRT was computed
+}
+
+// New builds a runtime for every host in the substrate (a prediction tree
+// or forest). Start must be called to launch the peers; Stop shuts them
+// down.
+func New(sub overlay.Substrate, cfg overlay.Config, tick time.Duration) (*Runtime, error) {
+	if sub == nil || sub.Len() == 0 {
+		return nil, fmt.Errorf("runtime: empty prediction substrate")
+	}
+	if tick <= 0 {
+		tick = defaultTick
+	}
+	// Reuse overlay's validation by constructing a throwaway network.
+	if _, err := overlay.NewNetwork(sub, cfg); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	dist, hosts := sub.DistMatrix()
+	rt := &Runtime{
+		cfg:   cfg,
+		sub:   sub,
+		tick:  tick,
+		peers: make(map[int]*peer, len(hosts)),
+	}
+	tbl := &distTable{dist: dist, index: make(map[int]int, len(hosts))}
+	for i, h := range hosts {
+		tbl.index[h] = i
+	}
+	rt.table.Store(tbl)
+	for _, h := range hosts {
+		nb := sub.AnchorNeighbors(h)
+		sort.Ints(nb)
+		rt.peers[h] = rt.newPeer(h, nb)
+	}
+	return rt, nil
+}
+
+func (rt *Runtime) newPeer(id int, neighbors []int) *peer {
+	return &peer{
+		id:        id,
+		rt:        rt,
+		neighbors: neighbors,
+		inbox:     make(chan message, inboxCapacity),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		lossRng:   rand.New(rand.NewSource(int64(id)*7919 + 1)),
+		aggrNode:  make(map[int][]int, len(neighbors)),
+		aggrCRT:   make(map[int][]int, len(neighbors)),
+		dirty:     true,
+	}
+}
+
+// Start launches every peer goroutine.
+func (rt *Runtime) Start() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, p := range rt.peers {
+		rt.wg.Add(1)
+		go p.run()
+	}
+}
+
+// Stop signals all peers to exit and waits for them.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	for _, p := range rt.peers {
+		select {
+		case <-p.stop:
+		default:
+			close(p.stop)
+		}
+	}
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// Hosts returns the current peer ids, sorted.
+func (rt *Runtime) Hosts() []int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]int, 0, len(rt.peers))
+	for id := range rt.peers {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Version returns the global state-change counter; it stops moving once
+// gossip has settled.
+func (rt *Runtime) Version() int64 { return rt.version.Load() }
+
+// Settle blocks until no peer state has changed for the quiet duration,
+// or fails after timeout.
+func (rt *Runtime) Settle(quiet, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	last := rt.Version()
+	lastChange := time.Now()
+	for {
+		time.Sleep(rt.tick)
+		if v := rt.Version(); v != last {
+			last = v
+			lastChange = time.Now()
+		} else if time.Since(lastChange) >= quiet {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("runtime: gossip did not settle within %v", timeout)
+		}
+	}
+}
+
+func (rt *Runtime) predDist(a, b int) float64 {
+	tbl := rt.table.Load()
+	return tbl.dist.Dist(tbl.index[a], tbl.index[b])
+}
+
+func (rt *Runtime) peerByID(id int) *peer {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.peers[id]
+}
+
+// run is the peer main loop: handle inbox messages, gossip on ticks.
+func (p *peer) run() {
+	defer p.rt.wg.Done()
+	defer close(p.done)
+	ticker := time.NewTicker(p.rt.tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case m := <-p.inbox:
+			p.handle(m)
+		case <-ticker.C:
+			p.gossip()
+		}
+	}
+}
+
+func (p *peer) handle(m message) {
+	switch m.kind {
+	case kindNodeInfo:
+		p.rt.nodeInfoMsgs.Add(1)
+		p.mu.Lock()
+		if !equalInts(p.aggrNode[m.from], m.nodes) {
+			p.aggrNode[m.from] = m.nodes
+			p.dirty = true
+			p.rt.version.Add(1)
+		}
+		p.mu.Unlock()
+	case kindCRT:
+		p.rt.crtMsgs.Add(1)
+		p.mu.Lock()
+		if !equalInts(p.aggrCRT[m.from], m.crt) {
+			p.aggrCRT[m.from] = m.crt
+			p.rt.version.Add(1)
+		}
+		p.mu.Unlock()
+	case kindQuery:
+		p.rt.queryMsgs.Add(1)
+		p.handleQuery(m.query)
+	case kindNodeQuery:
+		p.rt.queryMsgs.Add(1)
+		p.handleNodeQuery(m.nodeQuery)
+	}
+}
+
+// gossip sends this round's Algorithm 2 and 3 messages to every neighbor,
+// recomputing the local CRT first if the clustering space changed.
+// Deliveries use non-blocking sends: gossip is periodic, so a dropped
+// message is simply retried next tick.
+func (p *peer) gossip() {
+	p.mu.Lock()
+	if p.dirty {
+		p.recomputeSelfCRTLocked()
+		p.dirty = false
+	}
+	type outMsg struct {
+		to  int
+		msg message
+	}
+	outs := make([]outMsg, 0, 2*len(p.neighbors))
+	for _, x := range p.neighbors {
+		outs = append(outs,
+			outMsg{to: x, msg: message{kind: kindNodeInfo, from: p.id, nodes: p.propNodeLocked(x)}},
+			outMsg{to: x, msg: message{kind: kindCRT, from: p.id, crt: p.propCRTLocked(x)}},
+		)
+	}
+	p.mu.Unlock()
+	loss := math.Float64frombits(p.rt.lossRate.Load())
+	for _, o := range outs {
+		if loss > 0 && p.lossRng.Float64() < loss {
+			continue // injected loss; retried next tick
+		}
+		if q := p.rt.peerByID(o.to); q != nil {
+			select {
+			case q.inbox <- o.msg:
+			default: // inbox full; retry next tick
+			}
+		}
+	}
+}
+
+// propNodeLocked mirrors overlay's Algorithm 2 message computation.
+func (p *peer) propNodeLocked(x int) []int {
+	cand := map[int]bool{p.id: true}
+	for _, v := range p.neighbors {
+		if v == x {
+			continue
+		}
+		for _, u := range p.aggrNode[v] {
+			cand[u] = true
+		}
+	}
+	delete(cand, x)
+	ids := make([]int, 0, len(cand))
+	for u := range cand {
+		ids = append(ids, u)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := p.rt.predDist(x, ids[i]), p.rt.predDist(x, ids[j])
+		if di != dj {
+			return di < dj
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > p.rt.cfg.NCut {
+		ids = ids[:p.rt.cfg.NCut]
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// propCRTLocked mirrors overlay's Algorithm 3 message computation.
+func (p *peer) propCRTLocked(x int) []int {
+	crt := make([]int, len(p.rt.cfg.Classes))
+	copy(crt, p.selfCRT)
+	for _, v := range p.neighbors {
+		if v == x {
+			continue
+		}
+		for ci, size := range p.aggrCRT[v] {
+			if size > crt[ci] {
+				crt[ci] = size
+			}
+		}
+	}
+	return crt
+}
+
+func (p *peer) spaceLocked() ([]int, *metric.Matrix) {
+	set := map[int]bool{p.id: true}
+	for _, v := range p.neighbors {
+		for _, u := range p.aggrNode[v] {
+			set[u] = true
+		}
+	}
+	hosts := make([]int, 0, len(set))
+	for u := range set {
+		hosts = append(hosts, u)
+	}
+	sort.Ints(hosts)
+	sub := metric.FromFunc(len(hosts), func(i, j int) float64 {
+		return p.rt.predDist(hosts[i], hosts[j])
+	})
+	return hosts, sub
+}
+
+func (p *peer) recomputeSelfCRTLocked() {
+	_, space := p.spaceLocked()
+	ix, err := cluster.NewIndex(space)
+	if err != nil {
+		return // cannot happen: space is never nil
+	}
+	selfCRT := make([]int, len(p.rt.cfg.Classes))
+	for ci, l := range p.rt.cfg.Classes {
+		selfCRT[ci] = ix.MaxSize(l)
+	}
+	if !equalInts(p.selfCRT, selfCRT) {
+		p.selfCRT = selfCRT
+		p.rt.version.Add(1)
+	}
+}
+
+// AggrNode returns a copy of peer x's aggregated node info from neighbor
+// m, nil for unknown peers.
+func (rt *Runtime) AggrNode(x, m int) []int {
+	p := rt.peerByID(x)
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.aggrNode[m]))
+	copy(out, p.aggrNode[m])
+	return out
+}
+
+// CRT returns a copy of peer x's per-class CRT entry for neighbor m.
+func (rt *Runtime) CRT(x, m int) []int {
+	p := rt.peerByID(x)
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.aggrCRT[m]))
+	copy(out, p.aggrCRT[m])
+	return out
+}
+
+// SelfCRT returns a copy of peer x's own per-class max cluster sizes.
+func (rt *Runtime) SelfCRT(x int) []int {
+	p := rt.peerByID(x)
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.selfCRT))
+	copy(out, p.selfCRT)
+	return out
+}
+
+// Neighbors returns peer x's overlay neighbors.
+func (rt *Runtime) Neighbors(x int) []int {
+	p := rt.peerByID(x)
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.neighbors))
+	copy(out, p.neighbors)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

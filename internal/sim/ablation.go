@@ -1,0 +1,74 @@
+package sim
+
+import "fmt"
+
+// NCutCurve is one Fig. 4-style RR curve measured at a specific n_cut.
+type NCutCurve struct {
+	NCut   int
+	Points []TradeoffPoint
+}
+
+// NCutAblationResult sweeps the gossip cutoff: the paper fixes n_cut=10
+// and argues the decentralization tradeoff follows from it; this ablation
+// shows how the RR gap moves as the cutoff changes.
+type NCutAblationResult struct {
+	Dataset Dataset
+	Curves  []NCutCurve
+}
+
+// RunNCutAblation reruns the Fig. 4 experiment for each n_cut value on
+// the same dataset and seeds.
+func RunNCutAblation(base TradeoffConfig, nCuts []int) (*NCutAblationResult, error) {
+	if len(nCuts) == 0 {
+		nCuts = []int{5, 10, 20}
+	}
+	out := &NCutAblationResult{Dataset: base.Dataset}
+	for _, nCut := range nCuts {
+		if nCut < 1 {
+			return nil, fmt.Errorf("sim: n_cut must be >= 1, got %d", nCut)
+		}
+		cfg := base
+		cfg.NCut = nCut
+		res, err := RunTradeoff(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: ncut ablation (n_cut=%d): %w", nCut, err)
+		}
+		out.Curves = append(out.Curves, NCutCurve{NCut: nCut, Points: res.Points})
+	}
+	return out, nil
+}
+
+// TreesCurve is one Fig. 3-style WPR sweep measured at a specific
+// prediction-forest size.
+type TreesCurve struct {
+	Trees  int
+	Points []AccuracyPoint
+}
+
+// TreesAblationResult sweeps the prediction-forest size, quantifying how
+// much of the tree approach's accuracy comes from the multi-tree median.
+type TreesAblationResult struct {
+	Dataset Dataset
+	Curves  []TreesCurve
+}
+
+// RunTreesAblation reruns the Fig. 3 WPR sweep for each forest size.
+func RunTreesAblation(base AccuracyConfig, sizes []int) (*TreesAblationResult, error) {
+	if len(sizes) == 0 {
+		sizes = []int{1, 3, 5}
+	}
+	out := &TreesAblationResult{Dataset: base.Dataset}
+	for _, trees := range sizes {
+		if trees < 1 {
+			return nil, fmt.Errorf("sim: forest size must be >= 1, got %d", trees)
+		}
+		cfg := base
+		cfg.Trees = trees
+		res, err := RunAccuracy(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: trees ablation (trees=%d): %w", trees, err)
+		}
+		out.Curves = append(out.Curves, TreesCurve{Trees: trees, Points: res.Points})
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bwcluster/internal/dataset"
+	"bwcluster/internal/metric"
+	"bwcluster/internal/predtree"
+)
+
+// ConstructionConfig parameterizes the framework-construction cost
+// experiment: how many bandwidth measurements a joining host performs
+// under the centralized (full scan) and decentralized (anchor-tree
+// search) end-node strategies.
+type ConstructionConfig struct {
+	Base    Dataset
+	NValues []int
+	Rounds  int
+	C       float64
+	Seed    int64
+}
+
+// DefaultConstructionConfig sweeps 50..300 hosts over 5 rounds.
+func DefaultConstructionConfig() ConstructionConfig {
+	return ConstructionConfig{
+		Base:    UMD,
+		NValues: []int{50, 100, 150, 200, 250, 300},
+		Rounds:  5,
+		C:       metric.DefaultC,
+		Seed:    7,
+	}
+}
+
+// Scaled returns a copy with the round count multiplied by f.
+func (c ConstructionConfig) Scaled(f float64) ConstructionConfig {
+	c.Rounds = scaleInt(c.Rounds, f)
+	return c
+}
+
+// ConstructionPoint reports the average measurements per joining host at
+// one system size.
+type ConstructionPoint struct {
+	N             int
+	FullPerJoin   float64
+	AnchorPerJoin float64
+}
+
+// ConstructionResult is the construction-cost series.
+type ConstructionResult struct {
+	Base   Dataset
+	Points []ConstructionPoint
+}
+
+// RunConstructionCost builds prediction trees in both search modes over
+// subsets of the base dataset and reports the per-join measurement cost.
+func RunConstructionCost(cfg ConstructionConfig) (*ConstructionResult, error) {
+	baseCfg, err := cfg.Base.Config()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.NValues == nil {
+		cfg.NValues = DefaultConstructionConfig().NValues
+	}
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("sim: construction needs positive Rounds")
+	}
+	if cfg.C <= 0 {
+		cfg.C = metric.DefaultC
+	}
+	dataRng := rand.New(rand.NewSource(cfg.Seed))
+	base, err := dataset.Generate(baseCfg, dataRng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: construction dataset: %w", err)
+	}
+	out := &ConstructionResult{Base: cfg.Base}
+	for _, n := range cfg.NValues {
+		if n > base.N() {
+			return nil, fmt.Errorf("sim: subset size %d exceeds base %d", n, base.N())
+		}
+		fullTotal, anchorTotal := 0, 0
+		for round := 0; round < cfg.Rounds; round++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(n)*31 + int64(round)))
+			bw, err := dataset.RandomSubset(base, n, rng)
+			if err != nil {
+				return nil, err
+			}
+			d, err := metric.DistanceFromBandwidth(bw, cfg.C)
+			if err != nil {
+				return nil, err
+			}
+			order := rng.Perm(n)
+			full, err := predtree.Build(d, cfg.C, predtree.SearchFull, order)
+			if err != nil {
+				return nil, err
+			}
+			anchor, err := predtree.Build(d, cfg.C, predtree.SearchAnchor, order)
+			if err != nil {
+				return nil, err
+			}
+			fullTotal += full.Measurements()
+			anchorTotal += anchor.Measurements()
+		}
+		joins := float64(cfg.Rounds * n)
+		out.Points = append(out.Points, ConstructionPoint{
+			N:             n,
+			FullPerJoin:   float64(fullTotal) / joins,
+			AnchorPerJoin: float64(anchorTotal) / joins,
+		})
+	}
+	return out, nil
+}

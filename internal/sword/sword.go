@@ -1,0 +1,110 @@
+// Package sword implements a SWORD-like comparison baseline (Oppenheimer
+// et al., HPDC 2005), the resource-discovery system the paper's related
+// work contrasts against: it searches for a bandwidth-constrained cluster
+// by exhaustive backtracking over the *measured* bandwidth graph and
+// gives up when its budget expires.
+//
+// Two properties make it the paper's foil:
+//
+//   - it needs the full n-to-n measurement matrix (no prediction
+//     framework), and
+//   - the search is k-Clique, so the worst case is exponential; SWORD
+//     bounds it with a timeout. Here the budget is a deterministic
+//     node-expansion count so experiments are reproducible.
+//
+// In exchange, any cluster it returns is correct by construction (it
+// checked the real measurements), so its WPR is zero — the tradeoff the
+// comparison experiment quantifies.
+package sword
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bwcluster/internal/metric"
+)
+
+// Result reports one search.
+type Result struct {
+	// Members is the found clique, nil if none was found in budget.
+	Members []int
+	// Steps is how many backtracking expansions the search performed.
+	Steps int
+	// Exhausted reports whether the search ran out of budget (false
+	// means the search space was fully explored).
+	Exhausted bool
+}
+
+// Found reports whether a cluster was returned.
+func (r Result) Found() bool { return len(r.Members) > 0 }
+
+// FindCluster searches the threshold graph (edges where BW >= b) for a
+// k-clique by randomized backtracking, expanding at most budget nodes.
+// The candidate order is shuffled with rng so repeated calls explore
+// differently, mirroring SWORD's randomized probes.
+func FindCluster(bw *metric.Matrix, k int, b float64, budget int, rng *rand.Rand) (Result, error) {
+	if k < 2 {
+		return Result{}, fmt.Errorf("sword: size constraint k must be >= 2, got %d", k)
+	}
+	if budget < 1 {
+		return Result{}, fmt.Errorf("sword: budget must be >= 1, got %d", budget)
+	}
+	if rng == nil {
+		return Result{}, fmt.Errorf("sword: nil rng")
+	}
+	n := bw.N()
+	// Adjacency of the threshold graph.
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ok := bw.At(i, j) >= b
+			adj[i][j], adj[j][i] = ok, ok
+		}
+	}
+	order := rng.Perm(n)
+
+	res := Result{}
+	picked := make([]int, 0, k)
+	var rec func(startIdx int) bool
+	rec = func(startIdx int) bool {
+		if len(picked) == k {
+			res.Members = append([]int(nil), picked...)
+			return true
+		}
+		if res.Steps >= budget {
+			res.Exhausted = true
+			return false
+		}
+		for idx := startIdx; idx < n; idx++ {
+			if n-idx < k-len(picked) {
+				return false
+			}
+			x := order[idx]
+			ok := true
+			for _, m := range picked {
+				if !adj[m][x] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			res.Steps++
+			picked = append(picked, x)
+			if rec(idx + 1) {
+				return true
+			}
+			picked = picked[:len(picked)-1]
+			if res.Exhausted {
+				return false
+			}
+		}
+		return false
+	}
+	rec(0)
+	return res, nil
+}

@@ -1,0 +1,123 @@
+package sword
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwcluster/internal/dataset"
+	"bwcluster/internal/metric"
+)
+
+func TestValidation(t *testing.T) {
+	bw := metric.NewMatrix(3)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := FindCluster(bw, 1, 10, 100, rng); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, err := FindCluster(bw, 2, 10, 0, rng); err == nil {
+		t.Error("budget=0 should fail")
+	}
+	if _, err := FindCluster(bw, 2, 10, 100, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestFindsRealClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bw, err := dataset.Generate(dataset.HPConfig().WithN(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := FindCluster(bw, 5, 20, 1<<20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Fatal("large budget found nothing on an easy instance")
+	}
+	if len(res.Members) != 5 {
+		t.Fatalf("members = %v", res.Members)
+	}
+	// SWORD's defining property: answers are verified against the real
+	// measurements, so no wrong pairs, ever.
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if bw.At(res.Members[i], res.Members[j]) < 20 {
+				t.Fatalf("pair (%d,%d) below constraint", res.Members[i], res.Members[j])
+			}
+		}
+	}
+	if res.Steps <= 0 {
+		t.Error("no steps recorded")
+	}
+}
+
+func TestImpossibleInstanceExploresFully(t *testing.T) {
+	// A graph with max clique 2 cannot yield k=3.
+	bw := metric.NewMatrix(4)
+	bw.Set(0, 1, 100)
+	bw.Set(2, 3, 100)
+	bw.Set(0, 2, 1)
+	bw.Set(0, 3, 1)
+	bw.Set(1, 2, 1)
+	bw.Set(1, 3, 1)
+	rng := rand.New(rand.NewSource(3))
+	res, err := FindCluster(bw, 3, 50, 1<<20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found() {
+		t.Fatalf("impossible instance returned %v", res.Members)
+	}
+	if res.Exhausted {
+		t.Error("tiny search space reported budget exhaustion")
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Near-miss instance: a dense graph where only slightly-too-large
+	// cliques are requested forces deep backtracking.
+	n := 40
+	bw := metric.FromFunc(n, func(i, j int) float64 {
+		if rng.Float64() < 0.5 {
+			return 100
+		}
+		return 1
+	})
+	res, err := FindCluster(bw, 12, 50, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found() {
+		return // got lucky within 50 expansions; acceptable
+	}
+	if !res.Exhausted {
+		t.Error("hard instance with tiny budget should exhaust")
+	}
+	if res.Steps > 50 {
+		t.Errorf("steps %d exceed budget", res.Steps)
+	}
+}
+
+// Larger budgets only help: if a cluster is found with budget B, it is
+// found with budget 2B (same rng seed re-used per call).
+func TestBudgetMonotone(t *testing.T) {
+	bw, err := dataset.Generate(dataset.HPConfig().WithN(30), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{4, 8, 12} {
+		small, err := FindCluster(bw, k, 25, 200, rand.New(rand.NewSource(6)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := FindCluster(bw, k, 25, 400, rand.New(rand.NewSource(6)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if small.Found() && !big.Found() {
+			t.Fatalf("k=%d: found with budget 200 but not 400", k)
+		}
+	}
+}

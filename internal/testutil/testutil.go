@@ -1,0 +1,81 @@
+// Package testutil provides deterministic generators shared by the test
+// suites of several packages: exact tree metrics (for correctness
+// properties that only hold in tree metric spaces) and noisy variants.
+package testutil
+
+import (
+	"math/rand"
+
+	"bwcluster/internal/metric"
+)
+
+// RandomTreeMetric builds a random edge-weighted tree with n leaves and
+// returns the induced n-by-n leaf-to-leaf distance matrix. By Buneman's
+// theorem the result satisfies the four-point condition exactly.
+func RandomTreeMetric(n int, rng *rand.Rand) *metric.Matrix {
+	total := 2*n - 1
+	if total < 1 {
+		total = 1
+	}
+	parent := make([]int, total)
+	weight := make([]float64, total)
+	parent[0] = -1
+	for v := 1; v < total; v++ {
+		parent[v] = rng.Intn(v)
+		weight[v] = 0.5 + rng.Float64()*10
+	}
+	depth := make([]float64, total)
+	order := make([][]int, total) // ancestor paths, computed lazily below
+	for v := 1; v < total; v++ {
+		depth[v] = depth[parent[v]] + weight[v]
+	}
+	anc := func(v int) []int {
+		if order[v] != nil {
+			return order[v]
+		}
+		var path []int
+		for u := v; u != -1; u = parent[u] {
+			path = append(path, u)
+		}
+		order[v] = path
+		return path
+	}
+	dist := func(a, b int) float64 {
+		pa, pb := anc(a), anc(b)
+		onA := make(map[int]bool, len(pa))
+		for _, v := range pa {
+			onA[v] = true
+		}
+		lca := 0
+		for _, v := range pb {
+			if onA[v] {
+				lca = v
+				break
+			}
+		}
+		return depth[a] + depth[b] - 2*depth[lca]
+	}
+	return metric.FromFunc(n, func(i, j int) float64 { return dist(i, j) })
+}
+
+// NoisyTreeMetric perturbs each pairwise distance of a random tree metric
+// by an independent multiplicative factor uniform in [1-noise, 1+noise].
+// noise = 0 yields an exact tree metric; larger noise lowers treeness.
+func NoisyTreeMetric(n int, noise float64, rng *rand.Rand) *metric.Matrix {
+	base := RandomTreeMetric(n, rng)
+	if noise <= 0 {
+		return base
+	}
+	return metric.FromFunc(n, func(i, j int) float64 {
+		f := 1 + (rng.Float64()*2-1)*noise
+		if f < 0.05 {
+			f = 0.05
+		}
+		return base.Dist(i, j) * f
+	})
+}
+
+// Perm returns a random permutation of 0..n-1.
+func Perm(n int, rng *rand.Rand) []int {
+	return rng.Perm(n)
+}

@@ -1,0 +1,189 @@
+package bwcluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"bwcluster/internal/cluster"
+	"bwcluster/internal/metric"
+	"bwcluster/internal/overlay"
+	"bwcluster/internal/predtree"
+	"bwcluster/internal/stats"
+)
+
+// LatencySystem finds latency-constrained clusters: k hosts with pairwise
+// latency at most a bound. The paper's future work points out that
+// latency also embeds well into tree metric spaces, so the same
+// machinery applies with the identity transform (distances are
+// milliseconds directly, no rational transform).
+type LatencySystem struct {
+	lat     *metric.Matrix // measured latency (ms)
+	pred    *metric.Matrix // predicted latency
+	forest  *predtree.Forest
+	treeIdx *cluster.Index
+	net     *overlay.Network
+	classes []float64 // latency classes (ms), ascending
+}
+
+// WithLatencyClasses fixes the latency classes (ms) decentralized
+// queries snap to; without it, classes derive from the input latency
+// distribution's 20th..90th percentiles.
+func WithLatencyClasses(ms []float64) Option {
+	// Latency classes reuse the option slot for classes; NewLatency
+	// interprets them as milliseconds.
+	return WithBandwidthClasses(ms)
+}
+
+// NewLatency builds a latency clustering system from an n-by-n latency
+// matrix in milliseconds (asymmetric input is averaged, diagonal
+// ignored, off-diagonal entries must be positive).
+func NewLatency(latency [][]float64, opts ...Option) (*LatencySystem, error) {
+	o := options{c: DefaultC, nCut: overlay.DefaultNCut, trees: 3, seed: 1}
+	for _, opt := range opts {
+		if err := opt(&o); err != nil {
+			return nil, err
+		}
+	}
+	lat, err := metric.Symmetrize(latency)
+	if err != nil {
+		return nil, fmt.Errorf("bwcluster: %w", err)
+	}
+	if lat.N() < 2 {
+		return nil, fmt.Errorf("bwcluster: need at least 2 hosts, got %d", lat.N())
+	}
+	for i := 0; i < lat.N(); i++ {
+		for j := i + 1; j < lat.N(); j++ {
+			if lat.At(i, j) <= 0 {
+				return nil, fmt.Errorf("bwcluster: latency(%d,%d)=%v is not positive", i, j, lat.At(i, j))
+			}
+		}
+	}
+	if o.classes == nil {
+		o.classes = defaultLatencyClasses(lat)
+	}
+	sort.Float64s(o.classes)
+
+	mode := predtree.SearchAnchor
+	if o.centralized {
+		mode = predtree.SearchFull
+	}
+	rng := rand.New(rand.NewSource(o.seed))
+	forest, err := predtree.BuildForest(lat, o.c, mode, o.trees, rng)
+	if err != nil {
+		return nil, fmt.Errorf("bwcluster: build prediction forest: %w", err)
+	}
+	dm, hosts := forest.DistMatrix()
+	pred := metric.NewMatrix(lat.N())
+	for i := range hosts {
+		for j := i + 1; j < len(hosts); j++ {
+			pred.Set(hosts[i], hosts[j], dm.Dist(i, j))
+		}
+	}
+	treeIdx, err := cluster.NewIndex(pred)
+	if err != nil {
+		return nil, fmt.Errorf("bwcluster: %w", err)
+	}
+	// Latency classes are already distances: no transform.
+	net, err := overlay.NewNetwork(forest, overlay.Config{NCut: o.nCut, Classes: o.classes})
+	if err != nil {
+		return nil, fmt.Errorf("bwcluster: %w", err)
+	}
+	if _, err := net.Converge(0); err != nil {
+		return nil, fmt.Errorf("bwcluster: converge overlay: %w", err)
+	}
+	return &LatencySystem{
+		lat: lat, pred: pred, forest: forest,
+		treeIdx: treeIdx, net: net, classes: o.classes,
+	}, nil
+}
+
+func defaultLatencyClasses(lat *metric.Matrix) []float64 {
+	vals := lat.Values()
+	classes := make([]float64, 0, 8)
+	for p := 20.0; p <= 90; p += 10 {
+		v, err := stats.Percentile(vals, p)
+		if err != nil || v <= 0 {
+			continue
+		}
+		if len(classes) == 0 || v > classes[len(classes)-1] {
+			classes = append(classes, v)
+		}
+	}
+	if len(classes) == 0 {
+		classes = []float64{1}
+	}
+	return classes
+}
+
+// Len reports the number of hosts.
+func (s *LatencySystem) Len() int { return s.lat.N() }
+
+// Classes returns the latency classes (ms, ascending).
+func (s *LatencySystem) Classes() []float64 {
+	out := make([]float64, len(s.classes))
+	copy(out, s.classes)
+	return out
+}
+
+func (s *LatencySystem) checkHost(h int) error {
+	if h < 0 || h >= s.lat.N() {
+		return fmt.Errorf("bwcluster: host %d out of range [0,%d)", h, s.lat.N())
+	}
+	return nil
+}
+
+// PredictLatency returns the framework's latency estimate (ms).
+func (s *LatencySystem) PredictLatency(u, v int) (float64, error) {
+	if err := s.checkHost(u); err != nil {
+		return 0, err
+	}
+	if err := s.checkHost(v); err != nil {
+		return 0, err
+	}
+	if u == v {
+		return 0, nil
+	}
+	return s.pred.Dist(u, v), nil
+}
+
+// MeasuredLatency returns the (symmetrized) input measurement.
+func (s *LatencySystem) MeasuredLatency(u, v int) (float64, error) {
+	if err := s.checkHost(u); err != nil {
+		return 0, err
+	}
+	if err := s.checkHost(v); err != nil {
+		return 0, err
+	}
+	return s.lat.At(u, v), nil
+}
+
+// FindCluster returns k hosts predicted to be within maxLatency ms of
+// each other, or nil if none exist.
+func (s *LatencySystem) FindCluster(k int, maxLatency float64) ([]int, error) {
+	if maxLatency < 0 {
+		return nil, fmt.Errorf("bwcluster: maxLatency must be >= 0, got %v", maxLatency)
+	}
+	members, err := s.treeIdx.Find(k, maxLatency)
+	if err != nil {
+		return nil, fmt.Errorf("bwcluster: %w", err)
+	}
+	return members, nil
+}
+
+// Query runs the decentralized protocol with a latency constraint;
+// maxLatency snaps DOWN to the nearest configured class, so returned
+// clusters always meet the requested bound (on predicted latency).
+func (s *LatencySystem) Query(start, k int, maxLatency float64) (QueryResult, error) {
+	if err := s.checkHost(start); err != nil {
+		return QueryResult{}, err
+	}
+	res, err := s.net.Query(start, k, maxLatency)
+	if err != nil {
+		return QueryResult{}, fmt.Errorf("bwcluster: %w", err)
+	}
+	return QueryResult{
+		Members: res.Cluster, Hops: res.Hops,
+		AnsweredBy: res.Answered, Class: res.Class,
+	}, nil
+}

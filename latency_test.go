@@ -1,0 +1,232 @@
+package bwcluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bwcluster/internal/dataset"
+)
+
+// syntheticLatency builds an n-host latency matrix (ms) with a metro
+// structure: short intra-region, long cross-region paths.
+func syntheticLatency(t *testing.T, n int, seed int64) [][]float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	region := make([]int, n)
+	for i := range region {
+		region[i] = rng.Intn(4)
+	}
+	lat := make([][]float64, n)
+	for i := range lat {
+		lat[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := 2 + 10*rng.Float64()
+			if region[i] != region[j] {
+				v += 40 + 80*rng.Float64()
+			}
+			lat[i][j], lat[j][i] = v, v
+		}
+	}
+	return lat
+}
+
+func TestNewLatencyValidation(t *testing.T) {
+	if _, err := NewLatency(nil); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	if _, err := NewLatency([][]float64{{0, 0}, {0, 0}}); err == nil {
+		t.Error("zero latency should fail")
+	}
+	good := [][]float64{{0, 5}, {5, 0}}
+	if _, err := NewLatency(good, WithNCut(0)); err == nil {
+		t.Error("bad option should fail")
+	}
+}
+
+func TestLatencyBasicUsage(t *testing.T) {
+	lat := syntheticLatency(t, 40, 1)
+	sys, err := NewLatency(lat, WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() != 40 {
+		t.Fatalf("Len = %d", sys.Len())
+	}
+	classes := sys.Classes()
+	if len(classes) == 0 {
+		t.Fatal("no latency classes")
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i] <= classes[i-1] {
+			t.Fatalf("classes not ascending: %v", classes)
+		}
+	}
+
+	// Intra-region clusters exist at small latency bounds.
+	bound := classes[len(classes)/2]
+	members, err := sys.FindCluster(4, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if members == nil {
+		t.Fatalf("no cluster at bound %v ms", bound)
+	}
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			p, err := sys.PredictLatency(members[i], members[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p > bound*(1+1e-9) {
+				t.Fatalf("pair (%d,%d) predicted %v ms > bound %v", members[i], members[j], p, bound)
+			}
+		}
+	}
+
+	// Decentralized query: class snaps DOWN (never relaxing the bound).
+	res, err := sys.Query(7, 4, bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Fatal("decentralized latency query failed")
+	}
+	if res.Class > bound*(1+1e-9) {
+		t.Fatalf("class %v exceeds requested bound %v", res.Class, bound)
+	}
+	for i := 0; i < len(res.Members); i++ {
+		for j := i + 1; j < len(res.Members); j++ {
+			p, _ := sys.PredictLatency(res.Members[i], res.Members[j])
+			if p > res.Class*(1+1e-9) {
+				t.Fatalf("pair predicted %v ms > class %v", p, res.Class)
+			}
+		}
+	}
+}
+
+func TestLatencyPredictionQuality(t *testing.T) {
+	lat := syntheticLatency(t, 30, 3)
+	sys, err := NewLatency(lat, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The metro structure is nearly tree-like, so predictions should
+	// track measurements within a modest relative error on most pairs.
+	within := 0
+	total := 0
+	for u := 0; u < 30; u++ {
+		for v := u + 1; v < 30; v++ {
+			p, err := sys.PredictLatency(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, _ := sys.MeasuredLatency(u, v)
+			total++
+			if math.Abs(p-m)/m < 0.5 {
+				within++
+			}
+		}
+	}
+	if frac := float64(within) / float64(total); frac < 0.7 {
+		t.Errorf("only %.0f%% of pairs within 50%% relative error", frac*100)
+	}
+	if _, err := sys.PredictLatency(0, 99); err == nil {
+		t.Error("out-of-range host should fail")
+	}
+	if p, err := sys.PredictLatency(3, 3); err != nil || p != 0 {
+		t.Errorf("self latency = %v, %v", p, err)
+	}
+}
+
+func TestLatencyQueryValidation(t *testing.T) {
+	sys, err := NewLatency(syntheticLatency(t, 12, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Query(99, 3, 50); err == nil {
+		t.Error("unknown start should fail")
+	}
+	if _, err := sys.FindCluster(3, -1); err == nil {
+		t.Error("negative bound should fail")
+	}
+	if _, err := sys.Query(0, 3, 0.0001); err == nil {
+		t.Error("bound below all classes should fail")
+	}
+	if _, err := sys.MeasuredLatency(-1, 0); err == nil {
+		t.Error("negative host should fail")
+	}
+}
+
+// On the near-tree synthetic latency dataset, the system's predictions
+// track measurements closely — the premise of the paper's latency
+// extension.
+func TestLatencySystemOnGeneratedDataset(t *testing.T) {
+	cfg := dataset.DefaultLatencyConfig()
+	cfg.N = 50
+	lat, err := dataset.GenerateLatency(cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([][]float64, cfg.N)
+	for i := range raw {
+		raw[i] = make([]float64, cfg.N)
+		for j := range raw[i] {
+			if i != j {
+				raw[i][j] = lat.At(i, j)
+			}
+		}
+	}
+	sys, err := NewLatency(raw, WithSeed(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	within := 0
+	total := 0
+	for u := 0; u < cfg.N; u++ {
+		for v := u + 1; v < cfg.N; v++ {
+			p, err := sys.PredictLatency(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, _ := sys.MeasuredLatency(u, v)
+			total++
+			if math.Abs(p-m)/m < 0.3 {
+				within++
+			}
+		}
+	}
+	if frac := float64(within) / float64(total); frac < 0.8 {
+		t.Errorf("only %.0f%% of pairs within 30%% error on near-tree latency", frac*100)
+	}
+	// A latency-constrained cluster query succeeds at a moderate bound.
+	classes := sys.Classes()
+	members, err := sys.FindCluster(5, classes[len(classes)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if members == nil {
+		t.Error("no cluster at the median latency class")
+	}
+}
+
+func TestLatencyExplicitClasses(t *testing.T) {
+	sys, err := NewLatency(syntheticLatency(t, 20, 6), WithLatencyClasses([]float64{10, 50, 150}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := sys.Classes()
+	if len(classes) != 3 || classes[0] != 10 || classes[2] != 150 {
+		t.Errorf("classes = %v", classes)
+	}
+	// A 60 ms query snaps down to the 50 ms class.
+	res, err := sys.Query(0, 3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found() && res.Class != 50 {
+		t.Errorf("class = %v, want 50", res.Class)
+	}
+}

@@ -1,0 +1,108 @@
+package bwcluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"bwcluster/internal/cluster"
+	"bwcluster/internal/metric"
+	"bwcluster/internal/overlay"
+	"bwcluster/internal/predtree"
+)
+
+// systemWire is the persisted form of a System: the measurements, the
+// knobs, and the built prediction forest. Derived state (predicted
+// distance matrix, cluster index, overlay routing tables) is recomputed
+// deterministically on load — it is cheaper to rebuild than the forest,
+// whose construction consumed the measurements.
+type systemWire struct {
+	Version int
+	C       float64
+	NCut    int
+	Classes []float64
+	BW      *metric.Matrix
+	Forest  *predtree.Forest
+}
+
+// wireVersion guards against loading snapshots from incompatible
+// releases.
+const wireVersion = 1
+
+// Save writes the system to w in a compact binary format. Load restores
+// it without re-running any bandwidth measurements.
+func (s *System) Save(w io.Writer) error {
+	snap := systemWire{
+		Version: wireVersion,
+		C:       s.c,
+		NCut:    s.nCut,
+		Classes: s.classes,
+		BW:      s.bw,
+		Forest:  s.forest,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("bwcluster: save system: %w", err)
+	}
+	return nil
+}
+
+// SaveBytes is a convenience wrapper around Save.
+func (s *System) SaveBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Load restores a System previously written by Save, rebuilding the
+// derived query structures (prediction matrix, cluster index, overlay
+// routing tables) from the persisted forest.
+func Load(r io.Reader) (*System, error) {
+	var snap systemWire
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("bwcluster: load system: %w", err)
+	}
+	if snap.Version != wireVersion {
+		return nil, fmt.Errorf("bwcluster: load system: snapshot version %d, want %d",
+			snap.Version, wireVersion)
+	}
+	if snap.BW == nil || snap.Forest == nil {
+		return nil, fmt.Errorf("bwcluster: load system: incomplete snapshot")
+	}
+	if snap.C <= 0 || snap.NCut < 1 || len(snap.Classes) == 0 {
+		return nil, fmt.Errorf("bwcluster: load system: invalid parameters")
+	}
+	dm, hosts := snap.Forest.DistMatrix()
+	pred := metric.NewMatrix(snap.BW.N())
+	for i := range hosts {
+		for j := i + 1; j < len(hosts); j++ {
+			pred.Set(hosts[i], hosts[j], dm.Dist(i, j))
+		}
+	}
+	treeIdx, err := cluster.NewIndex(pred)
+	if err != nil {
+		return nil, fmt.Errorf("bwcluster: load system: %w", err)
+	}
+	distClasses, err := overlay.ClassesFromBandwidths(snap.Classes, snap.C)
+	if err != nil {
+		return nil, fmt.Errorf("bwcluster: load system: %w", err)
+	}
+	net, err := overlay.NewNetwork(snap.Forest, overlay.Config{NCut: snap.NCut, Classes: distClasses})
+	if err != nil {
+		return nil, fmt.Errorf("bwcluster: load system: %w", err)
+	}
+	if _, err := net.Converge(0); err != nil {
+		return nil, fmt.Errorf("bwcluster: load system: %w", err)
+	}
+	return &System{
+		c: snap.C, nCut: snap.NCut, bw: snap.BW, forest: snap.Forest,
+		pred: pred, treeIdx: treeIdx, net: net, classes: snap.Classes,
+	}, nil
+}
+
+// LoadBytes is a convenience wrapper around Load.
+func LoadBytes(b []byte) (*System, error) {
+	return Load(bytes.NewReader(b))
+}

@@ -1,0 +1,122 @@
+package bwcluster
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	raw := sampleBandwidth(t, 30, 11)
+	orig, err := New(raw, WithSeed(3), WithNCut(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != orig.Len() || restored.Constant() != orig.Constant() {
+		t.Fatalf("shape mismatch: %d/%v vs %d/%v",
+			restored.Len(), restored.Constant(), orig.Len(), orig.Constant())
+	}
+	// Predictions identical.
+	for u := 0; u < orig.Len(); u++ {
+		for v := u + 1; v < orig.Len(); v++ {
+			a, err := orig.PredictBandwidth(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := restored.PredictBandwidth(u, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Fatalf("prediction mismatch at (%d,%d): %v vs %v", u, v, a, b)
+			}
+			ma, _ := orig.MeasuredBandwidth(u, v)
+			mb, _ := restored.MeasuredBandwidth(u, v)
+			if ma != mb {
+				t.Fatalf("measurement mismatch at (%d,%d)", u, v)
+			}
+		}
+	}
+	// Queries identical (both engines are deterministic).
+	classes := orig.Classes()
+	for start := 0; start < orig.Len(); start += 7 {
+		a, err := orig.Query(start, 4, classes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Query(start, 4, classes[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Found() != b.Found() || a.Hops != b.Hops || len(a.Members) != len(b.Members) {
+			t.Fatalf("query mismatch from %d: %+v vs %+v", start, a, b)
+		}
+		for i := range a.Members {
+			if a.Members[i] != b.Members[i] {
+				t.Fatalf("members mismatch from %d: %v vs %v", start, a.Members, b.Members)
+			}
+		}
+	}
+	// Labels survive.
+	la, err := orig.DistanceLabel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := restored.DistanceLabel(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if la != lb {
+		t.Fatalf("label mismatch: %q vs %q", la, lb)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := LoadBytes([]byte("garbage")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := LoadBytes(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	// A truncated snapshot must fail cleanly.
+	sys, err := New(sampleBandwidth(t, 10, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sys.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBytes(blob[:len(blob)/2]); err == nil {
+		t.Error("truncated snapshot should fail")
+	}
+}
+
+func TestSaveToFailingWriter(t *testing.T) {
+	sys, err := New(sampleBandwidth(t, 8, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Save(failWriter{}); err == nil {
+		t.Error("failing writer should error")
+	}
+	// Sanity: saving to a buffer works.
+	var buf bytes.Buffer
+	if err := sys.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty snapshot")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, bytes.ErrTooLarge }

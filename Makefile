@@ -1,15 +1,25 @@
 # Reproduction targets for the paper's evaluation. `make figures` writes
 # every data series into results/; expect a few minutes at full scale.
+# `make ci` runs the same gate as .github/workflows/ci.yml.
 
 GO ?= go
+# Worker count for the simulation fan-out (bwc-sim -parallel).
+# 0 = one worker per CPU; 1 = sequential. Never changes results.
+PARALLEL ?= 0
 
-.PHONY: all build test race bench figures ablations clean
+.PHONY: all build fmt test race bench bench-smoke ci figures ablations clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "files need gofmt:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -20,22 +30,31 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-figures: build
-	mkdir -p results
-	$(GO) run ./cmd/bwc-sim -fig 3 -dataset hp  > results/fig3_hp.txt
-	$(GO) run ./cmd/bwc-sim -fig 3 -dataset umd > results/fig3_umd.txt
-	$(GO) run ./cmd/bwc-sim -fig 4 -dataset hp  -scale 0.5 > results/fig4_hp.txt
-	$(GO) run ./cmd/bwc-sim -fig 4 -dataset umd -scale 0.3 > results/fig4_umd.txt
-	$(GO) run ./cmd/bwc-sim -fig 5 -dataset hp  > results/fig5_hp.txt
-	$(GO) run ./cmd/bwc-sim -fig 5 -dataset umd > results/fig5_umd.txt
-	$(GO) run ./cmd/bwc-sim -fig 6 -scale 0.4   > results/fig6.txt
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x ./...
 
-ablations: build
+# The full CI gate, in the workflow's order: formatting first, then
+# build+vet, tests, the race detector, and one iteration of every bench.
+ci: fmt build test race bench-smoke
+
+results:
 	mkdir -p results
-	$(GO) run ./cmd/bwc-sim -ablation ncut -scale 0.3      > results/ablation_ncut.txt
-	$(GO) run ./cmd/bwc-sim -ablation trees -scale 0.3     > results/ablation_trees.txt
-	$(GO) run ./cmd/bwc-sim -ablation drift                > results/ablation_drift.txt
-	$(GO) run ./cmd/bwc-sim -ablation construction         > results/ablation_construction.txt
+
+figures: build | results
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 3 -dataset hp  > results/fig3_hp.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 3 -dataset umd > results/fig3_umd.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 4 -dataset hp  -scale 0.5 > results/fig4_hp.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 4 -dataset umd -scale 0.3 > results/fig4_umd.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 5 -dataset hp  > results/fig5_hp.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 5 -dataset umd > results/fig5_umd.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 6 -scale 0.4   > results/fig6.txt
+
+ablations: build | results
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -ablation ncut -scale 0.3      > results/ablation_ncut.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -ablation trees -scale 0.3     > results/ablation_trees.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -ablation drift                > results/ablation_drift.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -ablation construction         > results/ablation_construction.txt
+	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -ablation sword                > results/ablation_sword.txt
 
 clean:
 	rm -rf results

@@ -50,6 +50,7 @@ type options struct {
 	centralized bool
 	seed        int64
 	seedSet     bool
+	parallelism int // 0: one worker per CPU
 }
 
 // Option customizes System construction.
@@ -134,11 +135,37 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithParallelism bounds the worker pool the system uses for forest
+// construction, index precomputation and centralized query scans. The
+// default (without this option) is one worker per CPU; n = 1 forces fully
+// sequential execution. Parallelism never changes results: construction
+// splits the seeded random stream before fanning out, and query scans
+// preserve the sequential scan order's answer (see DESIGN.md,
+// "Parallel execution model").
+func WithParallelism(n int) Option {
+	return func(o *options) error {
+		if n < 1 {
+			return fmt.Errorf("bwcluster: parallelism must be >= 1, got %d", n)
+		}
+		o.parallelism = n
+		return nil
+	}
+}
+
 // System is a built clustering system over a fixed host population.
 // Hosts are identified by their index in the input matrix.
+//
+// A System is safe for concurrent use once New (or Load) returns: every
+// query method — Query, FindCluster, PredictBandwidth, MeasuredBandwidth,
+// MaxClusterSize, TightestCluster, FindNodeForSet, QueryNode, Neighbors,
+// RoutingTable, DistanceLabel, Stats — only reads the built state; the
+// one piece of mutable state, the centralized query cache, is guarded by
+// a read-write mutex inside the cluster index. This guarantee is
+// exercised by TestSystemConcurrentUse under the race detector.
 type System struct {
 	c       float64
 	nCut    int
+	workers int // worker-pool bound for parallel paths (>= 1)
 	bw      *metric.Matrix
 	forest  *predtree.Forest
 	pred    *metric.Matrix
@@ -197,8 +224,9 @@ func New(bandwidth [][]float64, opts ...Option) (*System, error) {
 	if o.centralized {
 		mode = predtree.SearchFull
 	}
+	workers := cluster.Workers(o.parallelism, 0)
 	rng := rand.New(rand.NewSource(o.seed))
-	forest, err := predtree.BuildForest(dist, o.c, mode, o.trees, rng)
+	forest, err := predtree.BuildForestParallel(dist, o.c, mode, o.trees, rng, workers)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: build prediction forest: %w", err)
 	}
@@ -209,7 +237,7 @@ func New(bandwidth [][]float64, opts ...Option) (*System, error) {
 			pred.Set(hosts[i], hosts[j], dm.Dist(i, j))
 		}
 	}
-	treeIdx, err := cluster.NewIndex(pred)
+	treeIdx, err := cluster.NewIndexParallel(pred, workers)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: %w", err)
 	}
@@ -225,8 +253,8 @@ func New(bandwidth [][]float64, opts ...Option) (*System, error) {
 		return nil, fmt.Errorf("bwcluster: converge overlay: %w", err)
 	}
 	return &System{
-		c: o.c, nCut: o.nCut, bw: bw, forest: forest, pred: pred,
-		treeIdx: treeIdx, net: net, classes: o.classes,
+		c: o.c, nCut: o.nCut, workers: workers, bw: bw, forest: forest,
+		pred: pred, treeIdx: treeIdx, net: net, classes: o.classes,
 	}, nil
 }
 
@@ -252,6 +280,9 @@ func defaultClasses(bw *metric.Matrix) []float64 {
 
 // Len reports the number of hosts.
 func (s *System) Len() int { return s.bw.N() }
+
+// Parallelism reports the system's worker-pool bound.
+func (s *System) Parallelism() int { return s.workers }
 
 // Constant returns the rational-transform constant in use.
 func (s *System) Constant() float64 { return s.c }
@@ -303,13 +334,17 @@ func (s *System) checkHost(h int) error {
 
 // FindCluster runs the centralized Algorithm 1 over the predicted
 // bandwidths: it returns k hosts predicted to share at least minBandwidth
-// Mbps pairwise, or nil if the system concludes none exist.
+// Mbps pairwise, or nil if the system concludes none exist. The candidate
+// scan is sharded across the system's worker pool (see WithParallelism)
+// and repeated (k, minBandwidth) queries are answered from a memoized
+// cache; both are invisible in the results, which always match the
+// sequential scan's answer. Safe for concurrent use.
 func (s *System) FindCluster(k int, minBandwidth float64) ([]int, error) {
 	l, err := metric.DistanceForBandwidthConstraint(minBandwidth, s.c)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: %w", err)
 	}
-	members, err := s.treeIdx.Find(k, l)
+	members, err := s.treeIdx.FindParallel(k, l, s.workers)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: %w", err)
 	}
@@ -320,7 +355,9 @@ func (s *System) FindCluster(k int, minBandwidth float64) ([]int, error) {
 // the overlay at start and is routed toward a region whose cluster
 // routing tables promise a big-enough cluster. minBandwidth snaps UP to
 // the nearest configured bandwidth class, so returned clusters always
-// meet the requested constraint (on predicted bandwidth).
+// meet the requested constraint (on predicted bandwidth). Queries only
+// read the converged overlay state (local cluster searches materialize
+// private scratch matrices), so Query is safe for concurrent use.
 func (s *System) Query(start, k int, minBandwidth float64) (QueryResult, error) {
 	if err := s.checkHost(start); err != nil {
 		return QueryResult{}, err

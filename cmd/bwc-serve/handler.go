@@ -6,17 +6,16 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 
 	"bwcluster"
 )
 
-// handler serves the JSON API. Queries against a built System are
-// read-only, but decentralized queries share internal scratch state in
-// the facade's overlay through local cluster searches, so a mutex keeps
-// request handling simple and safe.
+// handler serves the JSON API. A built System is safe for concurrent
+// use (queries are read-only; the centralized query cache is internally
+// lock-guarded), so requests are served without any serializing mutex —
+// the server scales with GOMAXPROCS instead of handling one query at a
+// time.
 type handler struct {
-	mu  sync.Mutex
 	sys *bwcluster.System
 }
 
@@ -74,8 +73,6 @@ func floatParam(r *http.Request, name string) (float64, error) {
 }
 
 func (h *handler) info(w http.ResponseWriter, r *http.Request) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	st := h.sys.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"hosts":          h.sys.Len(),
@@ -107,8 +104,6 @@ func (h *handler) cluster(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	switch mode := r.URL.Query().Get("mode"); mode {
 	case "", "central":
 		members, err := h.sys.FindCluster(k, b)
@@ -159,8 +154,6 @@ func (h *handler) node(w http.ResponseWriter, r *http.Request) {
 		}
 		set = append(set, v)
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	res, err := h.sys.FindNodeForSet(set, b)
 	if err != nil {
 		badRequest(w, err)
@@ -184,8 +177,6 @@ func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	pred, err := h.sys.PredictBandwidth(u, v)
 	if err != nil {
 		badRequest(w, err)
@@ -208,8 +199,6 @@ func (h *handler) tightest(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	members, worst, err := h.sys.TightestCluster(k)
 	if err != nil {
 		badRequest(w, err)
@@ -228,8 +217,6 @@ func (h *handler) label(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, err)
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	label, err := h.sys.DistanceLabel(host)
 	if err != nil {
 		badRequest(w, err)

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"bwcluster/internal/dataset"
@@ -139,4 +140,31 @@ func TestRunValidation(t *testing.T) {
 	if err := run([]string{"-data", filepath.Join(t.TempDir(), "missing.csv")}); err == nil {
 		t.Error("missing file should fail")
 	}
+}
+
+// TestConcurrentRequests hammers the (now mutex-free) handler from many
+// goroutines mixing every endpoint; under -race this validates that
+// serving leans safely on the System concurrency guarantee.
+func TestConcurrentRequests(t *testing.T) {
+	srv := testServer(t)
+	paths := []string{
+		"/v1/info",
+		"/v1/cluster?k=4&b=30",
+		"/v1/cluster?k=4&b=30&mode=decentral",
+		"/v1/predict?u=0&v=5",
+		"/v1/tightest?k=3",
+		"/v1/label?h=2",
+		"/v1/node?set=0,1&b=5",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				getJSON(t, srv.URL+paths[(g+i)%len(paths)], http.StatusOK)
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -36,6 +36,7 @@ func run(args []string) error {
 	ds := fs.String("dataset", "hp", "dataset: hp or umd (figures 3-5)")
 	scale := fs.Float64("scale", 1, "work scale factor (rounds/queries multiplied by this)")
 	seed := fs.Int64("seed", 0, "override the experiment seed (0: per-figure default)")
+	parallel := fs.Int("parallel", 0, "workers fanning independent data series out (0: one per CPU, 1: sequential; never changes results)")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,25 +54,25 @@ func run(args []string) error {
 	var err error
 	switch {
 	case *ablation == "ncut":
-		err = runAblationNCut(d, *scale, *seed, *jsonOut)
+		err = runAblationNCut(d, *scale, *seed, *parallel, *jsonOut)
 	case *ablation == "trees":
-		err = runAblationTrees(d, *scale, *seed, *jsonOut)
+		err = runAblationTrees(d, *scale, *seed, *parallel, *jsonOut)
 	case *ablation == "drift":
-		err = runAblationDrift(d, *scale, *seed, *jsonOut)
+		err = runAblationDrift(d, *scale, *seed, *parallel, *jsonOut)
 	case *ablation == "construction":
-		err = runAblationConstruction(*scale, *seed, *jsonOut)
+		err = runAblationConstruction(*scale, *seed, *parallel, *jsonOut)
 	case *ablation == "sword":
-		err = runAblationSword(d, *scale, *seed, *jsonOut)
+		err = runAblationSword(d, *scale, *seed, *parallel, *jsonOut)
 	case *ablation != "":
 		return fmt.Errorf("unknown ablation %q (want ncut, trees, drift, construction or sword)", *ablation)
 	case *fig == 3:
-		err = runFig3(d, *scale, *seed, *jsonOut)
+		err = runFig3(d, *scale, *seed, *parallel, *jsonOut)
 	case *fig == 4:
-		err = runFig4(d, *scale, *seed, *jsonOut)
+		err = runFig4(d, *scale, *seed, *parallel, *jsonOut)
 	case *fig == 5:
-		err = runFig5(d, *scale, *seed, *jsonOut)
+		err = runFig5(d, *scale, *seed, *parallel, *jsonOut)
 	case *fig == 6:
-		err = runFig6(*scale, *seed, *jsonOut)
+		err = runFig6(*scale, *seed, *parallel, *jsonOut)
 	default:
 		return fmt.Errorf("-fig must be 3, 4, 5 or 6 (or use -ablation)")
 	}
@@ -84,11 +85,12 @@ func run(args []string) error {
 	return nil
 }
 
-func runFig3(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+func runFig3(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
 	cfg := sim.DefaultAccuracyConfig(d).Scaled(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallelism = parallel
 	res, err := sim.RunAccuracy(cfg)
 	if err != nil {
 		return err
@@ -133,11 +135,12 @@ func cdfAt(points []stats.CDFPoint, x float64) float64 {
 	return f
 }
 
-func runFig4(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+func runFig4(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
 	cfg := sim.DefaultTradeoffConfig(d).Scaled(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallelism = parallel
 	res, err := sim.RunTradeoff(cfg)
 	if err != nil {
 		return err
@@ -153,11 +156,12 @@ func runFig4(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
 	return nil
 }
 
-func runFig5(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+func runFig5(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
 	cfg := sim.DefaultTreenessConfig(d).Scaled(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallelism = parallel
 	res, err := sim.RunTreeness(cfg)
 	if err != nil {
 		return err
@@ -177,11 +181,12 @@ func runFig5(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
 	return nil
 }
 
-func runAblationNCut(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+func runAblationNCut(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
 	cfg := sim.DefaultTradeoffConfig(d).Scaled(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallelism = parallel
 	res, err := sim.RunNCutAblation(cfg, []int{5, 10, 20})
 	if err != nil {
 		return err
@@ -205,11 +210,12 @@ func runAblationNCut(d sim.Dataset, scale float64, seed int64, jsonOut bool) err
 	return nil
 }
 
-func runAblationTrees(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+func runAblationTrees(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
 	cfg := sim.DefaultAccuracyConfig(d).Scaled(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallelism = parallel
 	res, err := sim.RunTreesAblation(cfg, []int{1, 3, 5})
 	if err != nil {
 		return err
@@ -233,11 +239,12 @@ func runAblationTrees(d sim.Dataset, scale float64, seed int64, jsonOut bool) er
 	return nil
 }
 
-func runAblationDrift(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+func runAblationDrift(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
 	cfg := sim.DefaultDynamicsConfig(d).Scaled(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallelism = parallel
 	res, err := sim.RunDynamics(cfg)
 	if err != nil {
 		return err
@@ -255,11 +262,12 @@ func runAblationDrift(d sim.Dataset, scale float64, seed int64, jsonOut bool) er
 	return nil
 }
 
-func runAblationConstruction(scale float64, seed int64, jsonOut bool) error {
+func runAblationConstruction(scale float64, seed int64, parallel int, jsonOut bool) error {
 	cfg := sim.DefaultConstructionConfig().Scaled(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallelism = parallel
 	res, err := sim.RunConstructionCost(cfg)
 	if err != nil {
 		return err
@@ -276,11 +284,12 @@ func runAblationConstruction(scale float64, seed int64, jsonOut bool) error {
 	return nil
 }
 
-func runAblationSword(d sim.Dataset, scale float64, seed int64, jsonOut bool) error {
+func runAblationSword(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
 	cfg := sim.DefaultSwordConfig(d).Scaled(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallelism = parallel
 	res, err := sim.RunSwordComparison(cfg)
 	if err != nil {
 		return err
@@ -303,11 +312,12 @@ func runAblationSword(d sim.Dataset, scale float64, seed int64, jsonOut bool) er
 	return nil
 }
 
-func runFig6(scale float64, seed int64, jsonOut bool) error {
+func runFig6(scale float64, seed int64, parallel int, jsonOut bool) error {
 	cfg := sim.DefaultScalabilityConfig().Scaled(scale)
 	if seed != 0 {
 		cfg.Seed = seed
 	}
+	cfg.Parallelism = parallel
 	res, err := sim.RunScalability(cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,180 @@
+package bwcluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestSystemConcurrentUse exercises the documented concurrency guarantee:
+// N goroutines mix decentralized queries, centralized queries, bandwidth
+// predictions and stats reads against one shared System. Run under the
+// race detector (the CI race job does) this validates that query paths
+// perform no unsynchronized writes; in any mode it validates that answers
+// under contention match the single-threaded answers.
+func TestSystemConcurrentUse(t *testing.T) {
+	bw := sampleBandwidth(t, 48, 7)
+	sys, err := New(bw, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-threaded reference answers.
+	type cq struct {
+		k int
+		b float64
+	}
+	centralQs := []cq{{3, 20}, {5, 35}, {8, 50}, {4, 55}}
+	wantCentral := make(map[cq][]int)
+	for _, q := range centralQs {
+		members, err := sys.FindCluster(q.k, q.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantCentral[q] = members
+	}
+	wantStats := sys.Stats()
+	refPred := make([]float64, sys.Len())
+	for v := 1; v < sys.Len(); v++ {
+		p, err := sys.PredictBandwidth(0, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refPred[v] = p
+	}
+	wantQuery := make(map[cq]QueryResult)
+	for _, q := range centralQs {
+		res, err := sys.Query(q.k%sys.Len(), q.k, q.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantQuery[q] = res
+	}
+
+	const goroutines = 24
+	const iters = 40
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < iters; i++ {
+				q := centralQs[(g+i)%len(centralQs)]
+				switch (g + i) % 4 {
+				case 0: // centralized query
+					members, err := sys.FindCluster(q.k, q.b)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if !reflect.DeepEqual(members, wantCentral[q]) {
+						fail(fmt.Errorf("FindCluster(%d,%v) = %v under contention, want %v",
+							q.k, q.b, members, wantCentral[q]))
+						return
+					}
+				case 1: // decentralized query
+					res, err := sys.Query(q.k%sys.Len(), q.k, q.b)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if !reflect.DeepEqual(res, wantQuery[q]) {
+						fail(fmt.Errorf("Query(%d,%v) = %+v under contention, want %+v",
+							q.k, q.b, res, wantQuery[q]))
+						return
+					}
+				case 2: // prediction reads
+					v := 1 + rng.Intn(sys.Len()-1)
+					p, err := sys.PredictBandwidth(0, v)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if p != refPred[v] {
+						fail(fmt.Errorf("PredictBandwidth(0,%d) = %v under contention, want %v",
+							v, p, refPred[v]))
+						return
+					}
+				case 3: // stats + overlay reads
+					if st := sys.Stats(); st != wantStats {
+						fail(fmt.Errorf("Stats() = %+v under contention, want %+v", st, wantStats))
+						return
+					}
+					if _, _, err := sys.RoutingTable(rng.Intn(sys.Len())); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestWithParallelismOption checks the option's validation and that every
+// parallelism level builds an identical system (same predictions, same
+// query answers) for a fixed seed.
+func TestWithParallelismOption(t *testing.T) {
+	if _, err := New(sampleBandwidth(t, 8, 1), WithParallelism(0)); err == nil {
+		t.Error("parallelism 0 should fail")
+	}
+	if _, err := New(sampleBandwidth(t, 8, 1), WithParallelism(-2)); err == nil {
+		t.Error("negative parallelism should fail")
+	}
+
+	bw := sampleBandwidth(t, 32, 9)
+	base, err := New(bw, WithSeed(5), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCluster, err := base.FindCluster(4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 16} {
+		sys, err := New(bw, WithSeed(5), WithParallelism(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sys.Parallelism(); got != par {
+			t.Fatalf("Parallelism() = %d, want %d", got, par)
+		}
+		for u := 0; u < 6; u++ {
+			for v := u + 1; v < 6; v++ {
+				a, err := base.PredictBandwidth(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := sys.PredictBandwidth(u, v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if a != b {
+					t.Fatalf("parallelism %d: prediction (%d,%d) %v, sequential %v", par, u, v, b, a)
+				}
+			}
+		}
+		members, err := sys.FindCluster(4, 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(members, baseCluster) {
+			t.Fatalf("parallelism %d: FindCluster %v, sequential %v", par, members, baseCluster)
+		}
+	}
+}

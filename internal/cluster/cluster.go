@@ -20,6 +20,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"bwcluster/internal/metric"
 )
@@ -238,6 +239,10 @@ func sortedPairs(s metric.Space) []pair {
 // Index precomputes, for one metric space, every |S*pq|, so that queries
 // with arbitrary (k, l) run in O(n^2) after an O(n^3) build. Index.Find
 // returns exactly what FindCluster would.
+//
+// An Index is safe for concurrent use: the precomputed tables are never
+// written after construction, and the (k, l) query cache is guarded by a
+// read-write mutex.
 type Index struct {
 	space     metric.Space
 	n         int
@@ -245,12 +250,25 @@ type Index struct {
 	pairs     []pair // sorted ascending by distance, for MaxSize
 	sizes     []int  // |S*pq| aligned with pairs
 	prefixMax []int  // prefixMax[i] = max sizes[0..i]
+
+	// Memoized (k, l) -> members answers; repeated queries — the serving
+	// pattern, where clients retry the same few (k, b) combinations — are
+	// O(1) after the first evaluation. Negative answers are cached too.
+	mu    sync.RWMutex
+	cache map[queryKey][]int
 }
+
+type queryKey struct {
+	k int
+	l float64
+}
+
+func errNilSpace() error { return fmt.Errorf("cluster: nil space") }
 
 // NewIndex builds the query index for s.
 func NewIndex(s metric.Space) (*Index, error) {
 	if s == nil {
-		return nil, fmt.Errorf("cluster: nil space")
+		return nil, errNilSpace()
 	}
 	n := s.N()
 	lexSizes := make([]int, n*n)
@@ -259,6 +277,12 @@ func NewIndex(s metric.Space) (*Index, error) {
 			lexSizes[p*n+q] = len(Members(s, p, q))
 		}
 	}
+	return finishIndex(s, n, lexSizes), nil
+}
+
+// finishIndex derives the sorted-pair tables from the precomputed
+// |S*pq| sizes and assembles the index.
+func finishIndex(s metric.Space, n int, lexSizes []int) *Index {
 	pairs := sortedPairs(s)
 	sizes := make([]int, len(pairs))
 	prefixMax := make([]int, len(pairs))
@@ -270,7 +294,40 @@ func NewIndex(s metric.Space) (*Index, error) {
 		}
 		prefixMax[i] = running
 	}
-	return &Index{space: s, n: n, lexSizes: lexSizes, pairs: pairs, sizes: sizes, prefixMax: prefixMax}, nil
+	return &Index{
+		space: s, n: n, lexSizes: lexSizes, pairs: pairs, sizes: sizes,
+		prefixMax: prefixMax, cache: make(map[queryKey][]int),
+	}
+}
+
+// cached returns a copy of the memoized answer for (k, l) if present.
+// Copies keep callers from aliasing (and possibly mutating) each other's
+// result slices.
+func (ix *Index) cached(k int, l float64) ([]int, bool) {
+	ix.mu.RLock()
+	members, ok := ix.cache[queryKey{k: k, l: l}]
+	ix.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	if members == nil {
+		return nil, true
+	}
+	out := make([]int, len(members))
+	copy(out, members)
+	return out, true
+}
+
+// store memoizes the answer for (k, l), keeping a private copy.
+func (ix *Index) store(k int, l float64, members []int) {
+	var cp []int
+	if members != nil {
+		cp = make([]int, len(members))
+		copy(cp, members)
+	}
+	ix.mu.Lock()
+	ix.cache[queryKey{k: k, l: l}] = cp
+	ix.mu.Unlock()
 }
 
 // N reports the number of nodes in the indexed space.
@@ -295,21 +352,33 @@ func (ix *Index) MaxSize(l float64) int {
 }
 
 // Find answers a (k, l) query, returning the same cluster FindCluster
-// would compute directly, or nil when none exists.
+// would compute directly, or nil when none exists. Answers are memoized;
+// repeated queries hit the cache.
 func (ix *Index) Find(k int, l float64) ([]int, error) {
 	if err := validate(ix.space, k, l); err != nil {
 		return nil, err
 	}
-	last := ix.lastWithin(l)
-	if last < 0 || ix.prefixMax[last] < k {
-		return nil, nil
+	if members, ok := ix.cached(k, l); ok {
+		return members, nil
 	}
-	for p := 0; p < ix.n; p++ {
+	var members []int
+	last := ix.lastWithin(l)
+	if last >= 0 && ix.prefixMax[last] >= k {
+		members = ix.scanFrom(0, k, l)
+	}
+	ix.store(k, l, members)
+	return members, nil
+}
+
+// scanFrom runs the lexicographic candidate scan starting at row p0 and
+// returns the first qualifying cluster, or nil.
+func (ix *Index) scanFrom(p0, k int, l float64) []int {
+	for p := p0; p < ix.n; p++ {
 		for q := p + 1; q < ix.n; q++ {
 			if ix.lexSizes[p*ix.n+q] >= k && ix.space.Dist(p, q) <= l {
-				return Members(ix.space, p, q)[:k], nil
+				return Members(ix.space, p, q)[:k]
 			}
 		}
 	}
-	return nil, nil
+	return nil
 }

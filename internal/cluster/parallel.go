@@ -1,0 +1,239 @@
+// Parallel execution layer for Algorithm 1. The per-pair work of the
+// candidate scan — computing |S*pq| — is independent across pairs, so the
+// scan shards cleanly across a worker pool (the same observation that
+// makes distributed metric facility location "super-fast": per-candidate
+// evaluations share no state). The only coupling is the paper's
+// determinism contract: FindCluster answers with the FIRST qualifying
+// pair in lexicographic (p, q) order, so a parallel scan cannot simply
+// return whichever shard wins the race. Workers therefore claim rows p in
+// ascending order from an atomic counter and publish hits through an
+// atomic minimum row; a worker aborts as soon as a strictly smaller row
+// has already hit, which cancels the tail of the scan early (the role a
+// context/sync.Once pair would play, but with the ordering guarantee the
+// sequential algorithm makes).
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bwcluster/internal/metric"
+)
+
+// minParallelN is the space size under which sharding overhead outweighs
+// the scan itself and the parallel entry points fall back to the
+// sequential code.
+const minParallelN = 64
+
+// Workers normalizes a worker-count knob: values < 1 mean "one worker per
+// CPU", and the count never exceeds n (no point idling goroutines).
+func Workers(workers, n int) int {
+	if workers < 1 {
+		workers = runtime.NumCPU()
+	}
+	if n > 0 && workers > n {
+		workers = n
+	}
+	return workers
+}
+
+// scanRowsParallel evaluates scan(p) for every row p in [0, n) across the
+// given number of workers and returns the result of the LOWEST row that
+// produced one (nil if none did) — exactly what a sequential ascending
+// scan would return. scan must be safe for concurrent calls and should
+// poll abort() in its inner loop: abort reports that a strictly smaller
+// row already hit, making the current row's outcome irrelevant.
+func scanRowsParallel(n, workers int, scan func(p int, abort func() bool) []int) []int {
+	var next atomic.Int64
+	var best atomic.Int64
+	best.Store(int64(n))
+	results := make([][]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1) - 1)
+				if p >= n || int64(p) > best.Load() {
+					return
+				}
+				abort := func() bool { return best.Load() < int64(p) }
+				if out := scan(p, abort); out != nil {
+					results[p] = out
+					for {
+						cur := best.Load()
+						if int64(p) >= cur || best.CompareAndSwap(cur, int64(p)) {
+							break
+						}
+					}
+					// Any row this worker could still claim is larger
+					// than p, hence can never win.
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b := int(best.Load()); b < n {
+		return results[b]
+	}
+	return nil
+}
+
+// forRowsParallel runs fn(p) for every row p in [0, n) across workers,
+// with no early exit (for work that must cover all rows, like index
+// builds). fn must be safe for concurrent calls on distinct rows.
+func forRowsParallel(n, workers int, fn func(p int)) {
+	if workers <= 1 {
+		for p := 0; p < n; p++ {
+			fn(p)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1) - 1)
+				if p >= n {
+					return
+				}
+				fn(p)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// FindClusterParallel computes exactly what FindCluster computes — the
+// first qualifying pair in lexicographic order answers — sharding the
+// O(n^3) candidate scan across a worker pool. workers < 1 uses one worker
+// per CPU. s must be safe for concurrent Dist calls (metric.Matrix is).
+// Small spaces fall back to the sequential scan.
+func FindClusterParallel(s metric.Space, k int, l float64, workers int) ([]int, error) {
+	if err := validate(s, k, l); err != nil {
+		return nil, err
+	}
+	n := s.N()
+	workers = Workers(workers, n)
+	if workers == 1 || n < minParallelN {
+		return FindCluster(s, k, l)
+	}
+	res := scanRowsParallel(n, workers, func(p int, abort func() bool) []int {
+		for q := p + 1; q < n; q++ {
+			if abort() {
+				return nil
+			}
+			if s.Dist(p, q) > l {
+				continue
+			}
+			if members := Members(s, p, q); len(members) >= k {
+				return members[:k]
+			}
+		}
+		return nil
+	})
+	return res, nil
+}
+
+// MaxClusterSizeParallel computes MaxClusterSize with the pair scan
+// sharded across workers. Unlike the (k, l) search there is no early
+// exit: every pair within the diameter bound must be sized.
+func MaxClusterSizeParallel(s metric.Space, l float64, workers int) (int, []int) {
+	if s == nil || s.N() == 0 {
+		return 0, nil
+	}
+	n := s.N()
+	workers = Workers(workers, n)
+	if workers == 1 || n < minParallelN {
+		return MaxClusterSize(s, l)
+	}
+	type rowBest struct {
+		size    int
+		members []int
+	}
+	rows := make([]rowBest, n)
+	forRowsParallel(n, workers, func(p int) {
+		for q := p + 1; q < n; q++ {
+			if s.Dist(p, q) > l {
+				continue
+			}
+			if members := Members(s, p, q); len(members) > rows[p].size {
+				rows[p] = rowBest{size: len(members), members: members}
+			}
+		}
+	})
+	best, witness := 0, []int(nil)
+	for p := 0; p < n; p++ {
+		if rows[p].size > best {
+			best, witness = rows[p].size, rows[p].members
+		}
+	}
+	if best == 0 {
+		return 1, []int{0}
+	}
+	return best, witness
+}
+
+// NewIndexParallel builds the same index NewIndex builds, sharding the
+// O(n^3) |S*pq| precomputation across workers. workers < 1 uses one
+// worker per CPU; the space must be safe for concurrent Dist calls.
+func NewIndexParallel(s metric.Space, workers int) (*Index, error) {
+	if s == nil {
+		return nil, errNilSpace()
+	}
+	n := s.N()
+	workers = Workers(workers, n)
+	if workers == 1 || n < minParallelN {
+		return NewIndex(s)
+	}
+	lexSizes := make([]int, n*n)
+	forRowsParallel(n, workers, func(p int) {
+		for q := p + 1; q < n; q++ {
+			lexSizes[p*n+q] = len(Members(s, p, q))
+		}
+	})
+	return finishIndex(s, n, lexSizes), nil
+}
+
+// FindParallel answers a (k, l) query like Find, sharding the candidate
+// scan over the precomputed |S*pq| table across workers. Results are
+// memoized in the index's query cache, so repeated queries (the serving
+// pattern) cost one lock acquisition.
+func (ix *Index) FindParallel(k int, l float64, workers int) ([]int, error) {
+	if err := validate(ix.space, k, l); err != nil {
+		return nil, err
+	}
+	if members, ok := ix.cached(k, l); ok {
+		return members, nil
+	}
+	last := ix.lastWithin(l)
+	if last < 0 || ix.prefixMax[last] < k {
+		ix.store(k, l, nil)
+		return nil, nil
+	}
+	workers = Workers(workers, ix.n)
+	var members []int
+	if workers == 1 || ix.n < minParallelN {
+		members = ix.scanFrom(0, k, l)
+	} else {
+		members = scanRowsParallel(ix.n, workers, func(p int, abort func() bool) []int {
+			for q := p + 1; q < ix.n; q++ {
+				if abort() {
+					return nil
+				}
+				if ix.lexSizes[p*ix.n+q] >= k && ix.space.Dist(p, q) <= l {
+					return Members(ix.space, p, q)[:k]
+				}
+			}
+			return nil
+		})
+	}
+	ix.store(k, l, members)
+	return members, nil
+}

@@ -3,10 +3,16 @@ package predtree
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"bwcluster/internal/metric"
 )
+
+// defaultWorkers is the pool size when the caller does not pin one.
+func defaultWorkers() int { return runtime.NumCPU() }
 
 // Forest is a set of prediction trees over the same hosts, built with
 // different (random) insertion orders, predicting with the median of the
@@ -37,6 +43,69 @@ func BuildForest(o Oracle, c float64, mode SearchMode, count int, rng *rand.Rand
 			return nil, fmt.Errorf("predtree: forest tree %d: %w", i, err)
 		}
 		trees = append(trees, t)
+	}
+	return &Forest{trees: trees}, nil
+}
+
+// BuildForestParallel builds exactly the forest BuildForest builds, with
+// the per-tree constructions running concurrently on a pool of workers
+// (workers < 1 means one per CPU). Determinism is preserved by splitting
+// the random stream BEFORE spawning: all insertion orders are drawn from
+// rng sequentially — consuming its stream precisely as the sequential
+// build does — and each goroutine then runs the fully deterministic
+// insertion for its pre-drawn order. The result is bit-identical to
+// BuildForest with the same rng state, whatever the worker count, and rng
+// ends in the same state either way.
+//
+// o must be safe for concurrent Dist calls (metric.Matrix, being
+// immutable after construction, is).
+func BuildForestParallel(o Oracle, c float64, mode SearchMode, count int, rng *rand.Rand, workers int) (*Forest, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("predtree: forest needs at least 1 tree, got %d", count)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("predtree: forest needs a non-nil rng")
+	}
+	if workers < 1 {
+		workers = defaultWorkers()
+	}
+	if workers > count {
+		workers = count
+	}
+	if workers == 1 {
+		return BuildForest(o, c, mode, count, rng)
+	}
+	orders := make([][]int, count)
+	for i := range orders {
+		orders[i] = rng.Perm(o.N())
+	}
+	trees := make([]*Tree, count)
+	errs := make([]error, count)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= count {
+					return
+				}
+				t, err := Build(o, c, mode, orders[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				trees[i] = t
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("predtree: forest tree %d: %w", i, err)
+		}
 	}
 	return &Forest{trees: trees}, nil
 }

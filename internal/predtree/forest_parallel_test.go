@@ -1,0 +1,117 @@
+package predtree
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bwcluster/internal/testutil"
+)
+
+// treesEqual reports whether two trees are structurally identical:
+// same insertion order, same anchor relationships, and the same
+// embedded distance for every host pair.
+func treesEqual(a, b *Tree) bool {
+	ha, hb := a.Hosts(), b.Hosts()
+	if !reflect.DeepEqual(ha, hb) {
+		return false
+	}
+	for _, h := range ha {
+		if a.AnchorParent(h) != b.AnchorParent(h) {
+			return false
+		}
+		if !reflect.DeepEqual(a.AnchorChildren(h), b.AnchorChildren(h)) {
+			return false
+		}
+	}
+	for i, u := range ha {
+		for _, v := range ha[i+1:] {
+			if a.Dist(u, v) != b.Dist(u, v) {
+				return false
+			}
+		}
+	}
+	return a.Measurements() == b.Measurements()
+}
+
+// TestBuildForestParallelSeedDeterminism is the seed-determinism
+// regression test: with the same seed, the sequential and parallel forest
+// builds must produce identical trees (bit-identical distances, same
+// anchor structure, same measurement cost) for every worker count, and
+// must leave the shared rng in the same state.
+func TestBuildForestParallelSeedDeterminism(t *testing.T) {
+	const n, count = 40, 5
+	o := testutil.NoisyTreeMetric(n, 0.1, rand.New(rand.NewSource(7)))
+	for _, mode := range []SearchMode{SearchFull, SearchAnchor} {
+		for _, seed := range []int64{1, 42, 9999} {
+			seqRng := rand.New(rand.NewSource(seed))
+			seq, err := BuildForest(o, 100, mode, count, seqRng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Where the sequential build leaves the random stream.
+			wantNext := seqRng.Int63()
+			for _, workers := range []int{2, 3, count, count + 10, 0} {
+				parRng := rand.New(rand.NewSource(seed))
+				par, err := BuildForestParallel(o, 100, mode, count, parRng, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if par.Size() != seq.Size() {
+					t.Fatalf("mode=%v seed=%d workers=%d: size %d, want %d",
+						mode, seed, workers, par.Size(), seq.Size())
+				}
+				for i := range seq.trees {
+					if !treesEqual(seq.trees[i], par.trees[i]) {
+						t.Fatalf("mode=%v seed=%d workers=%d: tree %d differs from sequential build",
+							mode, seed, workers, i)
+					}
+				}
+				// The split of the random stream must consume it exactly
+				// as the sequential build does.
+				if parNext := parRng.Int63(); parNext != wantNext {
+					t.Fatalf("mode=%v seed=%d workers=%d: rng stream diverged (%d vs %d)",
+						mode, seed, workers, parNext, wantNext)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildForestParallelValidation mirrors the sequential argument
+// checks.
+func TestBuildForestParallelValidation(t *testing.T) {
+	o := testutil.RandomTreeMetric(5, rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(2))
+	if _, err := BuildForestParallel(o, 100, SearchFull, 0, rng, 4); err == nil {
+		t.Error("count=0 should fail")
+	}
+	if _, err := BuildForestParallel(o, 100, SearchFull, 3, nil, 4); err == nil {
+		t.Error("nil rng should fail")
+	}
+	if _, err := BuildForestParallel(o, -1, SearchFull, 3, rng, 4); err == nil {
+		t.Error("negative constant should fail")
+	}
+}
+
+// BenchmarkBuildForestParallel compares sequential and concurrent forest
+// construction of 8 trees over a 256-host oracle — the Sequoia-style
+// repeated Gromov-product insertion that dominates System.New.
+func BenchmarkBuildForestParallel(b *testing.B) {
+	const n, count = 256, 8
+	o := testutil.NoisyTreeMetric(n, 0.1, rand.New(rand.NewSource(3)))
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildForest(o, 100, SearchAnchor, count, rand.New(rand.NewSource(4))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildForestParallel(o, 100, SearchAnchor, count, rand.New(rand.NewSource(4)), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

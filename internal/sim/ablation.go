@@ -17,23 +17,33 @@ type NCutAblationResult struct {
 }
 
 // RunNCutAblation reruns the Fig. 4 experiment for each n_cut value on
-// the same dataset and seeds.
+// the same dataset and seeds. The curves are independent (each rerun
+// derives its randomness from base.Seed alone), so base.Parallelism fans
+// them out across workers without changing any curve.
 func RunNCutAblation(base TradeoffConfig, nCuts []int) (*NCutAblationResult, error) {
 	if len(nCuts) == 0 {
 		nCuts = []int{5, 10, 20}
 	}
-	out := &NCutAblationResult{Dataset: base.Dataset}
 	for _, nCut := range nCuts {
 		if nCut < 1 {
 			return nil, fmt.Errorf("sim: n_cut must be >= 1, got %d", nCut)
 		}
+	}
+	out := &NCutAblationResult{Dataset: base.Dataset}
+	out.Curves = make([]NCutCurve, len(nCuts))
+	err := forEachIndexed(len(nCuts), base.Parallelism, func(i int) error {
 		cfg := base
-		cfg.NCut = nCut
+		cfg.NCut = nCuts[i]
+		cfg.Parallelism = 1 // the curve fan-out is the parallel axis
 		res, err := RunTradeoff(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("sim: ncut ablation (n_cut=%d): %w", nCut, err)
+			return fmt.Errorf("sim: ncut ablation (n_cut=%d): %w", nCuts[i], err)
 		}
-		out.Curves = append(out.Curves, NCutCurve{NCut: nCut, Points: res.Points})
+		out.Curves[i] = NCutCurve{NCut: nCuts[i], Points: res.Points}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -52,23 +62,32 @@ type TreesAblationResult struct {
 	Curves  []TreesCurve
 }
 
-// RunTreesAblation reruns the Fig. 3 WPR sweep for each forest size.
+// RunTreesAblation reruns the Fig. 3 WPR sweep for each forest size. As
+// in RunNCutAblation, base.Parallelism fans the independent curves out.
 func RunTreesAblation(base AccuracyConfig, sizes []int) (*TreesAblationResult, error) {
 	if len(sizes) == 0 {
 		sizes = []int{1, 3, 5}
 	}
-	out := &TreesAblationResult{Dataset: base.Dataset}
 	for _, trees := range sizes {
 		if trees < 1 {
 			return nil, fmt.Errorf("sim: forest size must be >= 1, got %d", trees)
 		}
+	}
+	out := &TreesAblationResult{Dataset: base.Dataset}
+	out.Curves = make([]TreesCurve, len(sizes))
+	err := forEachIndexed(len(sizes), base.Parallelism, func(i int) error {
 		cfg := base
-		cfg.Trees = trees
+		cfg.Trees = sizes[i]
+		cfg.Parallelism = 1 // the curve fan-out is the parallel axis
 		res, err := RunAccuracy(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("sim: trees ablation (trees=%d): %w", trees, err)
+			return fmt.Errorf("sim: trees ablation (trees=%d): %w", sizes[i], err)
 		}
-		out.Curves = append(out.Curves, TreesCurve{Trees: trees, Points: res.Points})
+		out.Curves[i] = TreesCurve{Trees: sizes[i], Points: res.Points}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -34,6 +34,10 @@ type AccuracyConfig struct {
 	Seed int64
 	// CDFPoints caps the resolution of the error CDFs.
 	CDFPoints int
+	// Parallelism bounds the per-round framework construction worker
+	// pool (0: one worker per CPU, 1: sequential). It never changes
+	// results.
+	Parallelism int
 }
 
 // DefaultAccuracyConfig returns the paper-scale configuration: 1000
@@ -134,6 +138,7 @@ func RunAccuracy(cfg AccuracyConfig) (*AccuracyResult, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(round)))
 		fw, err := BuildFramework(bw, FrameworkConfig{
 			C: cfg.C, NCut: cfg.NCut, Trees: cfg.Trees, Classes: classes, Euclid: true,
+			Parallelism: cfg.Parallelism,
 		}, rng)
 		if err != nil {
 			return nil, fmt.Errorf("sim: accuracy round %d: %w", round, err)

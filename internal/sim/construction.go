@@ -19,6 +19,9 @@ type ConstructionConfig struct {
 	Rounds  int
 	C       float64
 	Seed    int64
+	// Parallelism bounds the worker pool fanning the per-size series out
+	// (0: one worker per CPU, 1: sequential); it never changes results.
+	Parallelism int
 }
 
 // DefaultConstructionConfig sweeps 50..300 hosts over 5 rounds.
@@ -74,39 +77,45 @@ func RunConstructionCost(cfg ConstructionConfig) (*ConstructionResult, error) {
 		return nil, fmt.Errorf("sim: construction dataset: %w", err)
 	}
 	out := &ConstructionResult{Base: cfg.Base}
-	for _, n := range cfg.NValues {
+	out.Points = make([]ConstructionPoint, len(cfg.NValues))
+	err = forEachIndexed(len(cfg.NValues), cfg.Parallelism, func(ni int) error {
+		n := cfg.NValues[ni]
 		if n > base.N() {
-			return nil, fmt.Errorf("sim: subset size %d exceeds base %d", n, base.N())
+			return fmt.Errorf("sim: subset size %d exceeds base %d", n, base.N())
 		}
 		fullTotal, anchorTotal := 0, 0
 		for round := 0; round < cfg.Rounds; round++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(n)*31 + int64(round)))
 			bw, err := dataset.RandomSubset(base, n, rng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			d, err := metric.DistanceFromBandwidth(bw, cfg.C)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			order := rng.Perm(n)
 			full, err := predtree.Build(d, cfg.C, predtree.SearchFull, order)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			anchor, err := predtree.Build(d, cfg.C, predtree.SearchAnchor, order)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			fullTotal += full.Measurements()
 			anchorTotal += anchor.Measurements()
 		}
 		joins := float64(cfg.Rounds * n)
-		out.Points = append(out.Points, ConstructionPoint{
+		out.Points[ni] = ConstructionPoint{
 			N:             n,
 			FullPerJoin:   float64(fullTotal) / joins,
 			AnchorPerJoin: float64(anchorTotal) / joins,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -34,6 +34,10 @@ type DynamicsConfig struct {
 	BSteps     int
 	C          float64
 	Seed       int64
+	// Parallelism bounds the worker pool inside each framework build
+	// (0: one worker per CPU, 1: sequential); it never changes results.
+	// Epochs themselves stay sequential — each drifts the previous state.
+	Parallelism int
 }
 
 // DefaultDynamicsConfig returns a moderate drift scenario.
@@ -128,7 +132,7 @@ func RunDynamics(cfg DynamicsConfig) (*DynamicsResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	fwCfg := FrameworkConfig{C: cfg.C, NCut: cfg.NCut, Classes: classes}
+	fwCfg := FrameworkConfig{C: cfg.C, NCut: cfg.NCut, Classes: classes, Parallelism: cfg.Parallelism}
 
 	// The stale frameworks share the epoch-0 refresh seeds, so both sides
 	// start identical and the curves separate only through drift.

@@ -28,6 +28,11 @@ type ScalabilityConfig struct {
 	NCut   int
 	C      float64
 	Seed   int64
+	// Parallelism bounds the worker pool fanning the per-size data
+	// series out (0: one worker per CPU, 1: sequential). Every size
+	// derives its randomness from Seed and its own parameters, so the
+	// fan-out never changes results.
+	Parallelism int
 }
 
 // DefaultScalabilityConfig returns the paper-scale Fig. 6 configuration.
@@ -114,9 +119,11 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 	}
 
 	out := &ScalabilityResult{Base: cfg.Base}
-	for _, n := range cfg.NValues {
+	out.Points = make([]ScalePoint, len(cfg.NValues))
+	err = forEachIndexed(len(cfg.NValues), cfg.Parallelism, func(ni int) error {
+		n := cfg.NValues[ni]
 		if n > base.N() {
-			return nil, fmt.Errorf("sim: subset size %d exceeds base %d", n, base.N())
+			return fmt.Errorf("sim: subset size %d exceeds base %d", n, base.N())
 		}
 		var hopSamples []int
 		rr := &RateAccumulator{}
@@ -127,13 +134,13 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 			subRng := rand.New(rand.NewSource(cfg.Seed + 40000 + int64(n)*131 + int64(ds)))
 			bw, err := dataset.RandomSubset(base, n, subRng)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for round := 0; round < cfg.Rounds; round++ {
 				rng := rand.New(rand.NewSource(cfg.Seed + 80000 + int64(n)*257 + int64(ds)*17 + int64(round)))
-				fw, err := BuildFramework(bw, FrameworkConfig{C: cfg.C, NCut: cfg.NCut, Classes: classes}, rng)
+				fw, err := BuildFramework(bw, FrameworkConfig{C: cfg.C, NCut: cfg.NCut, Classes: classes, Parallelism: 1}, rng)
 				if err != nil {
-					return nil, fmt.Errorf("sim: scalability n=%d: %w", n, err)
+					return fmt.Errorf("sim: scalability n=%d: %w", n, err)
 				}
 				hosts := fw.Net.Hosts()
 				frameworks++
@@ -154,12 +161,12 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 					b := bValues[rng.Intn(len(bValues))]
 					l, err := metric.DistanceForBandwidthConstraint(b, cfg.C)
 					if err != nil {
-						return nil, err
+						return err
 					}
 					start := hosts[rng.Intn(len(hosts))]
 					res, err := fw.Net.Query(start, k, l)
 					if err != nil {
-						return nil, fmt.Errorf("sim: scalability query: %w", err)
+						return fmt.Errorf("sim: scalability query: %w", err)
 					}
 					hopSamples = append(hopSamples, res.Hops)
 					if res.Hops > maxHops {
@@ -171,14 +178,18 @@ func RunScalability(cfg ScalabilityConfig) (*ScalabilityResult, error) {
 		}
 		avg, err := stats.MeanInt(hopSamples)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pt := ScalePoint{N: n, AvgHops: avg, MaxHops: maxHops, RR: rr.Value()}
 		if frameworks > 0 {
 			pt.MsgsPerHostRound = msgsPerHostRound / float64(frameworks)
 			pt.ConvergeRounds = convergeRounds / float64(frameworks)
 		}
-		out.Points = append(out.Points, pt)
+		out.Points[ni] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -91,6 +91,10 @@ type FrameworkConfig struct {
 	Euclid bool
 	// Vivaldi overrides the embedding parameters (zero value: defaults).
 	Vivaldi vivaldi.Config
+	// Parallelism bounds the worker pool for forest construction and
+	// index precomputation (0: one worker per CPU, 1: sequential).
+	// Parallelism never changes results.
+	Parallelism int
 }
 
 // Framework bundles everything one simulation round (one seed) needs: the
@@ -132,7 +136,7 @@ func BuildFramework(bw *metric.Matrix, cfg FrameworkConfig, rng *rand.Rand) (*Fr
 	if err != nil {
 		return nil, fmt.Errorf("sim: transform bandwidth: %w", err)
 	}
-	forest, err := predtree.BuildForest(realDist, cfg.C, cfg.Search, cfg.Trees, rng)
+	forest, err := predtree.BuildForestParallel(realDist, cfg.C, cfg.Search, cfg.Trees, rng, cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("sim: build prediction forest: %w", err)
 	}
@@ -147,7 +151,7 @@ func BuildFramework(bw *metric.Matrix, cfg FrameworkConfig, rng *rand.Rand) (*Fr
 		}
 	}
 	f.PredDist = pred
-	if f.TreeIdx, err = cluster.NewIndex(pred); err != nil {
+	if f.TreeIdx, err = cluster.NewIndexParallel(pred, cfg.Parallelism); err != nil {
 		return nil, fmt.Errorf("sim: tree cluster index: %w", err)
 	}
 

@@ -25,6 +25,9 @@ type SwordConfig struct {
 	BSteps int
 	C      float64
 	Seed   int64
+	// Parallelism bounds the worker pool inside each framework build
+	// (0: one worker per CPU, 1: sequential); it never changes results.
+	Parallelism int
 }
 
 // DefaultSwordConfig compares on a 150-host HP-like subset.
@@ -121,7 +124,7 @@ func RunSwordComparison(cfg SwordConfig) (*SwordResult, error) {
 	measurements := 0.0
 	for round := 0; round < cfg.Rounds; round++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + 700 + int64(round)))
-		fw, err := BuildFramework(bw, FrameworkConfig{C: cfg.C}, rng)
+		fw, err := BuildFramework(bw, FrameworkConfig{C: cfg.C, Parallelism: cfg.Parallelism}, rng)
 		if err != nil {
 			return nil, fmt.Errorf("sim: sword round %d: %w", round, err)
 		}

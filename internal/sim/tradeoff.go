@@ -26,6 +26,10 @@ type TradeoffConfig struct {
 	NCut   int
 	C      float64
 	Seed   int64
+	// Parallelism bounds the per-round framework construction worker
+	// pool (0: one worker per CPU, 1: sequential). It never changes
+	// results.
+	Parallelism int
 }
 
 // DefaultTradeoffConfig returns the paper-scale Fig. 4 configuration.
@@ -107,7 +111,9 @@ func RunTradeoff(cfg TradeoffConfig) (*TradeoffResult, error) {
 	}
 	for round := 0; round < cfg.Rounds; round++ {
 		rng := rand.New(rand.NewSource(cfg.Seed + 5000 + int64(round)))
-		fw, err := BuildFramework(bw, FrameworkConfig{C: cfg.C, NCut: cfg.NCut, Classes: classes}, rng)
+		fw, err := BuildFramework(bw, FrameworkConfig{
+			C: cfg.C, NCut: cfg.NCut, Classes: classes, Parallelism: cfg.Parallelism,
+		}, rng)
 		if err != nil {
 			return nil, fmt.Errorf("sim: tradeoff round %d: %w", round, err)
 		}

@@ -37,6 +37,11 @@ type TreenessConfig struct {
 	EpsSamples int
 	C          float64
 	Seed       int64
+	// Parallelism bounds the worker pool fanning the per-noise series out
+	// (0: one worker per CPU, 1: sequential). Each series derives all of
+	// its randomness from Seed and its own index, so the fan-out never
+	// changes results.
+	Parallelism int
 }
 
 // DefaultTreenessConfig returns the paper-scale Fig. 5 configuration.
@@ -123,24 +128,25 @@ func RunTreeness(cfg TreenessConfig) (*TreenessResult, error) {
 	}
 
 	out := &TreenessResult{Base: cfg.Base, K: cfg.K, Alpha: cfg.Alpha}
-	for di, noise := range cfg.Noises {
+	out.Series = make([]TreenessSeries, len(cfg.Noises))
+	err = forEachIndexed(len(cfg.Noises), cfg.Parallelism, func(di int) error {
+		noise := cfg.Noises[di]
 		// All noise levels share the data seed: the generator consumes its
 		// stream identically regardless of amplitude, so the datasets are
 		// paired (same topology, same noise directions) and differ only in
 		// treeness — the variable under study.
 		dataRng := rand.New(rand.NewSource(cfg.Seed))
-		_ = di
 		bw, err := dataset.Generate(baseCfg.WithN(cfg.N).WithNoise(noise), dataRng)
 		if err != nil {
-			return nil, fmt.Errorf("sim: treeness dataset %d: %w", di, err)
+			return fmt.Errorf("sim: treeness dataset %d: %w", di, err)
 		}
 		realDist, err := metric.DistanceFromBandwidth(bw, cfg.C)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		epsAvg, err := metric.AvgEpsilon(realDist, cfg.EpsSamples, dataRng)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		series := TreenessSeries{Noise: noise, EpsAvg: epsAvg, EpsStar: metric.EpsilonStar(epsAvg)}
 
@@ -151,18 +157,18 @@ func RunTreeness(cfg TreenessConfig) (*TreenessResult, error) {
 		}
 		for round := 0; round < cfg.Rounds; round++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + 9000 + int64(di)*101 + int64(round)))
-			fw, err := BuildFramework(bw, FrameworkConfig{C: cfg.C}, rng)
+			fw, err := BuildFramework(bw, FrameworkConfig{C: cfg.C, Parallelism: 1}, rng)
 			if err != nil {
-				return nil, fmt.Errorf("sim: treeness round %d: %w", round, err)
+				return fmt.Errorf("sim: treeness round %d: %w", round, err)
 			}
 			for bi, b := range cfg.BValues {
 				l, err := metric.DistanceForBandwidthConstraint(b, cfg.C)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				members, err := fw.TreeIdx.Find(cfg.K, l)
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if members == nil {
 					continue
@@ -173,15 +179,15 @@ func RunTreeness(cfg TreenessConfig) (*TreenessResult, error) {
 		for bi, b := range cfg.BValues {
 			fb, err := stats.CDFAt(vals, b)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			fa, err := stats.FractionIn(vals, b-10, b+10)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			faStar, err := metric.FAStar(fa, cfg.Alpha)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			wpr := wprs[bi].Value()
 			series.Points = append(series.Points, TreenessPoint{
@@ -194,7 +200,11 @@ func RunTreeness(cfg TreenessConfig) (*TreenessResult, error) {
 				Model:   metric.ModelWPR(fb, metric.EpsilonSharp(series.EpsStar, faStar)),
 			})
 		}
-		out.Series = append(out.Series, series)
+		out.Series[di] = series
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -24,6 +24,10 @@ type systemWire struct {
 	Classes []float64
 	BW      *metric.Matrix
 	Forest  *predtree.Forest
+	// Workers is the system's worker-pool bound. Snapshots from releases
+	// without the field decode as 0, which Load treats as the default
+	// (one worker per CPU).
+	Workers int
 }
 
 // wireVersion guards against loading snapshots from incompatible
@@ -40,6 +44,7 @@ func (s *System) Save(w io.Writer) error {
 		Classes: s.classes,
 		BW:      s.bw,
 		Forest:  s.forest,
+		Workers: s.workers,
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("bwcluster: save system: %w", err)
@@ -74,6 +79,7 @@ func Load(r io.Reader) (*System, error) {
 	if snap.C <= 0 || snap.NCut < 1 || len(snap.Classes) == 0 {
 		return nil, fmt.Errorf("bwcluster: load system: invalid parameters")
 	}
+	workers := cluster.Workers(snap.Workers, 0)
 	dm, hosts := snap.Forest.DistMatrix()
 	pred := metric.NewMatrix(snap.BW.N())
 	for i := range hosts {
@@ -81,7 +87,7 @@ func Load(r io.Reader) (*System, error) {
 			pred.Set(hosts[i], hosts[j], dm.Dist(i, j))
 		}
 	}
-	treeIdx, err := cluster.NewIndex(pred)
+	treeIdx, err := cluster.NewIndexParallel(pred, workers)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: load system: %w", err)
 	}
@@ -97,8 +103,9 @@ func Load(r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("bwcluster: load system: %w", err)
 	}
 	return &System{
-		c: snap.C, nCut: snap.NCut, bw: snap.BW, forest: snap.Forest,
-		pred: pred, treeIdx: treeIdx, net: net, classes: snap.Classes,
+		c: snap.C, nCut: snap.NCut, workers: workers, bw: snap.BW,
+		forest: snap.Forest, pred: pred, treeIdx: treeIdx, net: net,
+		classes: snap.Classes,
 	}, nil
 }
 

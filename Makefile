@@ -7,7 +7,7 @@ GO ?= go
 # 0 = one worker per CPU; 1 = sequential. Never changes results.
 PARALLEL ?= 0
 
-.PHONY: all build fmt test race bench bench-smoke ci figures ablations clean
+.PHONY: all build fmt test race bench bench-smoke bench-json ci figures ablations clean
 
 all: build test
 
@@ -32,6 +32,12 @@ bench:
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x ./...
+
+# Machine-readable benchmark report (one iteration per bench so it is
+# cheap enough for CI; use BENCHTIME=1s locally for stable numbers).
+BENCHTIME ?= 1x
+bench-json:
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/bwc-benchjson > BENCH_results.json
 
 # The full CI gate, in the workflow's order: formatting first, then
 # build+vet, tests, the race detector, and one iteration of every bench.

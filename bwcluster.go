@@ -30,6 +30,7 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"time"
 
 	"bwcluster/internal/cluster"
 	"bwcluster/internal/metric"
@@ -204,6 +205,7 @@ func New(bandwidth [][]float64, opts ...Option) (*System, error) {
 			return nil, err
 		}
 	}
+	buildStart := time.Now()
 	bw, err := metric.Symmetrize(bandwidth)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: %w", err)
@@ -252,6 +254,7 @@ func New(bandwidth [][]float64, opts ...Option) (*System, error) {
 	if _, err := net.Converge(0); err != nil {
 		return nil, fmt.Errorf("bwcluster: converge overlay: %w", err)
 	}
+	mBuildSeconds.Set(time.Since(buildStart).Seconds())
 	return &System{
 		c: o.c, nCut: o.nCut, workers: workers, bw: bw, forest: forest,
 		pred: pred, treeIdx: treeIdx, net: net, classes: o.classes,
@@ -340,6 +343,7 @@ func (s *System) checkHost(h int) error {
 // cache; both are invisible in the results, which always match the
 // sequential scan's answer. Safe for concurrent use.
 func (s *System) FindCluster(k int, minBandwidth float64) ([]int, error) {
+	t0 := time.Now()
 	l, err := metric.DistanceForBandwidthConstraint(minBandwidth, s.c)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: %w", err)
@@ -348,6 +352,7 @@ func (s *System) FindCluster(k int, minBandwidth float64) ([]int, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: %w", err)
 	}
+	mFindClusterSeconds.Observe(time.Since(t0).Seconds())
 	return members, nil
 }
 
@@ -362,6 +367,7 @@ func (s *System) Query(start, k int, minBandwidth float64) (QueryResult, error) 
 	if err := s.checkHost(start); err != nil {
 		return QueryResult{}, err
 	}
+	t0 := time.Now()
 	l, err := metric.DistanceForBandwidthConstraint(minBandwidth, s.c)
 	if err != nil {
 		return QueryResult{}, fmt.Errorf("bwcluster: %w", err)
@@ -370,6 +376,7 @@ func (s *System) Query(start, k int, minBandwidth float64) (QueryResult, error) 
 	if err != nil {
 		return QueryResult{}, fmt.Errorf("bwcluster: %w", err)
 	}
+	mQuerySeconds.Observe(time.Since(t0).Seconds())
 	out := QueryResult{Members: res.Cluster, Hops: res.Hops, AnsweredBy: res.Answered}
 	if res.Class > 0 {
 		out.Class = s.c / res.Class

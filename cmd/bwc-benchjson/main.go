@@ -1,0 +1,119 @@
+// Command bwc-benchjson converts `go test -bench` text output (read
+// from stdin) into a machine-readable JSON report, so CI can archive
+// benchmark results and diff them across commits.
+//
+//	go test -bench=. -benchmem ./... | bwc-benchjson > BENCH_results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"bwcluster/internal/buildinfo"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+}
+
+// Report is the full JSON document written to stdout.
+type Report struct {
+	GoVersion  string      `json:"goVersion"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	CPU        string      `json:"cpu,omitempty"`
+	Build      string      `json:"build"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bwc-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Build:      buildinfo.String(),
+		Benchmarks: []Benchmark{},
+	}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			b.Pkg = pkg
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("read: %w", err)
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   1234   987654 ns/op   120 B/op   3 allocs/op
+//
+// The B/op and allocs/op columns are optional (-benchmem). Lines that
+// do not match (e.g. "BenchmarkFoo" printed alone before its result)
+// are skipped.
+func parseBenchLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || f[3] != "ns/op" {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	ns, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters, NsPerOp: ns}
+	for i := 4; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseInt(f[i], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		}
+	}
+	return b, true
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: bwcluster
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkSystemBuild-8   	      10	 104857600 ns/op	 5242880 B/op	   40960 allocs/op
+BenchmarkFindCluster-8   	    5000	    240000 ns/op
+PASS
+ok  	bwcluster	2.345s
+pkg: bwcluster/internal/predtree
+BenchmarkTreeBuild-8     	     200	   6000000 ns/op	  819200 B/op	    8192 allocs/op
+PASS
+ok  	bwcluster/internal/predtree	1.111s
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleBenchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.GoVersion == "" || rep.GOOS == "" || rep.GOARCH == "" || rep.CPUs <= 0 {
+		t.Errorf("missing host info: %+v", rep)
+	}
+	if rep.CPU != "Imaginary CPU @ 3.00GHz" {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkSystemBuild-8" || b.Pkg != "bwcluster" ||
+		b.Iterations != 10 || b.NsPerOp != 104857600 ||
+		b.BytesPerOp != 5242880 || b.AllocsPerOp != 40960 {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+	if b := rep.Benchmarks[1]; b.BytesPerOp != 0 || b.AllocsPerOp != 0 {
+		t.Errorf("benchmark without -benchmem columns should omit them: %+v", b)
+	}
+	if b := rep.Benchmarks[2]; b.Pkg != "bwcluster/internal/predtree" {
+		t.Errorf("pkg tracking across packages broke: %+v", b)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(""), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Benchmarks == nil || len(rep.Benchmarks) != 0 {
+		t.Errorf("want empty (non-null) benchmarks array, got %#v", rep.Benchmarks)
+	}
+}
+
+func TestParseBenchLineRejectsPartialLines(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkFoo",
+		"BenchmarkFoo-8",
+		"BenchmarkFoo-8   x   100 ns/op",
+		"BenchmarkFoo-8   100   y ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine(%q) accepted", line)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 
+	"bwcluster/internal/buildinfo"
 	"bwcluster/internal/dataset"
 	"bwcluster/internal/metric"
 	"bwcluster/internal/stats"
@@ -35,8 +36,13 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	out := fs.String("out", "", "output file (.csv or .gob); required")
 	stats := fs.Bool("stats", false, "print percentile and treeness statistics")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("bwc-gen", buildinfo.String())
+		return nil
 	}
 	if *out == "" {
 		return fmt.Errorf("-out is required")

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"bwcluster"
+	"bwcluster/internal/buildinfo"
 	"bwcluster/internal/dataset"
 )
 
@@ -42,8 +43,13 @@ func run(args []string) error {
 	maxSize := fs.Float64("maxsize", 0, "print the maximum cluster size for this bandwidth constraint and exit")
 	dot := fs.String("dot", "", "write the overlay structure as Graphviz DOT and exit: anchor or pred")
 	crt := fs.Int("crt", -1, "print this host's cluster routing table and exit")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("bwc-query", buildinfo.String())
+		return nil
 	}
 	if *data == "" {
 		return fmt.Errorf("-data is required")

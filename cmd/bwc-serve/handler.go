@@ -3,11 +3,14 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 
 	"bwcluster"
+	"bwcluster/internal/telemetry"
 )
 
 // handler serves the JSON API. A built System is safe for concurrent
@@ -19,7 +22,7 @@ type handler struct {
 	sys *bwcluster.System
 }
 
-func newHandler(sys *bwcluster.System) http.Handler {
+func newHandler(sys *bwcluster.System, logger *slog.Logger) http.Handler {
 	h := &handler{sys: sys}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/info", h.info)
@@ -28,7 +31,15 @@ func newHandler(sys *bwcluster.System) http.Handler {
 	mux.HandleFunc("GET /v1/predict", h.predict)
 	mux.HandleFunc("GET /v1/tightest", h.tightest)
 	mux.HandleFunc("GET /v1/label", h.label)
-	return mux
+	mux.HandleFunc("GET /v1/trace", h.trace)
+	// Observability plane: metrics exposition and the stdlib profiler.
+	mux.Handle("GET /metrics", telemetry.Default().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return withObservability(logger, mux)
 }
 
 type errorBody struct {
@@ -208,6 +219,43 @@ func (h *handler) tightest(w http.ResponseWriter, r *http.Request) {
 		"members":        members,
 		"found":          members != nil,
 		"worstBandwidth": worst,
+	})
+}
+
+// trace runs a decentralized query with tracing enabled and returns the
+// span tree alongside the result: one child span per overlay hop with
+// the peer id, the routing signal (CRT promise) and the candidate
+// radius. GET /v1/trace?k=10&b=50&start=3 (start defaults to 0).
+func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
+	k, err := intParam(r, "k")
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	b, err := floatParam(r, "b")
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	start := 0
+	if r.URL.Query().Get("start") != "" {
+		if start, err = intParam(r, "start"); err != nil {
+			badRequest(w, err)
+			return
+		}
+	}
+	res, span, err := h.sys.QueryTraced(start, k, b)
+	if err != nil {
+		badRequest(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"members":    res.Members,
+		"found":      res.Found(),
+		"hops":       res.Hops,
+		"answeredBy": res.AnsweredBy,
+		"classMbps":  res.Class,
+		"trace":      span,
 	})
 }
 

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -9,10 +11,11 @@ import (
 	"sync"
 	"testing"
 
+	"bwcluster"
 	"bwcluster/internal/dataset"
 )
 
-func testServer(t *testing.T) *httptest.Server {
+func testSystem(t *testing.T) *bwcluster.System {
 	t.Helper()
 	bw, err := dataset.Generate(dataset.HPConfig().WithN(30), rand.New(rand.NewSource(1)))
 	if err != nil {
@@ -26,9 +29,18 @@ func testServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(newHandler(sys))
+	return sys
+}
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newHandler(testSystem(t), discardLogger()))
 	t.Cleanup(srv.Close)
 	return srv
+}
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
 
 func getJSON(t *testing.T, url string, wantStatus int) map[string]any {

@@ -13,23 +13,37 @@
 //	GET /v1/predict?u=3&v=29             bandwidth prediction
 //	GET /v1/tightest?k=8                 minimum-diameter cluster
 //	GET /v1/label?h=7                    a host's distance label
+//	GET /v1/trace?k=10&b=50&start=3      traced decentralized query (span tree JSON)
+//	GET /metrics                         Prometheus text-format metrics
+//	GET /debug/pprof/                    stdlib profiler index
+//
+// Every request gets an X-Request-Id and one structured (slog) access
+// log line on stderr. SIGINT/SIGTERM drain in-flight requests before
+// exiting (see -drain).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bwcluster"
+	"bwcluster/internal/buildinfo"
 	"bwcluster/internal/dataset"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		log.Fatal("bwc-serve: ", err)
+		fmt.Fprintln(os.Stderr, "bwc-serve:", err)
+		os.Exit(1)
 	}
 }
 
@@ -39,23 +53,85 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	nCut := fs.Int("ncut", 10, "overlay propagation cutoff n_cut")
 	seed := fs.Int64("seed", 1, "construction seed")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("bwc-serve", buildinfo.String())
+		return nil
 	}
 	if *data == "" {
 		return fmt.Errorf("-data is required")
 	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	buildStart := time.Now()
 	sys, err := buildSystem(*data, *nCut, *seed)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(sys),
+		Handler:           newHandler(sys, logger),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("bwc-serve: %d hosts ready on %s", sys.Len(), *addr)
-	return srv.ListenAndServe()
+	logger.Info("ready",
+		"hosts", sys.Len(),
+		"addr", *addr,
+		"buildMs", time.Since(buildStart).Milliseconds(),
+		"version", buildinfo.String(),
+	)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return serve(ctx, srv, logger, *drain)
+}
+
+// serve binds srv.Addr and hands off to serveListener.
+func serve(ctx context.Context, srv *http.Server, logger *slog.Logger, drainTimeout time.Duration) error {
+	ln, err := listen(srv)
+	if err != nil {
+		return err
+	}
+	return serveListener(ctx, srv, ln, logger, drainTimeout)
+}
+
+// listen opens srv's TCP listener; split out so tests can bind :0 and
+// learn the chosen port.
+func listen(srv *http.Server) (net.Listener, error) {
+	addr := srv.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	return net.Listen("tcp", addr)
+}
+
+// serveListener runs srv on ln until it fails or ctx is cancelled (a
+// shutdown signal), then drains in-flight requests via
+// http.Server.Shutdown, bounded by drainTimeout. A drain that overruns
+// the timeout falls back to a hard close so the process still exits.
+func serveListener(ctx context.Context, srv *http.Server, ln net.Listener, logger *slog.Logger, drainTimeout time.Duration) error {
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	logger.Info("shutdown signal; draining in-flight requests", "timeout", drainTimeout.String())
+	drainStart := time.Now()
+	shCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		logger.Error("drain incomplete; closing", "err", err.Error())
+		_ = srv.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	logger.Info("drained; server stopped", "drainMs", time.Since(drainStart).Milliseconds())
+	return nil
 }
 
 // buildSystem loads the matrix and constructs the clustering system.

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"bwcluster/internal/telemetry"
+)
+
+// HTTP-layer telemetry. Path labels come from r.URL.Path, whose
+// cardinality is bounded by the mux routes (query strings are not part
+// of the label).
+var (
+	mHTTPRequests = telemetry.NewCounterVec("bwc_http_requests_total",
+		"HTTP requests served, by path and status code.",
+		"path", "code")
+	mHTTPSeconds = telemetry.NewHistogram("bwc_http_request_seconds",
+		"HTTP request latency, all endpoints.",
+		telemetry.DurationBuckets())
+	mHTTPInFlight = telemetry.NewGauge("bwc_http_in_flight_requests",
+		"Requests currently being served.")
+)
+
+// reqSeq numbers requests within the process; combined with the process
+// start stamp it yields IDs unique across restarts without needing a
+// random source (request IDs must not consume seeded randomness).
+var (
+	reqSeq   atomic.Uint64
+	reqEpoch = time.Now().UnixNano()
+)
+
+func nextRequestID() string {
+	return strconv.FormatInt(reqEpoch, 36) + "-" + strconv.FormatUint(reqSeq.Add(1), 16)
+}
+
+// statusRecorder captures the status code and body size a handler
+// produced, for the access log and the per-code request counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// withObservability wraps a handler with the serving-path telemetry:
+// request IDs (echoed in X-Request-Id), an slog access log line per
+// request, the request counter/latency histogram and the in-flight
+// gauge.
+func withObservability(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := nextRequestID()
+		mHTTPInFlight.Add(1)
+		defer mHTTPInFlight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(rec, r)
+		dur := time.Since(start)
+		mHTTPSeconds.Observe(dur.Seconds())
+		mHTTPRequests.Inc(r.URL.Path, strconv.Itoa(rec.status))
+		logger.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"durMs", float64(dur.Microseconds())/1e3,
+			"remote", r.RemoteAddr,
+		)
+	})
+}

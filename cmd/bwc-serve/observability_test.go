@@ -1,0 +1,341 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsEndpoint drives query traffic through every instrumented
+// layer and asserts /metrics exposes the advertised families in valid
+// Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := testServer(t)
+	// Touch each layer: centralized scan, decentralized routing, HTTP.
+	getJSON(t, srv.URL+"/v1/cluster?k=4&b=20", http.StatusOK)
+	getJSON(t, srv.URL+"/v1/cluster?k=4&b=20&mode=decentral&start=2", http.StatusOK)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+
+	// One family per instrumented layer, at least; the acceptance bar is
+	// >= 12 distinct series spanning predtree, cluster, overlay and HTTP.
+	for _, family := range []string{
+		"bwc_predtree_build_seconds",
+		"bwc_predtree_trees_built_total",
+		"bwc_cluster_scan_rows_total",
+		"bwc_cluster_index_cache_hits_total",
+		"bwc_overlay_queries_total",
+		"bwc_overlay_query_hops",
+		"bwc_overlay_gossip_messages_total",
+		"bwc_system_build_seconds",
+		"bwc_system_query_seconds",
+		"bwc_http_requests_total",
+		"bwc_http_request_seconds",
+		"bwc_http_in_flight_requests",
+	} {
+		if !strings.Contains(body, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+
+	// Count distinct series (non-comment sample lines, family name part).
+	series := map[string]bool{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		series[name] = true
+		// Minimal format validity: every sample line has exactly one value
+		// after the name/labels.
+		fields := strings.Fields(line[strings.LastIndexByte(line, '}')+1:])
+		if len(fields) == 0 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+	if len(series) < 12 {
+		t.Errorf("only %d distinct series exposed, want >= 12:\n%v", len(series), series)
+	}
+}
+
+// TestMetricsScrapeUnderTraffic scrapes /metrics concurrently with query
+// traffic; under -race this validates the exposition snapshot path
+// against lock-free writers.
+func TestMetricsScrapeUnderTraffic(t *testing.T) {
+	srv := testServer(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if g%2 == 0 {
+					if code, _ := get(t, srv.URL+"/metrics"); code != http.StatusOK {
+						t.Errorf("/metrics status %d", code)
+					}
+				} else {
+					getJSON(t, srv.URL+"/v1/cluster?k=3&b=25&mode=decentral", http.StatusOK)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := getJSON(t, srv.URL+"/v1/trace?k=4&b=15&start=5", http.StatusOK)
+	if body["found"] != true {
+		t.Fatalf("trace query found no cluster: %v", body)
+	}
+	tr, ok := body["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("trace is not an object: %v", body["trace"])
+	}
+	if tr["name"] != "query" {
+		t.Errorf("root span name = %v", tr["name"])
+	}
+	if tr["durationNs"].(float64) <= 0 {
+		t.Errorf("root span durationNs = %v", tr["durationNs"])
+	}
+	attrs, _ := tr["attrs"].(map[string]any)
+	if attrs["start"].(float64) != 5 || attrs["k"].(float64) != 4 {
+		t.Errorf("root attrs = %v", attrs)
+	}
+	hops, _ := tr["children"].([]any)
+	if len(hops) == 0 {
+		t.Fatal("trace has no hop spans")
+	}
+	nHops := int(body["hops"].(float64))
+	if len(hops) != nHops+1 {
+		t.Errorf("%d hop spans for %d hops (want hops+1 visited peers)", len(hops), nHops)
+	}
+	first := hops[0].(map[string]any)
+	if first["name"] != "hop" {
+		t.Errorf("child span name = %v", first["name"])
+	}
+	hattrs, _ := first["attrs"].(map[string]any)
+	if hattrs["host"].(float64) != 5 {
+		t.Errorf("first hop host = %v, want the start host 5", hattrs["host"])
+	}
+	if _, ok := hattrs["radius"]; !ok {
+		t.Errorf("hop span missing radius attr: %v", hattrs)
+	}
+	last := hops[len(hops)-1].(map[string]any)
+	lattrs, _ := last["attrs"].(map[string]any)
+	if lattrs["answered"] != true {
+		t.Errorf("last hop not marked answered: %v", lattrs)
+	}
+
+	getJSON(t, srv.URL+"/v1/trace?b=15", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/trace?k=4", http.StatusBadRequest)
+	getJSON(t, srv.URL+"/v1/trace?k=4&b=15&start=999", http.StatusBadRequest)
+}
+
+func TestAccessLogFields(t *testing.T) {
+	bw := testSystem(t)
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	srv := httptest.NewServer(newHandler(bw, logger))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	resp.Body.Close()
+	if reqID == "" {
+		t.Error("response missing X-Request-Id header")
+	}
+
+	var entry map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &entry); err != nil {
+		t.Fatalf("access log is not one JSON line: %v\n%s", err, buf.String())
+	}
+	if entry["msg"] != "request" {
+		t.Errorf("msg = %v", entry["msg"])
+	}
+	if entry["id"] != reqID {
+		t.Errorf("logged id %v != header id %q", entry["id"], reqID)
+	}
+	if entry["method"] != "GET" || entry["path"] != "/v1/info" {
+		t.Errorf("method/path = %v/%v", entry["method"], entry["path"])
+	}
+	if entry["status"].(float64) != 200 {
+		t.Errorf("status = %v", entry["status"])
+	}
+	if entry["bytes"].(float64) <= 0 {
+		t.Errorf("bytes = %v", entry["bytes"])
+	}
+	if _, ok := entry["durMs"]; !ok {
+		t.Error("log missing durMs")
+	}
+	if entry["remote"] == "" {
+		t.Error("log missing remote")
+	}
+}
+
+func TestRequestIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := nextRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	srv := testServer(t)
+	code, body := get(t, srv.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: status %d", code)
+	}
+}
+
+// TestServeGracefulShutdown cancels serve's context (as a signal would)
+// while a slow request is in flight and asserts the request completes
+// during the drain.
+func TestServeGracefulShutdown(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+		w.Write([]byte("done"))
+	})
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: mux}
+	ln, err := listen(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var logBuf bytes.Buffer
+	var logMu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(lockedWriter{&logMu, &logBuf}, nil))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serveListener(ctx, srv, ln, logger, 5*time.Second) }()
+
+	bodyCh := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			bodyCh <- "error: " + err.Error()
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		bodyCh <- string(body)
+	}()
+	<-started
+	cancel() // the "signal"
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	if body := <-bodyCh; body != "done" {
+		t.Errorf("in-flight request body = %q, want done", body)
+	}
+	if err := <-serveErr; err != nil {
+		t.Errorf("serve returned %v", err)
+	}
+	logMu.Lock()
+	logs := logBuf.String()
+	logMu.Unlock()
+	if !strings.Contains(logs, "draining in-flight requests") {
+		t.Errorf("no drain log:\n%s", logs)
+	}
+	if !strings.Contains(logs, "drained; server stopped") {
+		t.Errorf("no drained log:\n%s", logs)
+	}
+}
+
+func TestServeDrainTimeout(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stuck", func(w http.ResponseWriter, r *http.Request) {
+		close(started)
+		<-release
+	})
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: mux}
+	ln, err := listen(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serveListener(ctx, srv, ln, discardLogger(), 30*time.Millisecond) }()
+
+	// The stuck request is expected to die with the hard close; ignore it.
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/stuck")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-serveErr:
+		if err == nil || !strings.Contains(err.Error(), "drain") {
+			t.Errorf("want drain timeout error, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve did not return after drain timeout")
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}

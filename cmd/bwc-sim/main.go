@@ -18,8 +18,10 @@ import (
 	"os"
 	"time"
 
+	"bwcluster/internal/buildinfo"
 	"bwcluster/internal/sim"
 	"bwcluster/internal/stats"
+	"bwcluster/internal/telemetry"
 )
 
 func main() {
@@ -38,8 +40,14 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 0, "override the experiment seed (0: per-figure default)")
 	parallel := fs.Int("parallel", 0, "workers fanning independent data series out (0: one per CPU, 1: sequential; never changes results)")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON instead of a table")
+	metricsOut := fs.String("metrics", "", "dump telemetry metrics after the run to this file (\"-\": stderr)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println("bwc-sim", buildinfo.String())
+		return nil
 	}
 	var d sim.Dataset
 	switch *ds {
@@ -81,6 +89,30 @@ func run(args []string) error {
 	}
 	if !*jsonOut {
 		fmt.Printf("\n# completed in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *metricsOut != "" {
+		return dumpMetrics(*metricsOut)
+	}
+	return nil
+}
+
+// dumpMetrics writes the accumulated telemetry registry in Prometheus
+// text format, so batch runs leave the same observability trail the
+// server exposes on /metrics.
+func dumpMetrics(path string) error {
+	if path == "-" {
+		return telemetry.Default().WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics dump: %w", err)
+	}
+	if err := telemetry.Default().WritePrometheus(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics dump: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("metrics dump: %w", err)
 	}
 	return nil
 }

@@ -1,0 +1,46 @@
+// Package buildinfo renders the binary's build identity from the
+// information the Go toolchain already embeds (runtime/debug), so every
+// CLI can answer -version without a separate version file or ldflags
+// plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns a one-line version description: module version (or
+// "devel"), VCS revision and dirty flag when embedded, and the Go
+// toolchain that built the binary.
+func String() string {
+	var b strings.Builder
+	version, revision, modified := "devel", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				revision = s.Value
+			case "vcs.modified":
+				modified = s.Value == "true"
+			}
+		}
+	}
+	b.WriteString(version)
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		fmt.Fprintf(&b, " (%s", revision)
+		if modified {
+			b.WriteString("-dirty")
+		}
+		b.WriteString(")")
+	}
+	fmt.Fprintf(&b, " %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	return b.String()
+}

@@ -34,6 +34,7 @@ func FindCluster(s metric.Space, k int, l float64) ([]int, error) {
 	}
 	n := s.N()
 	for p := 0; p < n; p++ {
+		mScanRows.Inc()
 		for q := p + 1; q < n; q++ {
 			if s.Dist(p, q) > l {
 				continue
@@ -308,8 +309,10 @@ func (ix *Index) cached(k int, l float64) ([]int, bool) {
 	members, ok := ix.cache[queryKey{k: k, l: l}]
 	ix.mu.RUnlock()
 	if !ok {
+		mCacheMisses.Inc()
 		return nil, false
 	}
+	mCacheHits.Inc()
 	if members == nil {
 		return nil, true
 	}
@@ -374,6 +377,7 @@ func (ix *Index) Find(k int, l float64) ([]int, error) {
 // returns the first qualifying cluster, or nil.
 func (ix *Index) scanFrom(p0, k int, l float64) []int {
 	for p := p0; p < ix.n; p++ {
+		mScanRows.Inc()
 		for q := p + 1; q < ix.n; q++ {
 			if ix.lexSizes[p*ix.n+q] >= k && ix.space.Dist(p, q) <= l {
 				return Members(ix.space, p, q)[:k]

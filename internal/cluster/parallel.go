@@ -56,11 +56,20 @@ func scanRowsParallel(n, workers int, scan func(p int, abort func() bool) []int)
 			defer wg.Done()
 			for {
 				p := int(next.Add(1) - 1)
-				if p >= n || int64(p) > best.Load() {
+				if p >= n {
+					return
+				}
+				if int64(p) > best.Load() {
+					mScanAborts.Inc()
 					return
 				}
 				abort := func() bool { return best.Load() < int64(p) }
-				if out := scan(p, abort); out != nil {
+				mScanRows.Inc()
+				out := scan(p, abort)
+				if out == nil && abort() {
+					mScanAborts.Inc()
+				}
+				if out != nil {
 					results[p] = out
 					for {
 						cur := best.Load()

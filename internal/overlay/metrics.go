@@ -1,0 +1,19 @@
+package overlay
+
+import "bwcluster/internal/telemetry"
+
+// Telemetry for the decentralized protocol. The paper evaluates the
+// protocol by message count and routing hops (§V); these series keep
+// both continuously measured on the serving path instead of recomputed
+// by the simulation harness.
+var (
+	mQueries = telemetry.NewCounter("bwc_overlay_queries_total",
+		"Decentralized cluster queries processed (Algorithm 4).")
+	mQueryHops = telemetry.NewHistogram("bwc_overlay_query_hops",
+		"Overlay hops traveled per decentralized query.",
+		telemetry.HopBuckets())
+	mGossip = telemetry.NewCounter("bwc_overlay_gossip_messages_total",
+		"Algorithm 2/3 gossip messages sent by the synchronous engine.")
+	mConvergeRounds = telemetry.NewCounter("bwc_overlay_converge_rounds_total",
+		"Background protocol rounds executed.")
+)

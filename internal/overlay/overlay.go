@@ -221,6 +221,7 @@ func (nw *Network) predDist(a, b int) float64 {
 // previous round's state. It reports whether any aggrNode entry changed.
 func (nw *Network) RunNodeInfoRound() bool {
 	nw.rounds++
+	mConvergeRounds.Inc()
 	type msg struct {
 		from, to int
 		nodes    []int
@@ -232,6 +233,7 @@ func (nw *Network) RunNodeInfoRound() bool {
 			nodes := nw.propNode(m, x)
 			nw.stats.NodeInfoMessages++
 			nw.stats.NodeInfoRecords += len(nodes)
+			mGossip.Inc()
 			msgs = append(msgs, msg{from: h, to: x, nodes: nodes})
 		}
 	}
@@ -345,6 +347,7 @@ func (nw *Network) localSpace(x int) (*metric.Matrix, []int, error) {
 // run first.
 func (nw *Network) RunCRTRound() bool {
 	nw.rounds++
+	mConvergeRounds.Inc()
 	type msg struct {
 		from, to int
 		crt      []int
@@ -367,6 +370,7 @@ func (nw *Network) RunCRTRound() bool {
 			}
 			nw.stats.CRTMessages++
 			nw.stats.CRTRecords += len(crt)
+			mGossip.Inc()
 			msgs = append(msgs, msg{from: h, to: x, crt: crt})
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"bwcluster/internal/cluster"
+	"bwcluster/internal/telemetry"
 )
 
 // ErrNoClass is returned when a query's diameter constraint is tighter
@@ -52,6 +53,17 @@ func (nw *Network) ClassFor(l float64) (float64, int, error) {
 // with no error means the network (correctly or not) concluded no cluster
 // exists.
 func (nw *Network) Query(start, k int, l float64) (Result, error) {
+	return nw.QueryTraced(start, k, l, nil)
+}
+
+// QueryTraced is Query with an optional trace: when span is non-nil,
+// every hop of the overlay route is recorded as a child span carrying
+// the peer id, the local CRT promise, the local clustering-space size
+// (when a local attempt runs) and the candidate radius (the snapped
+// diameter class) — the route-level detail the paper's message/hop
+// accounting aggregates away. A nil span makes tracing free: child
+// creation and attribute writes are no-ops on nil receivers.
+func (nw *Network) QueryTraced(start, k int, l float64, span *telemetry.Span) (Result, error) {
 	if _, ok := nw.peers[start]; !ok {
 		return Result{}, fmt.Errorf("overlay: unknown start host %d", start)
 	}
@@ -62,6 +74,9 @@ func (nw *Network) Query(start, k int, l float64) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	span.SetAttr("k", k)
+	span.SetAttr("classL", classL)
+	span.SetAttr("classIndex", classIdx)
 	res := Result{Class: classL}
 	cur, prev := start, -1
 	// The overlay is a tree, so a query that never returns to its sender
@@ -69,35 +84,65 @@ func (nw *Network) Query(start, k int, l float64) (Result, error) {
 	for hop := 0; hop <= len(nw.hosts); hop++ {
 		res.Path = append(res.Path, cur)
 		p := nw.peers[cur]
-		if len(p.selfCRT) > classIdx && k <= p.selfCRT[classIdx] {
+		hs := span.Child("hop")
+		hs.SetAttr("host", cur)
+		hs.SetAttr("radius", classL)
+		selfMax := 0
+		if len(p.selfCRT) > classIdx {
+			selfMax = p.selfCRT[classIdx]
+		}
+		hs.SetAttr("selfMax", selfMax)
+		if k <= selfMax {
+			if span != nil { // space sizing is trace-only work
+				space, err := nw.ClusteringSpace(cur)
+				if err != nil {
+					return Result{}, err
+				}
+				hs.SetAttr("localSpace", len(space))
+			}
 			members, err := nw.findLocal(cur, k, classL)
 			if err != nil {
 				return Result{}, err
 			}
 			if members != nil {
+				hs.SetAttr("answered", true)
+				hs.Finish()
 				res.Cluster = members
 				res.Answered = cur
+				nw.observeQuery(res)
 				return res, nil
 			}
 		}
-		next := -1
+		next, promise := -1, 0
 		for _, v := range p.neighbors {
 			if v == prev {
 				continue
 			}
 			if crt := p.aggrCRT[v]; len(crt) > classIdx && k <= crt[classIdx] {
-				next = v
+				next, promise = v, crt[classIdx]
 				break
 			}
 		}
 		if next == -1 {
+			hs.SetAttr("answered", true)
+			hs.Finish()
 			res.Answered = cur
+			nw.observeQuery(res)
 			return res, nil
 		}
+		hs.SetAttr("forwardTo", next)
+		hs.SetAttr("promise", promise)
+		hs.Finish()
 		prev, cur = cur, next
 		res.Hops++
 	}
 	return res, fmt.Errorf("overlay: query (k=%d, l=%v) exceeded hop bound; inconsistent CRTs", k, l)
+}
+
+// observeQuery records the terminal metrics of one completed query.
+func (nw *Network) observeQuery(res Result) {
+	mQueries.Inc()
+	mQueryHops.Observe(float64(res.Hops))
 }
 
 // findLocal runs Algorithm 1 on cur's clustering space and maps the

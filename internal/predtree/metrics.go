@@ -1,0 +1,19 @@
+package predtree
+
+import "bwcluster/internal/telemetry"
+
+// Telemetry for framework construction. Build timings are per tree (one
+// histogram observation per Build call, whether it runs sequentially or
+// on a BuildForestParallel worker); measurement counts mirror the
+// paper's construction-cost metric (§V) so the cost the system pays to
+// join hosts is continuously visible, not recomputed ad hoc by the
+// simulation harness.
+var (
+	mBuildSeconds = telemetry.NewHistogram("bwc_predtree_build_seconds",
+		"Wall time to build one prediction tree (per tree, any worker).",
+		telemetry.DurationBuckets())
+	mTreesBuilt = telemetry.NewCounter("bwc_predtree_trees_built_total",
+		"Prediction trees built.")
+	mMeasurements = telemetry.NewCounter("bwc_predtree_measurements_total",
+		"Construction measurement lookups performed across all built trees.")
+)

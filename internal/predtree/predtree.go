@@ -20,6 +20,7 @@ package predtree
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"bwcluster/internal/metric"
 )
@@ -115,11 +116,15 @@ func Build(o Oracle, c float64, mode SearchMode, order []int) (*Tree, error) {
 			order[i] = i
 		}
 	}
+	start := time.Now()
 	for _, h := range order {
 		if err := t.Add(h, o); err != nil {
 			return nil, fmt.Errorf("predtree: add host %d: %w", h, err)
 		}
 	}
+	mBuildSeconds.Observe(time.Since(start).Seconds())
+	mTreesBuilt.Inc()
+	mMeasurements.Add(t.measurements)
 	return t, nil
 }
 

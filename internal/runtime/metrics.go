@@ -1,0 +1,25 @@
+package runtime
+
+import "bwcluster/internal/telemetry"
+
+// Telemetry for the asynchronous engine: message deliveries by kind
+// (mirroring the atomic Traffic counters into the exposition registry)
+// and per-query hop distributions. Increments happen on the peer
+// goroutines' delivery path, so they must stay allocation-free — the
+// kind strings are package constants, and a single-value label join
+// does not copy.
+var (
+	mMessages = telemetry.NewCounterVec("bwc_runtime_messages_total",
+		"Messages delivered by the asynchronous peer runtime, by kind.",
+		"kind")
+	mRuntimeQueryHops = telemetry.NewHistogram("bwc_runtime_query_hops",
+		"Overlay hops traveled per asynchronous (message-forwarded) query.",
+		telemetry.HopBuckets())
+)
+
+const (
+	kindLabelNodeInfo  = "nodeinfo"
+	kindLabelCRT       = "crt"
+	kindLabelQuery     = "query"
+	kindLabelNodeQuery = "nodequery"
+)

@@ -34,6 +34,7 @@ func (rt *Runtime) Query(start, k int, l float64, timeout time.Duration) (overla
 	}
 	select {
 	case res := <-reply:
+		mRuntimeQueryHops.Observe(float64(res.Hops))
 		return res, nil
 	case <-time.After(timeout):
 		return overlay.Result{}, fmt.Errorf("runtime: query (k=%d, l=%v) timed out after %v", k, l, timeout)

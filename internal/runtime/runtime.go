@@ -262,6 +262,7 @@ func (p *peer) handle(m message) {
 	switch m.kind {
 	case kindNodeInfo:
 		p.rt.nodeInfoMsgs.Add(1)
+		mMessages.Inc(kindLabelNodeInfo)
 		p.mu.Lock()
 		if !equalInts(p.aggrNode[m.from], m.nodes) {
 			p.aggrNode[m.from] = m.nodes
@@ -271,6 +272,7 @@ func (p *peer) handle(m message) {
 		p.mu.Unlock()
 	case kindCRT:
 		p.rt.crtMsgs.Add(1)
+		mMessages.Inc(kindLabelCRT)
 		p.mu.Lock()
 		if !equalInts(p.aggrCRT[m.from], m.crt) {
 			p.aggrCRT[m.from] = m.crt
@@ -279,9 +281,11 @@ func (p *peer) handle(m message) {
 		p.mu.Unlock()
 	case kindQuery:
 		p.rt.queryMsgs.Add(1)
+		mMessages.Inc(kindLabelQuery)
 		p.handleQuery(m.query)
 	case kindNodeQuery:
 		p.rt.queryMsgs.Add(1)
+		mMessages.Inc(kindLabelNodeQuery)
 		p.handleNodeQuery(m.nodeQuery)
 	}
 }

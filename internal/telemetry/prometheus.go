@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), families sorted by name so output
+// is stable for tests and diffing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		r.metrics[name].write(&b)
+	}
+	r.mu.RUnlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		// The registry snapshot is taken under a read lock inside
+		// WritePrometheus; concurrent Observe/Inc calls during a scrape are
+		// fine (atomics), they just land in this scrape or the next.
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	root := StartSpan("query")
+	root.SetAttr("k", 10)
+	h1 := root.Child("hop")
+	h1.SetAttr("host", 3)
+	h1.Finish()
+	h2 := root.Child("hop")
+	h2.SetAttr("host", 7)
+	root.Finish() // h2 left unfinished on purpose
+
+	if root.Name() != "query" {
+		t.Errorf("Name = %q", root.Name())
+	}
+	if root.Attr("k") != 10 {
+		t.Errorf("Attr(k) = %v", root.Attr("k"))
+	}
+	if root.Attr("missing") != nil {
+		t.Errorf("Attr(missing) = %v", root.Attr("missing"))
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0] != h1 || kids[1] != h2 {
+		t.Fatalf("Children = %v", kids)
+	}
+	if root.Duration() <= 0 {
+		t.Error("finished root has zero duration")
+	}
+	// Finish propagated the parent end to the unfinished child.
+	if h2.Duration() <= 0 || h2.Duration() > root.Duration() {
+		t.Errorf("child duration %v vs root %v", h2.Duration(), root.Duration())
+	}
+}
+
+func TestSpanFinishIdempotent(t *testing.T) {
+	s := StartSpan("x")
+	s.Finish()
+	d := s.Duration()
+	time.Sleep(time.Millisecond)
+	s.Finish()
+	if s.Duration() != d {
+		t.Error("second Finish changed the end time")
+	}
+}
+
+func TestNilSpanIsNoOp(t *testing.T) {
+	var s *Span
+	if c := s.Child("hop"); c != nil {
+		t.Error("nil Child should return nil")
+	}
+	s.SetAttr("k", 1)
+	s.Finish()
+	if s.Name() != "" || s.Duration() != 0 || s.Children() != nil || s.Attrs() != nil || s.Attr("k") != nil {
+		t.Error("nil span accessors not zero")
+	}
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "null" {
+		t.Errorf("nil span marshals to %s", b)
+	}
+}
+
+func TestSpanJSON(t *testing.T) {
+	root := StartSpan("query")
+	root.SetAttr("k", 4)
+	root.SetAttr("found", true)
+	hop := root.Child("hop")
+	hop.SetAttr("host", 2)
+	hop.Finish()
+	root.Finish()
+
+	b, err := json.Marshal(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Name       string         `json:"name"`
+		DurationNs int64          `json:"durationNs"`
+		Attrs      map[string]any `json:"attrs"`
+		Children   []struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, b)
+	}
+	if got.Name != "query" || got.DurationNs <= 0 {
+		t.Errorf("root = %+v", got)
+	}
+	if got.Attrs["k"].(float64) != 4 || got.Attrs["found"] != true {
+		t.Errorf("attrs = %v", got.Attrs)
+	}
+	if len(got.Children) != 1 || got.Children[0].Name != "hop" ||
+		got.Children[0].Attrs["host"].(float64) != 2 {
+		t.Errorf("children = %+v", got.Children)
+	}
+}

@@ -7,7 +7,7 @@ GO ?= go
 # 0 = one worker per CPU; 1 = sequential. Never changes results.
 PARALLEL ?= 0
 
-.PHONY: all build fmt test race bench bench-smoke bench-json ci figures ablations clean
+.PHONY: all build fmt lint test race bench bench-smoke bench-json ci figures ablations clean
 
 all: build test
 
@@ -20,6 +20,12 @@ fmt:
 	if [ -n "$$unformatted" ]; then \
 		echo "files need gofmt:" >&2; echo "$$unformatted" >&2; exit 1; \
 	fi
+
+# Repo-specific invariants (determinism, lock discipline, telemetry and
+# API hygiene) enforced by the stdlib-only analyzer; see DESIGN.md §8d.
+# Formatting rides along so `make lint` is the complete style gate.
+lint: fmt
+	$(GO) run ./cmd/bwc-vet ./...
 
 test:
 	$(GO) test ./...
@@ -39,9 +45,10 @@ BENCHTIME ?= 1x
 bench-json:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/bwc-benchjson > BENCH_results.json
 
-# The full CI gate, in the workflow's order: formatting first, then
-# build+vet, tests, the race detector, and one iteration of every bench.
-ci: fmt build test race bench-smoke
+# The full CI gate, in the workflow's order: lint (gofmt + bwc-vet)
+# first, then build+vet, tests, the race detector, and one iteration of
+# every bench.
+ci: lint build test race bench-smoke
 
 results:
 	mkdir -p results

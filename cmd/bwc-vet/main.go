@@ -1,0 +1,143 @@
+// Command bwc-vet is the repository's invariant checker: a stdlib-only
+// static analyzer that walks the module's packages and reports
+// violations of the codified determinism, concurrency, telemetry and API
+// hygiene rules (DESIGN.md §8d).
+//
+// Usage:
+//
+//	bwc-vet ./...                 # analyze every package, human output
+//	bwc-vet -json ./...           # machine-readable findings for CI
+//	bwc-vet -checks determinism,concurrency ./internal/cluster
+//
+// The exit status is 0 when no findings survive suppression, 1 when at
+// least one finding is reported, and 2 on usage or load errors.
+// Suppress an individual finding with a reasoned directive on the same
+// line or the line above:
+//
+//	//bwcvet:allow determinism wall-clock deadline; never feeds algorithm state
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bwcluster/internal/analysis"
+	"bwcluster/internal/buildinfo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bwc-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (for CI annotation)")
+	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(analysis.CheckNames(), ",")+")")
+	version := fs.Bool("version", false, "print version and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bwc-vet [flags] ./... | dir ...\n\nChecks:\n")
+		for _, c := range analysis.Checks {
+			fmt.Fprintf(stderr, "  %-12s %s\n", c.Name, c.Doc)
+		}
+		fmt.Fprintf(stderr, "\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version {
+		fmt.Fprintln(stdout, "bwc-vet", buildinfo.String())
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	cfg := analysis.DefaultConfig()
+	if *checksFlag != "" {
+		for name := range cfg.Enabled {
+			cfg.Enabled[name] = false
+		}
+		for _, name := range strings.Split(*checksFlag, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := cfg.Enabled[name]; !ok {
+				fmt.Fprintf(stderr, "bwc-vet: unknown check %q (known: %s)\n", name, strings.Join(analysis.CheckNames(), ", "))
+				return 2
+			}
+			cfg.Enabled[name] = true
+		}
+	}
+
+	findings, err := vet(patterns, cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "bwc-vet:", err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "bwc-vet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		if len(findings) > 0 {
+			fmt.Fprintf(stderr, "bwc-vet: %d finding(s)\n", len(findings))
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// vet loads the packages matched by patterns and runs the enabled checks.
+func vet(patterns []string, cfg *analysis.Config) ([]analysis.Finding, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	loader, err := analysis.NewLoader(cwd)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	if len(dirs) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	var pkgs []*analysis.Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings := analysis.Analyze(pkgs, cfg)
+	// Report module-relative paths: stable across machines, clickable in
+	// CI annotations.
+	for i := range findings {
+		if rel, err := filepath.Rel(loader.ModuleRoot(), findings[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].File = rel
+			findings[i].Pos.Filename = rel
+		}
+	}
+	return findings, nil
+}

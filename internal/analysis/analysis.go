@@ -1,0 +1,325 @@
+// Package analysis is bwc-vet: a stdlib-only static analyzer that
+// enforces the repository's codified invariants — seed determinism in the
+// algorithm packages, lock discipline, telemetry hygiene and API hygiene.
+// Each check is independently toggleable and reported findings carry the
+// check name, so CI annotations and suppression comments can target one
+// class of diagnostic at a time.
+//
+// A finding at a source line is suppressed by a directive comment on the
+// same line or the line above:
+//
+//	//bwcvet:allow <check> <reason>
+//
+// The reason is mandatory: a suppression records an argued exception to
+// an invariant (for example "wall-clock deadline; never feeds algorithm
+// state"), and an unexplained one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// A Finding is one reported invariant violation.
+type Finding struct {
+	// Check is the name of the check that fired ("determinism", ...).
+	Check string `json:"check"`
+	// Pos locates the violation.
+	Pos token.Position `json:"-"`
+	// File, Line and Column mirror Pos for JSON output.
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Column int    `json:"column"`
+	// Message describes the violation and the expected fix.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Check)
+}
+
+// Config selects which checks run and which packages they consider
+// in-scope. The zero value runs nothing; use DefaultConfig.
+type Config struct {
+	// Enabled maps check name to whether it runs.
+	Enabled map[string]bool
+
+	// AlgorithmPackages are the import paths whose results must be
+	// bit-identical for a fixed seed; the determinism check only fires
+	// inside them.
+	AlgorithmPackages []string
+
+	// InstrumentedPackages are the import paths subject to the telemetry
+	// hygiene check (they start spans or register metrics).
+	InstrumentedPackages []string
+
+	// TelemetryPath is the import path of the telemetry package itself,
+	// which is exempt from the determinism and telemetry checks (it is
+	// the code that measures wall time on purpose).
+	TelemetryPath string
+
+	// APIPathSubstring scopes the api hygiene check: packages whose
+	// import path contains this substring are checked. Empty checks all.
+	APIPathSubstring string
+}
+
+// DefaultConfig returns the repository's canonical configuration: all
+// checks on, scoped to the packages named in DESIGN.md §8d.
+func DefaultConfig() *Config {
+	const mod = "bwcluster"
+	algo := []string{
+		mod + "/internal/metric",
+		mod + "/internal/predtree",
+		mod + "/internal/cluster",
+		mod + "/internal/kdiam",
+		mod + "/internal/overlay",
+		mod + "/internal/runtime",
+		mod + "/internal/sim",
+		mod + "/internal/sword",
+		mod + "/internal/vivaldi",
+	}
+	instrumented := append([]string{mod, mod + "/cmd/bwc-serve"}, algo...)
+	enabled := make(map[string]bool, len(Checks))
+	for _, c := range Checks {
+		enabled[c.Name] = true
+	}
+	return &Config{
+		Enabled:              enabled,
+		AlgorithmPackages:    algo,
+		InstrumentedPackages: instrumented,
+		TelemetryPath:        mod + "/internal/telemetry",
+		APIPathSubstring:     "/internal/",
+	}
+}
+
+// fixtureBase returns the directory base name when pkg is a bwc-vet test
+// fixture (under testdata/src). Fixture packages opt into exactly the
+// check matching their name, so `bwc-vet ./internal/analysis/testdata/src/X`
+// reproduces the self-tests from the command line.
+func fixtureBase(pkg *Package) (string, bool) {
+	i := strings.LastIndex(pkg.Path, "/testdata/src/")
+	if i < 0 {
+		return "", false
+	}
+	return pkg.Path[i+len("/testdata/src/"):], true
+}
+
+// algorithmScope reports whether pkg is one of the determinism-critical
+// packages.
+func (c *Config) algorithmScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "determinism" || base == "directive"
+	}
+	for _, p := range c.AlgorithmPackages {
+		if pkg.Path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// concurrencyScope reports whether pkg gets the lock-discipline check
+// (every real package; only the matching fixture).
+func (c *Config) concurrencyScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "concurrency"
+	}
+	return true
+}
+
+// instrumentedScope reports whether pkg is subject to telemetry hygiene.
+func (c *Config) instrumentedScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "telemetryhygiene"
+	}
+	for _, p := range c.InstrumentedPackages {
+		if pkg.Path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// apiScope reports whether pkg gets the API hygiene check.
+func (c *Config) apiScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "apihygiene"
+	}
+	return c.APIPathSubstring == "" || strings.Contains(pkg.Path, c.APIPathSubstring)
+}
+
+// A Check is one named, independently toggleable analysis pass.
+type Check struct {
+	// Name is the identifier used by -checks and suppression comments.
+	Name string
+	// Doc is a one-line description for usage output.
+	Doc string
+	// Run inspects one package and reports through the pass.
+	Run func(*Pass)
+}
+
+// Checks lists every check in the order they run.
+var Checks = []*Check{
+	{Name: "determinism", Doc: "no wall clocks, global math/rand, or map-order leaks in algorithm packages", Run: runDeterminism},
+	{Name: "concurrency", Doc: "Lock paired with defer Unlock across early returns; guarded-by fields read under their lock", Run: runConcurrency},
+	{Name: "telemetry", Doc: "spans and metrics only via the nil-safe telemetry constructors", Run: runTelemetry},
+	{Name: "apihygiene", Doc: "exported identifiers documented; context.Context first", Run: runAPIHygiene},
+}
+
+// CheckNames returns the known check names in run order.
+func CheckNames() []string {
+	names := make([]string, len(Checks))
+	for i, c := range Checks {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Pass carries one check's view of one package and collects findings.
+type Pass struct {
+	Check *Check
+	Pkg   *Package
+	Cfg   *Config
+
+	suppress map[string][]directive // filename -> directives
+	findings *[]Finding
+}
+
+// directive is one parsed //bwcvet:allow comment.
+type directive struct {
+	line   int
+	check  string
+	reason string
+	used   bool
+}
+
+var directiveRE = regexp.MustCompile(`^//bwcvet:allow\s+(\S+)\s*(.*)$`)
+
+// Reportf records a finding at pos unless a matching allow directive
+// covers that line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	for i := range p.suppress[position.Filename] {
+		d := &p.suppress[position.Filename][i]
+		if d.check != p.Check.Name {
+			continue
+		}
+		if d.line == position.Line || d.line == position.Line-1 {
+			d.used = true
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{
+		Check:   p.Check.Name,
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// collectDirectives parses every //bwcvet:allow comment in the package,
+// reporting malformed ones (unknown check, missing reason) as findings.
+func collectDirectives(pkg *Package, findings *[]Finding) map[string][]directive {
+	known := make(map[string]bool)
+	for _, c := range Checks {
+		known[c.Name] = true
+	}
+	out := make(map[string][]directive)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//bwcvet:") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				text := c.Text
+				// The self-test fixtures append `// want …` expectation
+				// markers to directive comments; they are not part of the
+				// directive.
+				if i := strings.Index(text, " // want "); i >= 0 {
+					text = text[:i]
+				}
+				m := directiveRE.FindStringSubmatch(text)
+				bad := func(msg string) {
+					*findings = append(*findings, Finding{
+						Check: "directive", Pos: pos,
+						File: pos.Filename, Line: pos.Line, Column: pos.Column,
+						Message: msg,
+					})
+				}
+				if m == nil {
+					bad("malformed bwcvet directive; want //bwcvet:allow <check> <reason>")
+					continue
+				}
+				if !known[m[1]] {
+					bad(fmt.Sprintf("bwcvet:allow names unknown check %q (known: %s)", m[1], strings.Join(CheckNames(), ", ")))
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					bad(fmt.Sprintf("bwcvet:allow %s needs a reason: a suppression is an argued exception, not a mute button", m[1]))
+					continue
+				}
+				out[pos.Filename] = append(out[pos.Filename], directive{line: pos.Line, check: m[1], reason: m[2]})
+			}
+		}
+	}
+	return out
+}
+
+// Analyze runs every enabled check over every package and returns the
+// surviving findings sorted by position.
+func Analyze(pkgs []*Package, cfg *Config) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		suppress := collectDirectives(pkg, &findings)
+		for _, check := range Checks {
+			if !cfg.Enabled[check.Name] {
+				continue
+			}
+			pass := &Pass{Check: check, Pkg: pkg, Cfg: cfg, suppress: suppress, findings: &findings}
+			check.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings
+}
+
+// pathEnclosing returns the AST path from the innermost node containing
+// pos outward to the file, or nil.
+func pathEnclosing(f *ast.File, pos token.Pos) []ast.Node {
+	var path []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() <= pos && pos < n.End() {
+			path = append(path, n)
+			return true
+		}
+		return false
+	})
+	// path is outermost-first; reverse to innermost-first.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

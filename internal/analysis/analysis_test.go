@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRE extracts `// want `regex“ expectation markers (one or more per
+// line, backquoted like analysistest).
+var wantRE = regexp.MustCompile("// want (`[^`]+`(?:\\s+`[^`]+`)*)")
+
+// expectation is one want marker: a finding must exist at file:line
+// matching the pattern.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseExpectations scans a fixture directory's sources for want
+// markers.
+func parseExpectations(t *testing.T, dir string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, quoted := range regexp.MustCompile("`[^`]+`").FindAllString(m[1], -1) {
+				pat, err := regexp.Compile(quoted[1 : len(quoted)-1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern: %v", path, i+1, err)
+				}
+				out = append(out, &expectation{file: path, line: i + 1, pattern: pat})
+			}
+		}
+	}
+	return out
+}
+
+// runFixture analyzes one testdata fixture package and diffs findings
+// against its want markers.
+func runFixture(t *testing.T, name string) []Finding {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := loader.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Analyze([]*Package{pkg}, DefaultConfig())
+	want := parseExpectations(t, dir)
+	for _, f := range findings {
+		pos := fmt.Sprintf("%s:%d", f.File, f.Line)
+		ok := false
+		for _, w := range want {
+			abs, _ := filepath.Abs(w.file)
+			if abs == f.File && w.line == f.Line && w.pattern.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding at %s: %s [%s]", pos, f.Message, f.Check)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+	return findings
+}
+
+func TestDeterminismFixture(t *testing.T)      { runFixture(t, "determinism") }
+func TestConcurrencyFixture(t *testing.T)      { runFixture(t, "concurrency") }
+func TestTelemetryHygieneFixture(t *testing.T) { runFixture(t, "telemetryhygiene") }
+func TestAPIHygieneFixture(t *testing.T)       { runFixture(t, "apihygiene") }
+func TestDirectiveFixture(t *testing.T)        { runFixture(t, "directive") }
+
+// TestFixturesAllFire guards against a fixture silently matching zero
+// diagnostics (e.g. a scope regression turning a check off).
+func TestFixturesAllFire(t *testing.T) {
+	for _, name := range []string{"determinism", "concurrency", "telemetryhygiene", "apihygiene", "directive"} {
+		t.Run(name, func(t *testing.T) {
+			if got := runFixture(t, name); len(got) == 0 {
+				t.Errorf("fixture %s produced no findings; its check appears disabled", name)
+			}
+		})
+	}
+}
+
+// TestRepoIsClean runs every check over the real module: the invariants
+// bwc-vet enforces must hold on the tree that ships it. This is the same
+// gate CI's lint job applies via `go run ./cmd/bwc-vet ./...`.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand([]string{loader.ModuleRoot() + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	for _, f := range Analyze(pkgs, DefaultConfig()) {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestExpandSkipsTestdata(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand([]string{loader.ModuleRoot() + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("Expand matched testdata dir %s", d)
+		}
+	}
+	if len(dirs) < 10 {
+		t.Errorf("Expand found only %d package dirs; want the whole module", len(dirs))
+	}
+}
+
+func TestLoaderModulePath(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModulePath() != "bwcluster" {
+		t.Fatalf("module path = %q, want bwcluster", loader.ModulePath())
+	}
+	pkg, err := loader.LoadDir(filepath.Join(loader.ModuleRoot(), "internal", "telemetry"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Path != "bwcluster/internal/telemetry" {
+		t.Fatalf("pkg path = %q", pkg.Path)
+	}
+	if pkg.Types.Scope().Lookup("StartSpan") == nil {
+		t.Fatal("telemetry.StartSpan not found in type-checked package")
+	}
+}
+
+func TestCheckNamesStable(t *testing.T) {
+	got := strings.Join(CheckNames(), ",")
+	const want = "determinism,concurrency,telemetry,apihygiene"
+	if got != want {
+		t.Fatalf("check names = %s, want %s (suppression comments and -checks flags depend on these)", got, want)
+	}
+}

@@ -1,0 +1,43 @@
+// Package apihygiene is a bwc-vet fixture: exported identifiers need doc
+// comments and context.Context goes first.
+package apihygiene
+
+import "context"
+
+// Documented is an exported type with a doc comment: fine.
+type Documented struct{}
+
+type Undocumented struct{} // want `exported type Undocumented has no doc comment`
+
+// DoDocumented carries a doc comment: fine.
+func DoDocumented() {}
+
+func DoUndocumented() {} // want `exported function DoUndocumented has no doc comment`
+
+// Run takes its context first: fine.
+func Run(ctx context.Context, n int) error { return ctx.Err() }
+
+// RunLate buries the context mid-signature.
+func RunLate(n int, ctx context.Context) error { return ctx.Err() } // want `context\.Context must be the first parameter`
+
+// MaxHosts is documented: fine.
+const MaxHosts = 64
+
+const MinHosts = 2 // want `exported const MinHosts has no doc comment`
+
+// Grouped declarations share the group doc: fine.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+// Method docs are required on exported methods of exported types.
+func (Documented) Documented() {}
+
+func (Documented) Missing() {} // want `exported method Documented\.Missing has no doc comment`
+
+// unexported identifiers need no docs.
+func helper() {}
+
+var _ = helper
+var _ = DoUndocumented

@@ -1,0 +1,61 @@
+// Package concurrency is a bwc-vet fixture for the lock-discipline
+// check: leaked locks on early-return paths and guarded-by violations.
+package concurrency
+
+import (
+	"errors"
+	"sync"
+)
+
+type store struct {
+	mu    sync.Mutex
+	items map[int]string // guarded by mu
+
+	statsMu sync.RWMutex
+	hits    int // guarded by statsMu
+}
+
+// leakyGet unlocks manually but returns early between Lock and Unlock:
+// the error path leaks the mutex.
+func (s *store) leakyGet(k int) (string, error) {
+	s.mu.Lock() // want `leaks the lock`
+	v, ok := s.items[k]
+	if !ok {
+		return "", errors.New("missing")
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// deferredGet is the sanctioned shape.
+func (s *store) deferredGet(k int) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.items[k]
+	return v, ok
+}
+
+// straightLine locks and unlocks with no return in between: fine, even
+// without defer (the pattern used around wg.Wait handoffs).
+func (s *store) straightLine(k int, v string) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.mu.Unlock()
+}
+
+// unlockedRead touches a guarded field without its mutex.
+func (s *store) unlockedRead() int {
+	return s.hits // want `guarded by statsMu`
+}
+
+// lockedRead takes the documented mutex: fine.
+func (s *store) lockedRead() int {
+	s.statsMu.RLock()
+	defer s.statsMu.RUnlock()
+	return s.hits
+}
+
+// bumpLocked follows the caller-holds-lock naming convention: exempt.
+func (s *store) bumpLocked() {
+	s.hits++
+}

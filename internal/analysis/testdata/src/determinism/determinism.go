@@ -1,0 +1,107 @@
+// Package determinism is a bwc-vet fixture: each `want` marker is a line
+// the determinism check must flag, everything else must stay silent.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"bwcluster/internal/telemetry"
+)
+
+var fixtureHist = telemetry.NewHistogram("bwcvet_fixture_seconds", "fixture", []float64{1})
+
+// globalRand draws from the process-global stream: forbidden.
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn`
+}
+
+// globalShuffle covers a second global entry point.
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global rand\.Shuffle`
+}
+
+// seededRand uses an explicit source: fine.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// wallClock reads time for algorithm-visible state: forbidden.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `wall clock \(time\.Now\)`
+}
+
+// wallClockSince covers time.Since outside telemetry.
+func wallClockSince(t0 time.Time) bool {
+	return time.Since(t0) > time.Second // want `wall clock \(time\.Since\)`
+}
+
+// telemetryTiming is the sanctioned idiom: the clock reads only feed a
+// telemetry observation, never algorithm state.
+func telemetryTiming(work func()) {
+	start := time.Now()
+	work()
+	fixtureHist.Observe(time.Since(start).Seconds())
+}
+
+// mixedTiming reads the clock into a variable that leaks beyond
+// telemetry: flagged even though one use is an observation.
+func mixedTiming(work func()) int64 {
+	start := time.Now() // want `wall clock \(time\.Now\)`
+	work()
+	fixtureHist.Observe(time.Since(start).Seconds())
+	return start.UnixNano()
+}
+
+// keysUnsorted returns map keys in iteration order: forbidden.
+func keysUnsorted(m map[int]string) []int {
+	var out []int
+	for k := range m { // want `map iteration order leaks`
+		out = append(out, k)
+	}
+	return out
+}
+
+// keysSorted sorts before returning: fine.
+func keysSorted(m map[int]string) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// keysLocal never escapes: iteration order cannot leak.
+func keysLocal(m map[int]string) int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	total := 0
+	for _, k := range keys {
+		total += k
+	}
+	return total
+}
+
+type holder struct {
+	ids []int
+}
+
+// stashUnsorted stores map-ordered data in a field: forbidden.
+func (h *holder) stashUnsorted(m map[int]bool) {
+	for k := range m { // want `map iteration order leaks`
+		h.ids = append(h.ids, k)
+	}
+}
+
+// stashSorted stores the same data but sorts it first: fine.
+func (h *holder) stashSorted(m map[int]bool) {
+	for k := range m {
+		h.ids = append(h.ids, k)
+	}
+	sort.Ints(h.ids)
+}

@@ -1,0 +1,35 @@
+// Package directive is a bwc-vet fixture for the suppression-comment
+// contract: a reasoned //bwcvet:allow silences exactly one line, and
+// malformed directives are themselves findings.
+package directive
+
+import "time"
+
+// suppressedSameLine carries a reasoned allow on the flagged line.
+func suppressedSameLine() int64 {
+	return time.Now().UnixNano() //bwcvet:allow determinism fixture: sanctioned wall-clock read
+}
+
+// suppressedLineAbove carries the allow on the preceding line.
+func suppressedLineAbove() int64 {
+	//bwcvet:allow determinism fixture: sanctioned wall-clock read
+	return time.Now().UnixNano()
+}
+
+// wrongCheck names a check that does not fire here, so the finding
+// survives.
+func wrongCheck() int64 {
+	return time.Now().UnixNano() //bwcvet:allow concurrency fixture: wrong check name // want `wall clock \(time\.Now\)`
+}
+
+// missingReason omits the mandatory reason.
+func missingReason() int64 {
+	//bwcvet:allow determinism // want `needs a reason`
+	return time.Now().UnixNano() // want `wall clock \(time\.Now\)`
+}
+
+// unknownCheck names a check that does not exist.
+func unknownCheck() int64 {
+	//bwcvet:allow nosuchcheck because reasons // want `unknown check "nosuchcheck"`
+	return time.Now().UnixNano() // want `wall clock \(time\.Now\)`
+}

@@ -1,0 +1,51 @@
+// Package telemetryhygiene is a bwc-vet fixture: telemetry values must
+// come from the nil-safe constructors, never literals, new() or raw
+// indexing, and spans travel as pointers.
+package telemetryhygiene
+
+import (
+	"bwcluster/internal/telemetry"
+)
+
+var goodCounter = telemetry.NewCounter("bwcvet_fixture_total", "fixture")
+
+// literalSpan hand-rolls a Span, bypassing StartSpan.
+func literalSpan() *telemetry.Span {
+	s := &telemetry.Span{} // want `not composite literals`
+	return s
+}
+
+// newSpan reaches for new() instead of the constructor.
+func newSpan() *telemetry.Span {
+	return new(telemetry.Span) // want `not new\(\)`
+}
+
+// goodSpan uses the constructor and the nil-safe child helper.
+func goodSpan() *telemetry.Span {
+	root := telemetry.StartSpan("fixture")
+	child := root.Child("step")
+	child.Finish()
+	root.Finish()
+	return root
+}
+
+// valueSpanHolder embeds a Span by value, defeating the nil-receiver
+// contract.
+type valueSpanHolder struct {
+	span telemetry.Span // want `carried as \*telemetry\.Span`
+}
+
+// pointerSpanHolder is the correct shape.
+type pointerSpanHolder struct {
+	span *telemetry.Span
+}
+
+// record uses the constructor-produced counter: fine.
+func record() {
+	goodCounter.Inc()
+}
+
+// grabRegistry reaches for the process registry from library code.
+func grabRegistry() *telemetry.Registry {
+	return telemetry.Default() // want `must not touch telemetry\.Default`
+}

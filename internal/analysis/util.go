@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// selectorPackage resolves sel's qualifier to an imported package path:
+// for `time.Now`, it returns ("time", true); for method selections or
+// field accesses it returns ("", false).
+func selectorPackage(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pkgName, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pkgName.Imported().Path(), true
+}
+
+// derefType strips one level of pointer.
+func derefType(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// renderExpr prints an identifier / selector / star chain the way it
+// appears in source ("p.mu", "*t.cache"); other expression kinds render
+// as "?".
+func renderExpr(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return renderExpr(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return "*" + renderExpr(x.X)
+	case *ast.ParenExpr:
+		return renderExpr(x.X)
+	}
+	return "?"
+}
+
+// fileOf returns the package file containing pos.
+func fileOf(p *Pass, pos token.Pos) *ast.File {
+	for _, f := range p.Pkg.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// typeFromPackage reports whether t (after pointer stripping) is a named
+// type declared in the package with the given import path.
+func typeFromPackage(t types.Type, path string) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == path
+}
+
+// receiverTypeName returns the name of the receiver's base type for a
+// method declaration ("Tree" for `func (t *Tree) …`), or "".
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// isExported mirrors ast.IsExported but tolerates blank names.
+func isExported(name string) bool {
+	return name != "_" && ast.IsExported(name)
+}
+
+// commentContains reports whether any comment line in g contains substr
+// (case-insensitive).
+func commentContains(g *ast.CommentGroup, substr string) bool {
+	if g == nil {
+		return false
+	}
+	return strings.Contains(strings.ToLower(g.Text()), strings.ToLower(substr))
+}

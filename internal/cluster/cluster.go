@@ -256,7 +256,7 @@ type Index struct {
 	// pattern, where clients retry the same few (k, b) combinations — are
 	// O(1) after the first evaluation. Negative answers are cached too.
 	mu    sync.RWMutex
-	cache map[queryKey][]int
+	cache map[queryKey][]int // guarded by mu
 }
 
 type queryKey struct {

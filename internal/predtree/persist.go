@@ -4,10 +4,17 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 )
 
 // Wire formats. Everything needed to reconstruct a Tree is flattened into
 // exported fields; the in-memory structure is rebuilt on decode.
+//
+// Maps are persisted as key-sorted entry slices, never as raw Go maps:
+// gob writes maps in iteration order, which Go randomizes, and the
+// repo's determinism invariant (DESIGN.md §8d) requires that identical
+// trees always serialize to identical bytes — snapshots are diffed and
+// content-addressed by the figure pipeline.
 type (
 	edgeWire struct {
 		To      int
@@ -18,16 +25,27 @@ type (
 		Host int
 		Adj  []edgeWire
 	}
+	intEntryWire struct {
+		K, V int
+	}
+	floatEntryWire struct {
+		K int
+		V float64
+	}
+	intsEntryWire struct {
+		K int
+		V []int
+	}
 	treeWire struct {
 		C              float64
 		Mode           int
 		Verts          []vertexWire
-		LeafVert       map[int]int
-		TVert          map[int]int
-		AnchorParent   map[int]int
-		AnchorChildren map[int][]int
-		Offset         map[int]float64
-		Pendant        map[int]float64
+		LeafVert       []intEntryWire
+		TVert          []intEntryWire
+		AnchorParent   []intEntryWire
+		AnchorChildren []intsEntryWire
+		Offset         []floatEntryWire
+		Pendant        []floatEntryWire
 		Root           int
 		Order          []int
 		Measurements   int
@@ -38,19 +56,71 @@ type (
 	}
 )
 
+func sortedIntEntries(m map[int]int) []intEntryWire {
+	out := make([]intEntryWire, 0, len(m))
+	for k, v := range m {
+		out = append(out, intEntryWire{K: k, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+func sortedFloatEntries(m map[int]float64) []floatEntryWire {
+	out := make([]floatEntryWire, 0, len(m))
+	for k, v := range m {
+		out = append(out, floatEntryWire{K: k, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+func sortedIntsEntries(m map[int][]int) []intsEntryWire {
+	out := make([]intsEntryWire, 0, len(m))
+	for k, v := range m {
+		out = append(out, intsEntryWire{K: k, V: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+func intEntryMap(entries []intEntryWire) map[int]int {
+	m := make(map[int]int, len(entries))
+	for _, e := range entries {
+		m[e.K] = e.V
+	}
+	return m
+}
+
+func floatEntryMap(entries []floatEntryWire) map[int]float64 {
+	m := make(map[int]float64, len(entries))
+	for _, e := range entries {
+		m[e.K] = e.V
+	}
+	return m
+}
+
+func intsEntryMap(entries []intsEntryWire) map[int][]int {
+	m := make(map[int][]int, len(entries))
+	for _, e := range entries {
+		m[e.K] = e.V
+	}
+	return m
+}
+
 // GobEncode implements gob.GobEncoder, making prediction trees
-// persistable (e.g. to avoid re-measuring on restart).
+// persistable (e.g. to avoid re-measuring on restart). Identical trees
+// encode to identical bytes; see the wire-format comment above.
 func (t *Tree) GobEncode() ([]byte, error) {
 	w := treeWire{
 		C:              t.c,
 		Mode:           int(t.mode),
 		Verts:          make([]vertexWire, len(t.verts)),
-		LeafVert:       t.leafVert,
-		TVert:          t.tVert,
-		AnchorParent:   t.anchorParent,
-		AnchorChildren: t.anchorChildren,
-		Offset:         t.offset,
-		Pendant:        t.pendant,
+		LeafVert:       sortedIntEntries(t.leafVert),
+		TVert:          sortedIntEntries(t.tVert),
+		AnchorParent:   sortedIntEntries(t.anchorParent),
+		AnchorChildren: sortedIntsEntries(t.anchorChildren),
+		Offset:         sortedFloatEntries(t.offset),
+		Pendant:        sortedFloatEntries(t.pendant),
 		Root:           t.root,
 		Order:          t.order,
 		Measurements:   t.measurements,
@@ -59,6 +129,9 @@ func (t *Tree) GobEncode() ([]byte, error) {
 	for pair := range t.measured {
 		w.Measured = append(w.Measured, pair)
 	}
+	// Sort so identical trees gob-encode to identical bytes; without this
+	// the map iteration order would make snapshots nondeterministic.
+	sort.Slice(w.Measured, func(i, j int) bool { return w.Measured[i] < w.Measured[j] })
 	for i, v := range t.verts {
 		adj := make([]edgeWire, len(v.adj))
 		for j, e := range v.adj {
@@ -100,21 +173,12 @@ func (t *Tree) GobDecode(b []byte) error {
 	t.c = w.C
 	t.mode = mode
 	t.verts = verts
-	t.leafVert = orEmptyIntMap(w.LeafVert)
-	t.tVert = orEmptyIntMap(w.TVert)
-	t.anchorParent = orEmptyIntMap(w.AnchorParent)
-	t.anchorChildren = w.AnchorChildren
-	if t.anchorChildren == nil {
-		t.anchorChildren = make(map[int][]int)
-	}
-	t.offset = w.Offset
-	if t.offset == nil {
-		t.offset = make(map[int]float64)
-	}
-	t.pendant = w.Pendant
-	if t.pendant == nil {
-		t.pendant = make(map[int]float64)
-	}
+	t.leafVert = intEntryMap(w.LeafVert)
+	t.tVert = intEntryMap(w.TVert)
+	t.anchorParent = intEntryMap(w.AnchorParent)
+	t.anchorChildren = intsEntryMap(w.AnchorChildren)
+	t.offset = floatEntryMap(w.Offset)
+	t.pendant = floatEntryMap(w.Pendant)
 	t.root = w.Root
 	t.order = w.Order
 	t.measurements = w.Measurements
@@ -123,13 +187,6 @@ func (t *Tree) GobDecode(b []byte) error {
 		t.measured[pair] = struct{}{}
 	}
 	return nil
-}
-
-func orEmptyIntMap(m map[int]int) map[int]int {
-	if m == nil {
-		return make(map[int]int)
-	}
-	return m
 }
 
 // GobEncode implements gob.GobEncoder for forests.

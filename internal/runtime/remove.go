@@ -13,13 +13,12 @@ import (
 // fail over to a not-found reply.
 func (rt *Runtime) RemoveHost(h int) error {
 	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	p, ok := rt.peers[h]
 	if !ok {
-		rt.mu.Unlock()
 		return fmt.Errorf("runtime: unknown host %d", h)
 	}
 	if len(rt.peers) == 1 {
-		rt.mu.Unlock()
 		return fmt.Errorf("runtime: cannot remove the last host")
 	}
 	delete(rt.peers, h)
@@ -71,9 +70,9 @@ func (rt *Runtime) RemoveHost(h int) error {
 		q.mu.Unlock()
 	}
 	rt.version.Add(1)
-	rt.mu.Unlock()
 
-	// Stop the dead peer's goroutine (idempotent with Stop).
+	// Stop the dead peer's goroutine (idempotent with Stop). Closing the
+	// channel never blocks, so doing it under rt.mu is safe.
 	select {
 	case <-p.stop:
 	default:

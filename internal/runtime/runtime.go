@@ -81,8 +81,8 @@ type Runtime struct {
 	crtMsgs      atomic.Int64
 	queryMsgs    atomic.Int64
 
-	mu    sync.Mutex // guards peers map during Add/Stop
-	peers map[int]*peer
+	mu    sync.Mutex
+	peers map[int]*peer // guarded by mu
 	wg    sync.WaitGroup
 }
 
@@ -211,19 +211,24 @@ func (rt *Runtime) Version() int64 { return rt.version.Load() }
 
 // Settle blocks until no peer state has changed for the quiet duration,
 // or fails after timeout.
+//
+// Settle is a wall-clock wait by design: it observes real time to decide
+// when gossip has converged, and its only outputs are nil or a timeout
+// error — no algorithm state derives from these clock reads, so the
+// determinism suppressions below are sound.
 func (rt *Runtime) Settle(quiet, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := time.Now().Add(timeout) //bwcvet:allow determinism wall-clock wait deadline; never feeds algorithm state
 	last := rt.Version()
-	lastChange := time.Now()
+	lastChange := time.Now() //bwcvet:allow determinism wall-clock quiet-period tracking; never feeds algorithm state
 	for {
 		time.Sleep(rt.tick)
 		if v := rt.Version(); v != last {
 			last = v
-			lastChange = time.Now()
-		} else if time.Since(lastChange) >= quiet {
+			lastChange = time.Now() //bwcvet:allow determinism wall-clock quiet-period tracking; never feeds algorithm state
+		} else if time.Since(lastChange) >= quiet { //bwcvet:allow determinism wall-clock quiet-period check; never feeds algorithm state
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if time.Now().After(deadline) { //bwcvet:allow determinism wall-clock timeout check; never feeds algorithm state
 			return fmt.Errorf("runtime: gossip did not settle within %v", timeout)
 		}
 	}

@@ -1,0 +1,103 @@
+package bwcluster_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bwcluster"
+	"bwcluster/internal/dataset"
+)
+
+// TestMapOrderDeterminism is the regression gate for the bwc-vet
+// determinism invariant at system level: building the same seeded system
+// twice in one process must produce bit-identical persisted state and
+// identical query answers, even though every Go map involved iterates in
+// a freshly randomized order on each run. Before prediction trees sorted
+// their measured-pair set on encode, this test failed: the snapshot
+// bytes depended on map iteration order.
+func TestMapOrderDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	topo, err := dataset.NewTopology(dataset.HPConfig().WithN(40), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := topo.Matrix(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := make([][]float64, m.N())
+	for i := range bw {
+		bw[i] = make([]float64, m.N())
+		for j := range bw[i] {
+			if i != j {
+				bw[i][j] = m.Dist(i, j)
+			}
+		}
+	}
+
+	build := func() (*bwcluster.System, []byte) {
+		sys, err := bwcluster.New(bw, bwcluster.WithSeed(11), bwcluster.WithParallelism(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := sys.SaveBytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys, blob
+	}
+
+	sysA, blobA := build()
+	sysB, blobB := build()
+
+	if !bytes.Equal(blobA, blobB) {
+		t.Fatalf("two builds with the same seed persisted different bytes (%d vs %d); map iteration order is leaking into the snapshot", len(blobA), len(blobB))
+	}
+
+	// Identical answers across the query surface, centralized and
+	// decentralized.
+	for _, k := range []int{3, 5, 8} {
+		for _, b := range []float64{20, 50, 90} {
+			mA, errA := sysA.FindCluster(k, b)
+			mB, errB := sysB.FindCluster(k, b)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("FindCluster(%d, %v): error mismatch: %v vs %v", k, b, errA, errB)
+			}
+			if !equalInts(mA, mB) {
+				t.Fatalf("FindCluster(%d, %v): %v vs %v", k, b, mA, mB)
+			}
+			rA, errA := sysA.Query(0, k, b)
+			rB, errB := sysB.Query(0, k, b)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("Query(0, %d, %v): error mismatch: %v vs %v", k, b, errA, errB)
+			}
+			if !equalInts(rA.Members, rB.Members) || rA.Hops != rB.Hops || rA.AnsweredBy != rB.AnsweredBy || rA.Class != rB.Class {
+				t.Fatalf("Query(0, %d, %v): %+v vs %+v", k, b, rA, rB)
+			}
+		}
+	}
+
+	// A reloaded system must answer like the one that saved it.
+	loaded, err := bwcluster.LoadBytes(blobA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mA, _ := sysA.FindCluster(5, 50)
+	mL, _ := loaded.FindCluster(5, 50)
+	if !equalInts(mA, mL) {
+		t.Fatalf("reloaded system diverges: %v vs %v", mA, mL)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -31,8 +31,10 @@ type systemWire struct {
 }
 
 // wireVersion guards against loading snapshots from incompatible
-// releases.
-const wireVersion = 1
+// releases. Version 2 changed the prediction-tree wire format to
+// key-sorted entry slices so identical systems snapshot to identical
+// bytes (the determinism invariant, DESIGN.md §8d).
+const wireVersion = 2
 
 // Save writes the system to w in a compact binary format. Load restores
 // it without re-running any bandwidth measurements.

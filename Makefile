@@ -7,7 +7,7 @@ GO ?= go
 # 0 = one worker per CPU; 1 = sequential. Never changes results.
 PARALLEL ?= 0
 
-.PHONY: all build fmt lint test race bench bench-smoke bench-json ci figures ablations clean
+.PHONY: all build fmt lint test race bench bench-smoke bench-json ci fault-matrix faults figures ablations clean
 
 all: build test
 
@@ -45,10 +45,17 @@ BENCHTIME ?= 1x
 bench-json:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/bwc-benchjson > BENCH_results.json
 
+# Fault-matrix gate: convergence under seeded drop/partition schedules
+# and the TCP loopback split, under the race detector. `make race`
+# already covers these; CI runs them as their own job so a transport
+# regression is named in the job list, and this target mirrors that job.
+fault-matrix:
+	$(GO) test -race -count=1 -run 'TestFault|TestPartition|TestTCP|TestChan' ./internal/transport/ ./internal/runtime/
+
 # The full CI gate, in the workflow's order: lint (gofmt + bwc-vet)
-# first, then build+vet, tests, the race detector, and one iteration of
-# every bench.
-ci: lint build test race bench-smoke
+# first, then build+vet, tests, the race detector, the fault matrix, and
+# one iteration of every bench.
+ci: lint build test race fault-matrix bench-smoke
 
 results:
 	mkdir -p results
@@ -61,6 +68,11 @@ figures: build | results
 	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 5 -dataset hp  > results/fig5_hp.txt
 	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 5 -dataset umd > results/fig5_umd.txt
 	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -fig 6 -scale 0.4   > results/fig6.txt
+
+# Fault-tolerance series: convergence time and settled query agreement
+# vs gossip loss rate and partition length (EXPERIMENTS.md).
+faults: build | results
+	$(GO) run ./cmd/bwc-sim -series faults > results/fault_series.txt
 
 ablations: build | results
 	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -ablation ncut -scale 0.3      > results/ablation_ncut.txt

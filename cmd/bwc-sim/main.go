@@ -35,6 +35,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bwc-sim", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "figure to regenerate: 3, 4, 5 or 6")
 	ablation := fs.String("ablation", "", "ablation to run instead of a figure: ncut, trees, drift, construction or sword")
+	series := fs.String("series", "", "extra experiment series to run instead of a figure: faults")
 	ds := fs.String("dataset", "hp", "dataset: hp or umd (figures 3-5)")
 	scale := fs.Float64("scale", 1, "work scale factor (rounds/queries multiplied by this)")
 	seed := fs.Int64("seed", 0, "override the experiment seed (0: per-figure default)")
@@ -73,6 +74,10 @@ func run(args []string) error {
 		err = runAblationSword(d, *scale, *seed, *parallel, *jsonOut)
 	case *ablation != "":
 		return fmt.Errorf("unknown ablation %q (want ncut, trees, drift, construction or sword)", *ablation)
+	case *series == "faults":
+		err = runSeriesFaults(d, *scale, *seed, *parallel, *jsonOut)
+	case *series != "":
+		return fmt.Errorf("unknown series %q (want faults)", *series)
 	case *fig == 3:
 		err = runFig3(d, *scale, *seed, *parallel, *jsonOut)
 	case *fig == 4:
@@ -82,7 +87,7 @@ func run(args []string) error {
 	case *fig == 6:
 		err = runFig6(*scale, *seed, *parallel, *jsonOut)
 	default:
-		return fmt.Errorf("-fig must be 3, 4, 5 or 6 (or use -ablation)")
+		return fmt.Errorf("-fig must be 3, 4, 5 or 6 (or use -ablation / -series)")
 	}
 	if err != nil {
 		return err
@@ -340,6 +345,30 @@ func runAblationSword(d sim.Dataset, scale float64, seed int64, parallel int, js
 	for _, p := range res.Points {
 		fmt.Printf("%-6d %-9.3f %-11.1f %-11.3f %-8.3f %-8.3f\n",
 			p.K, p.SwordRR, p.SwordSteps, p.SwordExhausted, p.TreeRR, p.TreeWPR)
+	}
+	return nil
+}
+
+func runSeriesFaults(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
+	cfg := sim.DefaultFaultsConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	cfg.Parallelism = parallel
+	res, err := sim.RunFaults(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# fault series (%s, n=%d, k=%d): async runtime over seeded fault injection\n", d, res.N, res.K)
+	fmt.Printf("# partition cells cut a third of the peers off for the given number of transport sends, then heal\n")
+	fmt.Printf("%-8s %-11s %-10s %-10s %-10s %-9s\n",
+		"loss", "partition", "msgs", "settle.ms", "converged", "qsuccess")
+	for _, p := range res.Points {
+		fmt.Printf("%-8.2f %-11d %-10d %-10.1f %-10v %-9.3f\n",
+			p.Loss, p.PartitionSends, p.MsgsToSettle, p.SettleMs, p.Converged, p.QuerySuccess)
 	}
 	return nil
 }

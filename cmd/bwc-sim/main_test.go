@@ -38,6 +38,18 @@ func TestRunAblationsTiny(t *testing.T) {
 	}
 }
 
+func TestRunSeriesFaultsTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation run")
+	}
+	if err := run([]string{"-series", "faults", "-scale", "0.1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-series", "nope"}); err == nil {
+		t.Error("unknown series should fail")
+	}
+}
+
 func TestRunFig3Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation run")

@@ -7,10 +7,12 @@
 // This example uses the in-repo runtime package directly; the public
 // facade (package bwcluster) covers the static case.
 //
-//	go run ./examples/livenet
+//	go run ./examples/livenet              # single process (this file)
+//	go run ./examples/livenet -tcp-smoke   # two processes over TCP (tcp.go)
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,7 +26,21 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	listen := flag.String("tcp-listen", "", "run as one half of the two-process TCP demo, listening here")
+	peer := flag.String("tcp-peer", "", "listen address of the other half's process")
+	role := flag.String("tcp-role", "a", "which half of the split this process hosts: a or b")
+	smoke := flag.Bool("tcp-smoke", false, "run the two-process TCP demo end to end (spawns the second process)")
+	flag.Parse()
+	var err error
+	switch {
+	case *smoke:
+		err = runTCPSmoke()
+	case *listen != "":
+		err = runTCPRole(*role, *listen, *peer)
+	default:
+		err = run()
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

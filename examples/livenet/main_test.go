@@ -1,11 +1,50 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 // The live-network example spins up real goroutine peers; it must run to
 // completion (joins, settling, queries) without error.
 func TestRun(t *testing.T) {
 	if err := run(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The two-process demo's halves, run in one process over real loopback
+// sockets: both must settle and answer a query that crosses the split.
+func TestSplitPair(t *testing.T) {
+	addrA, err := freeAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := freeAddr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := startSplit("a", addrA, addrB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.stop()
+	b, err := startSplit("b", addrB, addrA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.stop()
+	if err := a.settle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.settle(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := a.rt.Query(a.local[0], splitK, classL(50), 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Error("settled split query found nothing")
 	}
 }

@@ -54,6 +54,14 @@ type Config struct {
 	// inside them.
 	AlgorithmPackages []string
 
+	// IOPackages are import paths that legitimately talk to the outside
+	// world (sockets, timers): the determinism check still bans the
+	// global math/rand stream and map-order leaks there — injected-fault
+	// schedules must derive from explicit seeds — but wall-clock reads
+	// are allowed, because deadlines and reconnect backoff are what an
+	// I/O layer is for.
+	IOPackages []string
+
 	// InstrumentedPackages are the import paths subject to the telemetry
 	// hygiene check (they start spans or register metrics).
 	InstrumentedPackages []string
@@ -83,7 +91,10 @@ func DefaultConfig() *Config {
 		mod + "/internal/sword",
 		mod + "/internal/vivaldi",
 	}
-	instrumented := append([]string{mod, mod + "/cmd/bwc-serve"}, algo...)
+	io := []string{
+		mod + "/internal/transport",
+	}
+	instrumented := append([]string{mod, mod + "/cmd/bwc-serve", mod + "/internal/transport"}, algo...)
 	enabled := make(map[string]bool, len(Checks))
 	for _, c := range Checks {
 		enabled[c.Name] = true
@@ -91,6 +102,7 @@ func DefaultConfig() *Config {
 	return &Config{
 		Enabled:              enabled,
 		AlgorithmPackages:    algo,
+		IOPackages:           io,
 		InstrumentedPackages: instrumented,
 		TelemetryPath:        mod + "/internal/telemetry",
 		APIPathSubstring:     "/internal/",
@@ -116,6 +128,21 @@ func (c *Config) algorithmScope(pkg *Package) bool {
 		return base == "determinism" || base == "directive"
 	}
 	for _, p := range c.AlgorithmPackages {
+		if pkg.Path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ioScope reports whether pkg is an I/O package: determinism applies in
+// its seed-and-order form (global rand, map-order leaks) but wall-clock
+// reads are in charter.
+func (c *Config) ioScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "iodeterminism"
+	}
+	for _, p := range c.IOPackages {
 		if pkg.Path == p {
 			return true
 		}

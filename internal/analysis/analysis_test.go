@@ -100,11 +100,12 @@ func TestConcurrencyFixture(t *testing.T)      { runFixture(t, "concurrency") }
 func TestTelemetryHygieneFixture(t *testing.T) { runFixture(t, "telemetryhygiene") }
 func TestAPIHygieneFixture(t *testing.T)       { runFixture(t, "apihygiene") }
 func TestDirectiveFixture(t *testing.T)        { runFixture(t, "directive") }
+func TestIODeterminismFixture(t *testing.T)    { runFixture(t, "iodeterminism") }
 
 // TestFixturesAllFire guards against a fixture silently matching zero
 // diagnostics (e.g. a scope regression turning a check off).
 func TestFixturesAllFire(t *testing.T) {
-	for _, name := range []string{"determinism", "concurrency", "telemetryhygiene", "apihygiene", "directive"} {
+	for _, name := range []string{"determinism", "concurrency", "telemetryhygiene", "apihygiene", "directive", "iodeterminism"} {
 		t.Run(name, func(t *testing.T) {
 			if got := runFixture(t, name); len(got) == 0 {
 				t.Errorf("fixture %s produced no findings; its check appears disabled", name)

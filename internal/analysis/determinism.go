@@ -13,12 +13,21 @@ import (
 // math/rand stream (an explicit seeded *rand.Rand is required), and may
 // not let map iteration order leak into a slice that escapes the
 // function without being sorted first.
+//
+// I/O packages (Config.IOPackages) get the same check minus the
+// wall-clock rule: a transport legitimately reads clocks for deadlines
+// and reconnect backoff, but its injected-fault schedule must still be a
+// pure function of an explicit seed, so the global-rand and
+// map-order-leak rules stay in force.
 func runDeterminism(p *Pass) {
-	if !p.Cfg.algorithmScope(p.Pkg) {
+	io := p.Cfg.ioScope(p.Pkg)
+	if !io && !p.Cfg.algorithmScope(p.Pkg) {
 		return
 	}
 	for _, f := range p.Pkg.Files {
-		checkWallClock(p, f)
+		if !io {
+			checkWallClock(p, f)
+		}
 		checkGlobalRand(p, f)
 		checkMapOrderLeak(p, f)
 	}
@@ -51,8 +60,12 @@ func checkGlobalRand(p *Pass, f *ast.File) {
 		if randConstructors[sel.Sel.Name] {
 			return true
 		}
+		noun := "algorithm"
+		if p.Cfg.ioScope(p.Pkg) {
+			noun = "I/O"
+		}
 		p.Reportf(call.Pos(),
-			"algorithm package calls global rand.%s; draw from an explicit seeded *rand.Rand so results are reproducible", sel.Sel.Name)
+			"%s package calls global rand.%s; draw from an explicit seeded *rand.Rand so results are reproducible", noun, sel.Sel.Name)
 		return true
 	})
 }

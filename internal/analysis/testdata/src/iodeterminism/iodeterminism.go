@@ -1,0 +1,45 @@
+// Package iodeterminism is a bwc-vet fixture for the I/O-package scope
+// of the determinism check: wall-clock reads are in charter for a
+// transport (deadlines, reconnect backoff) and must stay silent, while
+// the global math/rand stream and map-order leaks remain violations —
+// an injected-fault schedule must be a pure function of its seed.
+package iodeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoffDeadline reads the wall clock for an I/O deadline: allowed in
+// an I/O package, no finding.
+func backoffDeadline(d time.Duration) time.Time {
+	return time.Now().Add(d)
+}
+
+// retryElapsed covers time.Since on the allowed side.
+func retryElapsed(start time.Time, budget time.Duration) bool {
+	return time.Since(start) > budget
+}
+
+// unseededJitter draws backoff jitter from the process-global stream:
+// still forbidden — jitter must come from an explicit seeded source so
+// fault schedules reproduce.
+func unseededJitter(max int64) int64 {
+	return rand.Int63n(max) // want `global rand\.Int63n`
+}
+
+// seededJitter is the sanctioned form: an explicit source.
+func seededJitter(seed, max int64) int64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Int63n(max)
+}
+
+// flushOrder returns held-message ids in map iteration order: still
+// forbidden in an I/O package — delivery order would differ run to run.
+func flushOrder(held map[int]string) []int {
+	var out []int
+	for id := range held { // want `map iteration order leaks`
+		out = append(out, id)
+	}
+	return out
+}

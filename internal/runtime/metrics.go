@@ -3,11 +3,14 @@ package runtime
 import "bwcluster/internal/telemetry"
 
 // Telemetry for the asynchronous engine: message deliveries by kind
-// (mirroring the atomic Traffic counters into the exposition registry)
-// and per-query hop distributions. Increments happen on the peer
-// goroutines' delivery path, so they must stay allocation-free — the
-// kind strings are package constants, and a single-value label join
-// does not copy.
+// (mirroring the atomic Traffic counters into the exposition registry,
+// labeled by transport.Kind.String, which returns package constants),
+// per-query hop distributions, and the InjectLoss skip counter. Drops on
+// full inboxes are counted by the transport layer
+// (bwc_transport_dropped_total{reason="inbox_full"}); this package only
+// counts the losses it injects itself before the message ever reaches
+// the transport. Increments happen on the peer goroutines' delivery
+// path, so they must stay allocation-free.
 var (
 	mMessages = telemetry.NewCounterVec("bwc_runtime_messages_total",
 		"Messages delivered by the asynchronous peer runtime, by kind.",
@@ -15,11 +18,6 @@ var (
 	mRuntimeQueryHops = telemetry.NewHistogram("bwc_runtime_query_hops",
 		"Overlay hops traveled per asynchronous (message-forwarded) query.",
 		telemetry.HopBuckets())
-)
-
-const (
-	kindLabelNodeInfo  = "nodeinfo"
-	kindLabelCRT       = "crt"
-	kindLabelQuery     = "query"
-	kindLabelNodeQuery = "nodequery"
+	mGossipLoss = telemetry.NewCounter("bwc_runtime_gossip_loss_injected_total",
+		"Gossip messages skipped by InjectLoss before reaching the transport; the protocol retries them next tick.")
 )

@@ -6,72 +6,91 @@ import (
 	"time"
 
 	"bwcluster/internal/overlay"
+	"bwcluster/internal/transport"
 )
-
-// nodeQueryMsg carries a single-node search (the paper's future-work
-// extension) across peers, with the incumbent best candidate riding
-// along.
-type nodeQueryMsg struct {
-	set        []int
-	l          float64
-	bestNode   int
-	bestRadius float64
-	prev       int
-	hops       int
-	reply      chan overlay.NodeResult
-}
 
 // QueryNode runs the decentralized single-node search over the live
 // network: find one host whose maximum predicted distance to every
 // member of set is at most l, hill-climbing toward the incumbent best
 // candidate's region (see overlay.Network.QueryNode for the algorithm).
+// The start peer must be hosted by this runtime; set members may live
+// anywhere in the network.
 func (rt *Runtime) QueryNode(start int, set []int, l float64, timeout time.Duration) (overlay.NodeResult, error) {
-	p := rt.peerByID(start)
-	if p == nil {
+	if p := rt.peerByID(start); p == nil {
 		return overlay.NodeResult{}, fmt.Errorf("runtime: unknown start host %d", start)
 	}
 	if len(set) == 0 {
 		return overlay.NodeResult{}, fmt.Errorf("runtime: empty input set")
 	}
+	tbl := rt.table.Load()
 	for _, m := range set {
-		if rt.peerByID(m) == nil {
+		if _, ok := tbl.index[m]; !ok {
 			return overlay.NodeResult{}, fmt.Errorf("runtime: set member %d is not a live host", m)
 		}
 	}
 	if l < 0 {
 		return overlay.NodeResult{}, fmt.Errorf("runtime: constraint l must be >= 0, got %v", l)
 	}
+	id := rt.qid.Add(1)
 	reply := make(chan overlay.NodeResult, replyCapacity)
-	q := &nodeQueryMsg{
-		set:        append([]int(nil), set...),
-		l:          l,
-		bestNode:   -1,
-		bestRadius: math.Inf(1),
-		prev:       -1,
-		reply:      reply,
+	rt.pendMu.Lock()
+	rt.pendNode[id] = reply
+	rt.pendMu.Unlock()
+	q := &transport.NodeQuery{
+		ID:         id,
+		Origin:     start,
+		Set:        append([]int(nil), set...),
+		L:          l,
+		BestNode:   -1,
+		BestRadius: math.Inf(1),
+		Prev:       -1,
 	}
-	select {
-	case p.inbox <- message{kind: kindNodeQuery, nodeQuery: q}:
-	case <-time.After(timeout):
-		return overlay.NodeResult{}, fmt.Errorf("runtime: start peer %d did not accept the query", start)
+	if err := rt.tr.Send(transport.Message{Kind: transport.KindNodeQuery, From: -1, To: start, NodeQuery: q}); err != nil {
+		rt.dropPendingNode(id)
+		return overlay.NodeResult{}, fmt.Errorf("runtime: start peer %d did not accept the query: %w", start, err)
 	}
 	select {
 	case res := <-reply:
 		return res, nil
 	case <-time.After(timeout):
+		rt.dropPendingNode(id)
 		return overlay.NodeResult{}, fmt.Errorf("runtime: node query timed out after %v", timeout)
 	}
 }
 
+// dropPendingNode abandons a pending node-search reply; a late answer
+// then finds no entry and is discarded.
+func (rt *Runtime) dropPendingNode(id uint64) {
+	rt.pendMu.Lock()
+	defer rt.pendMu.Unlock()
+	delete(rt.pendNode, id)
+}
+
+// resolveNode completes the pending node search a routed result answers;
+// duplicate or late answers are idempotently ignored.
+func (rt *Runtime) resolveNode(r *transport.NodeResult) {
+	if r == nil {
+		return
+	}
+	rt.pendMu.Lock()
+	ch, ok := rt.pendNode[r.ID]
+	delete(rt.pendNode, r.ID)
+	rt.pendMu.Unlock()
+	if !ok {
+		return
+	}
+	ch <- overlay.NodeResult{Node: r.Node, Radius: r.Radius, Hops: r.Hops, Answered: r.Answered}
+}
+
 // handleNodeQuery executes one hill-climbing step at this peer.
-func (p *peer) handleNodeQuery(q *nodeQueryMsg) {
-	inSet := make(map[int]bool, len(q.set))
-	for _, m := range q.set {
+func (p *peer) handleNodeQuery(q *transport.NodeQuery) {
+	inSet := make(map[int]bool, len(q.Set))
+	for _, m := range q.Set {
 		inSet[m] = true
 	}
 	setRadius := func(u int) float64 {
 		worst := 0.0
-		for _, m := range q.set {
+		for _, m := range q.Set {
 			if d := p.rt.predDist(u, m); d > worst {
 				worst = d
 			}
@@ -85,8 +104,8 @@ func (p *peer) handleNodeQuery(q *nodeQueryMsg) {
 		if inSet[u] {
 			return
 		}
-		if r := setRadius(u); r < q.bestRadius {
-			q.bestNode, q.bestRadius = u, r
+		if r := setRadius(u); r < q.BestRadius {
+			q.BestNode, q.BestRadius = u, r
 			bestDir = dir
 		}
 	}
@@ -98,32 +117,41 @@ func (p *peer) handleNodeQuery(q *nodeQueryMsg) {
 	}
 	p.mu.Unlock()
 
-	finish := func() {
-		res := overlay.NodeResult{Node: q.bestNode, Radius: q.bestRadius, Hops: q.hops, Answered: p.id}
-		if q.bestNode < 0 || q.bestRadius > q.l {
-			res = overlay.NodeResult{Node: -1, Hops: q.hops, Answered: p.id}
-		}
-		q.reply <- res
-	}
-	if bestDir == -1 || bestDir == q.prev || q.hops >= maxQueryHops {
-		finish()
-		return
-	}
-	target := p.rt.peerByID(bestDir)
-	if target == nil {
-		finish()
+	if bestDir == -1 || bestDir == q.Prev || q.Hops >= maxQueryHops {
+		p.answerNodeQuery(q)
 		return
 	}
 	fwd := *q
-	fwd.prev = p.id
-	fwd.hops++
+	fwd.Prev = p.id
+	fwd.Hops++
+	// Copy the set so the forwarded message shares no backing array with
+	// this delivery.
+	fwd.Set = append([]int(nil), q.Set...)
+	p.forwardNodeQuery(bestDir, &fwd)
+}
+
+// answerNodeQuery routes the search's answer back to its origin peer
+// (Node -1 when no candidate satisfies the constraint).
+func (p *peer) answerNodeQuery(q *transport.NodeQuery) {
+	res := &transport.NodeResult{ID: q.ID, Node: q.BestNode, Radius: q.BestRadius, Hops: q.Hops, Answered: p.id}
+	if q.BestNode < 0 || q.BestRadius > q.L {
+		res = &transport.NodeResult{ID: q.ID, Node: -1, Hops: q.Hops, Answered: p.id}
+	}
+	p.rt.sendAsync(transport.Message{Kind: transport.KindNodeResult, From: p.id, To: q.Origin, NodeResult: res})
+}
+
+// forwardNodeQuery passes the search to the next peer from a helper
+// goroutine; if the transport rejects the forward (next is dead and
+// unrouted), the search fails over to a not-found answer.
+func (p *peer) forwardNodeQuery(next int, fwd *transport.NodeQuery) {
+	from := p.id
 	p.rt.wg.Add(1)
 	go func() {
 		defer p.rt.wg.Done()
-		select {
-		case target.inbox <- message{kind: kindNodeQuery, nodeQuery: &fwd}:
-		case <-target.stop:
-			fwd.reply <- overlay.NodeResult{Node: -1, Hops: fwd.hops, Answered: p.id}
+		if p.rt.tr.Send(transport.Message{Kind: transport.KindNodeQuery, From: from, To: next, NodeQuery: fwd}) == nil {
+			return
 		}
+		res := &transport.NodeResult{ID: fwd.ID, Node: -1, Hops: fwd.Hops, Answered: from}
+		_ = p.rt.tr.Send(transport.Message{Kind: transport.KindNodeResult, From: from, To: fwd.Origin, NodeResult: res})
 	}()
 }

@@ -8,14 +8,17 @@ import (
 	"bwcluster/internal/cluster"
 	"bwcluster/internal/overlay"
 	"bwcluster/internal/predtree"
+	"bwcluster/internal/transport"
 )
 
 // Query submits a (k, l) query to the given start peer and waits up to
 // timeout for the network to answer. The query travels peer-to-peer as
-// messages, exactly like Algorithm 4.
+// messages, exactly like Algorithm 4; the answer comes back as a routed
+// result message addressed to the start peer, so the whole round trip
+// works even when intermediate peers live in other processes. The start
+// peer must be hosted by this runtime.
 func (rt *Runtime) Query(start, k int, l float64, timeout time.Duration) (overlay.Result, error) {
-	p := rt.peerByID(start)
-	if p == nil {
+	if p := rt.peerByID(start); p == nil {
 		return overlay.Result{}, fmt.Errorf("runtime: unknown start host %d", start)
 	}
 	if k < 2 {
@@ -25,20 +28,50 @@ func (rt *Runtime) Query(start, k int, l float64, timeout time.Duration) (overla
 	if err != nil {
 		return overlay.Result{}, err
 	}
+	id := rt.qid.Add(1)
 	reply := make(chan overlay.Result, replyCapacity)
-	q := &queryMsg{k: k, classIdx: classIdx, classL: classL, prev: -1, reply: reply}
-	select {
-	case p.inbox <- message{kind: kindQuery, query: q}:
-	case <-time.After(timeout):
-		return overlay.Result{}, fmt.Errorf("runtime: start peer %d did not accept the query", start)
+	rt.pendMu.Lock()
+	rt.pendCluster[id] = reply
+	rt.pendMu.Unlock()
+	q := &transport.Query{ID: id, Origin: start, K: k, ClassIdx: classIdx, ClassL: classL, Prev: -1}
+	if err := rt.tr.Send(transport.Message{Kind: transport.KindQuery, From: -1, To: start, Query: q}); err != nil {
+		rt.dropPendingCluster(id)
+		return overlay.Result{}, fmt.Errorf("runtime: start peer %d did not accept the query: %w", start, err)
 	}
 	select {
 	case res := <-reply:
 		mRuntimeQueryHops.Observe(float64(res.Hops))
 		return res, nil
 	case <-time.After(timeout):
+		rt.dropPendingCluster(id)
 		return overlay.Result{}, fmt.Errorf("runtime: query (k=%d, l=%v) timed out after %v", k, l, timeout)
 	}
+}
+
+// dropPendingCluster abandons a pending cluster reply; a late answer
+// then finds no entry and is discarded.
+func (rt *Runtime) dropPendingCluster(id uint64) {
+	rt.pendMu.Lock()
+	defer rt.pendMu.Unlock()
+	delete(rt.pendCluster, id)
+}
+
+// resolveCluster completes the pending query a routed result answers.
+// The reply channel is buffered and the entry is removed on first
+// resolution, so duplicated result deliveries (fault injection, at-least
+// -once callers) are idempotently ignored and never block a peer loop.
+func (rt *Runtime) resolveCluster(r *transport.Result) {
+	if r == nil {
+		return
+	}
+	rt.pendMu.Lock()
+	ch, ok := rt.pendCluster[r.ID]
+	delete(rt.pendCluster, r.ID)
+	rt.pendMu.Unlock()
+	if !ok {
+		return // duplicate, late, or foreign answer
+	}
+	ch <- overlay.Result{Cluster: r.Cluster, Hops: r.Hops, Answered: r.Answered, Class: r.Class, Path: r.Path}
 }
 
 // classFor snaps l to the largest configured class <= l.
@@ -57,17 +90,17 @@ func (rt *Runtime) classFor(l float64) (float64, int, error) {
 // handleQuery runs one Algorithm 4 step at this peer: answer locally if
 // the local CRT admits the size, otherwise forward toward a promising
 // neighbor, otherwise report failure.
-func (p *peer) handleQuery(q *queryMsg) {
-	q.path = append(q.path, p.id)
+func (p *peer) handleQuery(q *transport.Query) {
+	q.Path = append(q.Path, p.id)
 	p.mu.Lock()
 	if p.dirty {
 		p.recomputeSelfCRTLocked()
 		p.dirty = false
 	}
 	var members []int
-	if len(p.selfCRT) > q.classIdx && q.k <= p.selfCRT[q.classIdx] {
+	if len(p.selfCRT) > q.ClassIdx && q.K <= p.selfCRT[q.ClassIdx] {
 		hosts, space := p.spaceLocked()
-		if sel, err := cluster.FindCluster(space, q.k, q.classL); err == nil && sel != nil {
+		if sel, err := cluster.FindCluster(space, q.K, q.ClassL); err == nil && sel != nil {
 			members = make([]int, len(sel))
 			for i, s := range sel {
 				members[i] = hosts[s]
@@ -77,10 +110,10 @@ func (p *peer) handleQuery(q *queryMsg) {
 	next := -1
 	if members == nil {
 		for _, v := range p.neighbors {
-			if v == q.prev {
+			if v == q.Prev {
 				continue
 			}
-			if crt := p.aggrCRT[v]; len(crt) > q.classIdx && q.k <= crt[q.classIdx] {
+			if crt := p.aggrCRT[v]; len(crt) > q.ClassIdx && q.K <= crt[q.ClassIdx] {
 				next = v
 				break
 			}
@@ -90,30 +123,43 @@ func (p *peer) handleQuery(q *queryMsg) {
 
 	switch {
 	case members != nil:
-		q.reply <- overlay.Result{Cluster: members, Hops: q.hops, Answered: p.id, Class: q.classL, Path: q.path}
-	case next != -1 && q.hops < maxQueryHops:
+		p.answerQuery(q, members)
+	case next != -1 && q.Hops < maxQueryHops:
 		fwd := *q
-		fwd.prev = p.id
-		fwd.hops++
-		target := p.rt.peerByID(next)
-		if target == nil {
-			q.reply <- overlay.Result{Hops: q.hops, Answered: p.id, Class: q.classL, Path: q.path}
+		fwd.Prev = p.id
+		fwd.Hops++
+		// Copy the path: the forwarded message and this peer's local view
+		// must not share a backing array across goroutines.
+		fwd.Path = append([]int(nil), q.Path...)
+		p.forwardQuery(next, &fwd)
+	default:
+		p.answerQuery(q, nil)
+	}
+}
+
+// answerQuery routes the query's answer back to its origin peer as a
+// result message (members nil: not found).
+func (p *peer) answerQuery(q *transport.Query, members []int) {
+	res := &transport.Result{ID: q.ID, Cluster: members, Hops: q.Hops, Answered: p.id, Class: q.ClassL, Path: q.Path}
+	p.rt.sendAsync(transport.Message{Kind: transport.KindResult, From: p.id, To: q.Origin, Result: res})
+}
+
+// forwardQuery passes the query to the next peer from a helper goroutine
+// so a full inbox cannot stall this peer's main loop. If the transport
+// rejects the forward (next is dead and unrouted), the query fails over
+// to a not-found answer from this peer, preserving the pre-transport
+// crash semantics.
+func (p *peer) forwardQuery(next int, fwd *transport.Query) {
+	from := p.id
+	p.rt.wg.Add(1)
+	go func() {
+		defer p.rt.wg.Done()
+		if p.rt.tr.Send(transport.Message{Kind: transport.KindQuery, From: from, To: next, Query: fwd}) == nil {
 			return
 		}
-		// Forward from a helper goroutine so a full inbox cannot stall
-		// this peer's main loop; the send is bounded by the target's stop.
-		p.rt.wg.Add(1)
-		go func() {
-			defer p.rt.wg.Done()
-			select {
-			case target.inbox <- message{kind: kindQuery, query: &fwd}:
-			case <-target.stop:
-				fwd.reply <- overlay.Result{Hops: fwd.hops, Answered: p.id, Class: q.classL, Path: fwd.path}
-			}
-		}()
-	default:
-		q.reply <- overlay.Result{Hops: q.hops, Answered: p.id, Class: q.classL, Path: q.path}
-	}
+		res := &transport.Result{ID: fwd.ID, Hops: fwd.Hops, Answered: from, Class: fwd.ClassL, Path: fwd.Path}
+		_ = p.rt.tr.Send(transport.Message{Kind: transport.KindResult, From: from, To: fwd.Origin, Result: res})
+	}()
 }
 
 // maxQueryHops is a safety bound against routing on inconsistent
@@ -148,10 +194,14 @@ func (rt *Runtime) AddHost(h int, o predtree.Oracle) error {
 	}
 
 	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	rt.table.Store(tbl)
 	nb := rt.sub.AnchorNeighbors(h)
 	sort.Ints(nb)
-	p := rt.newPeer(h, nb)
+	p, err := rt.newPeer(h, nb)
+	if err != nil {
+		return fmt.Errorf("runtime: %w", err)
+	}
 	rt.peers[h] = p
 	// The anchor parent gained a neighbor.
 	for _, other := range nb {
@@ -164,7 +214,6 @@ func (rt *Runtime) AddHost(h int, o predtree.Oracle) error {
 		}
 	}
 	rt.wg.Add(1)
-	rt.mu.Unlock()
 	go p.run()
 	return nil
 }

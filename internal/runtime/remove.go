@@ -78,6 +78,9 @@ func (rt *Runtime) RemoveHost(h int) error {
 	default:
 		close(p.stop)
 	}
+	// Unregister from the transport so in-flight forwards blocked toward
+	// the dead peer release with an error and fail over.
+	_ = rt.tr.Unregister(h)
 	return nil
 }
 

@@ -1,14 +1,22 @@
 // Package runtime runs the clustering protocol asynchronously: one
-// goroutine per peer, gossip over buffered channels, periodic
-// (tick-driven) execution of Algorithms 2 and 3, and message-forwarded
-// queries (Algorithm 4). It exists to validate that the protocol — whose
-// correctness the synchronous engine in package overlay establishes
-// against Theorems 3.2/3.3 — also converges under real message passing
-// with arbitrary interleavings, and to power the livenet example.
+// goroutine per peer, periodic (tick-driven) execution of Algorithms 2
+// and 3, and message-forwarded queries (Algorithm 4). It exists to
+// validate that the protocol — whose correctness the synchronous engine
+// in package overlay establishes against Theorems 3.2/3.3 — also
+// converges under real message passing with arbitrary interleavings,
+// and to power the livenet example.
+//
+// All message movement goes through a transport.Transport. By default
+// (New) the runtime owns an in-process channel transport that preserves
+// the original inbox behavior exactly; NewWithTransport accepts any
+// other backend — the deterministic fault injector, real TCP sockets —
+// and an optional subset of peers to host locally, which is what allows
+// one protocol network to span several processes.
 //
 // Both engines share the same deterministic propagation rules, so a
 // settled Runtime reaches exactly the fixed point overlay.Network
-// computes; the cross-engine test asserts that equality.
+// computes; the cross-engine test asserts that equality over every
+// transport backend.
 package runtime
 
 import (
@@ -23,41 +31,14 @@ import (
 	"bwcluster/internal/cluster"
 	"bwcluster/internal/metric"
 	"bwcluster/internal/overlay"
+	"bwcluster/internal/transport"
 )
 
 const (
 	defaultTick   = 2 * time.Millisecond
-	inboxCapacity = 256
+	inboxCapacity = transport.DefaultInboxCapacity
 	replyCapacity = 1
 )
-
-type msgKind int
-
-const (
-	kindNodeInfo msgKind = iota + 1
-	kindCRT
-	kindQuery
-	kindNodeQuery
-)
-
-type message struct {
-	kind      msgKind
-	from      int
-	nodes     []int
-	crt       []int
-	query     *queryMsg
-	nodeQuery *nodeQueryMsg
-}
-
-type queryMsg struct {
-	k        int
-	classIdx int
-	classL   float64
-	prev     int
-	hops     int
-	path     []int
-	reply    chan overlay.Result
-}
 
 // distTable is an immutable snapshot of the predicted distances; Runtime
 // swaps in a new snapshot atomically when membership changes.
@@ -66,11 +47,17 @@ type distTable struct {
 	index map[int]int
 }
 
-// Runtime hosts the asynchronous peers.
+// Runtime hosts asynchronous peers on top of a message transport. In the
+// default single-process configuration it hosts every substrate host; a
+// runtime built with NewWithTransport may host only a subset, with the
+// rest reached through the transport's routing (e.g. TCP peers in
+// another process).
 type Runtime struct {
 	cfg     overlay.Config
 	sub     overlay.Substrate
 	tick    time.Duration
+	tr      transport.Transport
+	ownsTr  bool // Close the transport on Stop
 	table   atomic.Pointer[distTable]
 	version atomic.Int64 // bumped on every peer state change
 
@@ -80,6 +67,15 @@ type Runtime struct {
 	nodeInfoMsgs atomic.Int64
 	crtMsgs      atomic.Int64
 	queryMsgs    atomic.Int64
+
+	// Pending query replies, keyed by the query id minted at submission.
+	// Answers arrive as routed messages (transport.KindResult and
+	// KindNodeResult) at the origin peer, which resolves them here;
+	// duplicate or late answers find no entry and are dropped.
+	qid         atomic.Uint64
+	pendMu      sync.Mutex
+	pendCluster map[uint64]chan overlay.Result     // guarded by pendMu
+	pendNode    map[uint64]chan overlay.NodeResult // guarded by pendMu
 
 	mu    sync.Mutex
 	peers map[int]*peer // guarded by mu
@@ -95,7 +91,9 @@ func (rt *Runtime) Traffic() (nodeInfo, crt, queries int64) {
 // InjectLoss makes every gossip message (not queries) get dropped with
 // the given probability — failure injection for testing convergence
 // under unreliable delivery. The protocol is periodic and idempotent, so
-// any rate below 1 only delays settling. Safe to call at any time.
+// any rate below 1 only delays settling. Safe to call at any time. For
+// reproducible loss schedules use NewWithTransport with a
+// transport.FaultTransport instead.
 func (rt *Runtime) InjectLoss(rate float64) error {
 	if rate < 0 || rate >= 1 {
 		return fmt.Errorf("runtime: loss rate must be in [0,1), got %v", rate)
@@ -108,7 +106,7 @@ type peer struct {
 	id        int
 	rt        *Runtime
 	neighbors []int
-	inbox     chan message
+	recv      <-chan transport.Message
 	stop      chan struct{}
 	done      chan struct{}
 	lossRng   *rand.Rand // per-peer source for loss injection
@@ -120,10 +118,21 @@ type peer struct {
 	dirty    bool // V_x changed since selfCRT was computed
 }
 
-// New builds a runtime for every host in the substrate (a prediction tree
-// or forest). Start must be called to launch the peers; Stop shuts them
-// down.
+// New builds a runtime hosting every host in the substrate (a prediction
+// tree or forest) over an internally owned in-process channel transport.
+// Start must be called to launch the peers; Stop shuts them down.
 func New(sub overlay.Substrate, cfg overlay.Config, tick time.Duration) (*Runtime, error) {
+	return NewWithTransport(sub, cfg, tick, nil, nil)
+}
+
+// NewWithTransport builds a runtime over an explicit transport, hosting
+// only the given local hosts (nil: every substrate host). A nil tr means
+// an internally owned channel transport. The substrate must describe the
+// whole network — including hosts served by other processes — so every
+// runtime derives the same overlay topology; remote peers are reached
+// through the transport's routing. The runtime closes tr on Stop only
+// when it created it.
+func NewWithTransport(sub overlay.Substrate, cfg overlay.Config, tick time.Duration, tr transport.Transport, local []int) (*Runtime, error) {
 	if sub == nil || sub.Len() == 0 {
 		return nil, fmt.Errorf("runtime: empty prediction substrate")
 	}
@@ -135,38 +144,72 @@ func New(sub overlay.Substrate, cfg overlay.Config, tick time.Duration) (*Runtim
 		return nil, fmt.Errorf("runtime: %w", err)
 	}
 	dist, hosts := sub.DistMatrix()
+	owns := false
+	if tr == nil {
+		tr = transport.NewChan(inboxCapacity)
+		owns = true
+	}
 	rt := &Runtime{
-		cfg:   cfg,
-		sub:   sub,
-		tick:  tick,
-		peers: make(map[int]*peer, len(hosts)),
+		cfg:         cfg,
+		sub:         sub,
+		tick:        tick,
+		tr:          tr,
+		ownsTr:      owns,
+		peers:       make(map[int]*peer, len(hosts)),
+		pendCluster: make(map[uint64]chan overlay.Result),
+		pendNode:    make(map[uint64]chan overlay.NodeResult),
 	}
 	tbl := &distTable{dist: dist, index: make(map[int]int, len(hosts))}
 	for i, h := range hosts {
 		tbl.index[h] = i
 	}
 	rt.table.Store(tbl)
-	for _, h := range hosts {
+	if local == nil {
+		local = hosts
+	}
+	for _, h := range local {
+		if _, ok := tbl.index[h]; !ok {
+			rt.closeOwnedTransport()
+			return nil, fmt.Errorf("runtime: local host %d is not in the substrate", h)
+		}
 		nb := sub.AnchorNeighbors(h)
 		sort.Ints(nb)
-		rt.peers[h] = rt.newPeer(h, nb)
+		p, err := rt.newPeer(h, nb)
+		if err != nil {
+			rt.closeOwnedTransport()
+			return nil, fmt.Errorf("runtime: %w", err)
+		}
+		rt.peers[h] = p
 	}
 	return rt, nil
 }
 
-func (rt *Runtime) newPeer(id int, neighbors []int) *peer {
+// closeOwnedTransport closes the transport if this runtime created it
+// (constructor error paths and Stop).
+func (rt *Runtime) closeOwnedTransport() {
+	if rt.ownsTr {
+		_ = rt.tr.Close()
+	}
+}
+
+// newPeer registers id with the transport and builds its peer.
+func (rt *Runtime) newPeer(id int, neighbors []int) (*peer, error) {
+	recv, err := rt.tr.Register(id)
+	if err != nil {
+		return nil, err
+	}
 	return &peer{
 		id:        id,
 		rt:        rt,
 		neighbors: neighbors,
-		inbox:     make(chan message, inboxCapacity),
+		recv:      recv,
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 		lossRng:   rand.New(rand.NewSource(int64(id)*7919 + 1)),
 		aggrNode:  make(map[int][]int, len(neighbors)),
 		aggrCRT:   make(map[int][]int, len(neighbors)),
 		dirty:     true,
-	}
+	}, nil
 }
 
 // Start launches every peer goroutine.
@@ -179,10 +222,15 @@ func (rt *Runtime) Start() {
 	}
 }
 
-// Stop signals all peers to exit and waits for them.
+// Stop signals all peers to exit, unregisters them from the transport
+// (releasing any in-flight forward blocked toward a full inbox), waits
+// for every runtime goroutine, and closes the transport if this runtime
+// owns it.
 func (rt *Runtime) Stop() {
 	rt.mu.Lock()
-	for _, p := range rt.peers {
+	ids := make([]int, 0, len(rt.peers))
+	for id, p := range rt.peers {
+		ids = append(ids, id)
 		select {
 		case <-p.stop:
 		default:
@@ -190,10 +238,14 @@ func (rt *Runtime) Stop() {
 		}
 	}
 	rt.mu.Unlock()
+	for _, id := range ids {
+		_ = rt.tr.Unregister(id)
+	}
 	rt.wg.Wait()
+	rt.closeOwnedTransport()
 }
 
-// Hosts returns the current peer ids, sorted.
+// Hosts returns the current locally hosted peer ids, sorted.
 func (rt *Runtime) Hosts() []int {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -245,7 +297,20 @@ func (rt *Runtime) peerByID(id int) *peer {
 	return rt.peers[id]
 }
 
-// run is the peer main loop: handle inbox messages, gossip on ticks.
+// sendAsync delivers m from a runtime-tracked helper goroutine so a full
+// destination inbox can never stall a peer main loop. The blocking send
+// releases when the destination unregisters or the transport closes;
+// Stop unregisters every local peer before waiting, so these helpers
+// always terminate.
+func (rt *Runtime) sendAsync(m transport.Message) {
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		_ = rt.tr.Send(m)
+	}()
+}
+
+// run is the peer main loop: handle delivered messages, gossip on ticks.
 func (p *peer) run() {
 	defer p.rt.wg.Done()
 	defer close(p.done)
@@ -255,7 +320,7 @@ func (p *peer) run() {
 		select {
 		case <-p.stop:
 			return
-		case m := <-p.inbox:
+		case m := <-p.recv:
 			p.handle(m)
 		case <-ticker.C:
 			p.gossip()
@@ -263,71 +328,69 @@ func (p *peer) run() {
 	}
 }
 
-func (p *peer) handle(m message) {
-	switch m.kind {
-	case kindNodeInfo:
+func (p *peer) handle(m transport.Message) {
+	mMessages.Inc(m.Kind.String())
+	switch m.Kind {
+	case transport.KindNodeInfo:
 		p.rt.nodeInfoMsgs.Add(1)
-		mMessages.Inc(kindLabelNodeInfo)
 		p.mu.Lock()
-		if !equalInts(p.aggrNode[m.from], m.nodes) {
-			p.aggrNode[m.from] = m.nodes
+		if !equalInts(p.aggrNode[m.From], m.Nodes) {
+			p.aggrNode[m.From] = m.Nodes
 			p.dirty = true
 			p.rt.version.Add(1)
 		}
 		p.mu.Unlock()
-	case kindCRT:
+	case transport.KindCRT:
 		p.rt.crtMsgs.Add(1)
-		mMessages.Inc(kindLabelCRT)
 		p.mu.Lock()
-		if !equalInts(p.aggrCRT[m.from], m.crt) {
-			p.aggrCRT[m.from] = m.crt
+		if !equalInts(p.aggrCRT[m.From], m.CRT) {
+			p.aggrCRT[m.From] = m.CRT
 			p.rt.version.Add(1)
 		}
 		p.mu.Unlock()
-	case kindQuery:
-		p.rt.queryMsgs.Add(1)
-		mMessages.Inc(kindLabelQuery)
-		p.handleQuery(m.query)
-	case kindNodeQuery:
-		p.rt.queryMsgs.Add(1)
-		mMessages.Inc(kindLabelNodeQuery)
-		p.handleNodeQuery(m.nodeQuery)
+	case transport.KindQuery:
+		if m.Query != nil {
+			p.rt.queryMsgs.Add(1)
+			p.handleQuery(m.Query)
+		}
+	case transport.KindNodeQuery:
+		if m.NodeQuery != nil {
+			p.rt.queryMsgs.Add(1)
+			p.handleNodeQuery(m.NodeQuery)
+		}
+	case transport.KindResult:
+		p.rt.resolveCluster(m.Result)
+	case transport.KindNodeResult:
+		p.rt.resolveNode(m.NodeResult)
 	}
 }
 
 // gossip sends this round's Algorithm 2 and 3 messages to every neighbor,
 // recomputing the local CRT first if the clustering space changed.
-// Deliveries use non-blocking sends: gossip is periodic, so a dropped
-// message is simply retried next tick.
+// Deliveries are best-effort (TrySend): gossip is periodic, so a message
+// dropped on a full inbox — counted by the transport — is simply retried
+// next tick.
 func (p *peer) gossip() {
 	p.mu.Lock()
 	if p.dirty {
 		p.recomputeSelfCRTLocked()
 		p.dirty = false
 	}
-	type outMsg struct {
-		to  int
-		msg message
-	}
-	outs := make([]outMsg, 0, 2*len(p.neighbors))
+	outs := make([]transport.Message, 0, 2*len(p.neighbors))
 	for _, x := range p.neighbors {
 		outs = append(outs,
-			outMsg{to: x, msg: message{kind: kindNodeInfo, from: p.id, nodes: p.propNodeLocked(x)}},
-			outMsg{to: x, msg: message{kind: kindCRT, from: p.id, crt: p.propCRTLocked(x)}},
+			transport.Message{Kind: transport.KindNodeInfo, From: p.id, To: x, Nodes: p.propNodeLocked(x)},
+			transport.Message{Kind: transport.KindCRT, From: p.id, To: x, CRT: p.propCRTLocked(x)},
 		)
 	}
 	p.mu.Unlock()
 	loss := math.Float64frombits(p.rt.lossRate.Load())
-	for _, o := range outs {
+	for _, m := range outs {
 		if loss > 0 && p.lossRng.Float64() < loss {
+			mGossipLoss.Inc()
 			continue // injected loss; retried next tick
 		}
-		if q := p.rt.peerByID(o.to); q != nil {
-			select {
-			case q.inbox <- o.msg:
-			default: // inbox full; retry next tick
-			}
-		}
+		_ = p.rt.tr.TrySend(m)
 	}
 }
 

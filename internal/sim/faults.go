@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bwcluster/internal/dataset"
+	"bwcluster/internal/metric"
+	"bwcluster/internal/overlay"
+	"bwcluster/internal/runtime"
+	"bwcluster/internal/transport"
+)
+
+// FaultsConfig parameterizes the fault-tolerance experiment: the
+// asynchronous runtime is run over a deterministic fault-injecting
+// transport at a grid of gossip loss rates and partition lengths, and
+// each cell measures how long convergence to the synchronous fixed point
+// takes and whether settled queries still agree with the synchronous
+// engine.
+type FaultsConfig struct {
+	Dataset Dataset
+	// N restricts the experiment to a subset (0: 24 hosts — the runtime
+	// spawns a goroutine per host and gossips every tick, so the grid
+	// stays small).
+	N int
+	// Losses are the gossip drop rates to sweep (nil: 0, 0.1, 0.3).
+	Losses []float64
+	// PartitionSends are the partition window lengths to sweep, measured
+	// in transport sends; 0 means no partition (nil: 0 and 1500).
+	PartitionSends []int
+	// Queries is the per-cell settled query count.
+	Queries int
+	// Tick is the runtime gossip period (0: 1ms).
+	Tick time.Duration
+	// SettleQuiet and SettleTimeout bound the convergence wait (0: 150ms
+	// and 30s).
+	SettleQuiet   time.Duration
+	SettleTimeout time.Duration
+	NCut          int
+	BSteps        int
+	C             float64
+	Seed          int64
+	// Parallelism bounds the framework-construction worker pool (0: one
+	// per CPU, 1: sequential); it never changes results. The grid cells
+	// themselves run sequentially — each one times a live runtime, and
+	// co-scheduling runtimes would distort those timings.
+	Parallelism int
+}
+
+// DefaultFaultsConfig returns the fault grid recorded in
+// results/fault_series.txt.
+func DefaultFaultsConfig(ds Dataset) FaultsConfig {
+	return FaultsConfig{
+		Dataset:        ds,
+		N:              24,
+		Losses:         []float64{0, 0.1, 0.3},
+		PartitionSends: []int{0, 1500},
+		Queries:        30,
+		Tick:           time.Millisecond,
+		NCut:           overlay.DefaultNCut,
+		BSteps:         7,
+		C:              metric.DefaultC,
+		Seed:           11,
+	}
+}
+
+// Scaled returns a copy with the per-cell query count multiplied by f.
+func (c FaultsConfig) Scaled(f float64) FaultsConfig {
+	c.Queries = scaleInt(c.Queries, f)
+	return c
+}
+
+// FaultsPoint is one cell of the loss x partition grid.
+type FaultsPoint struct {
+	// Loss is the injected gossip drop rate.
+	Loss float64
+	// PartitionSends is the partition window length in transport sends
+	// (0: no partition this cell).
+	PartitionSends int
+	// MsgsToSettle counts transport sends observed when Settle returned.
+	MsgsToSettle int
+	// SettleMs is the wall time from Start to settled, in milliseconds.
+	SettleMs float64
+	// Converged reports whether the settled runtime state equals the
+	// synchronous overlay fixed point exactly.
+	Converged bool
+	// QuerySuccess is the fraction of settled queries whose findability
+	// agrees with the synchronous engine.
+	QuerySuccess float64
+}
+
+// FaultsResult is the fault-tolerance measurement grid.
+type FaultsResult struct {
+	Dataset Dataset
+	N       int
+	K       int
+	Points  []FaultsPoint
+}
+
+// RunFaults builds one prediction framework, converges the synchronous
+// reference overlay, then for every (loss, partition) cell runs the
+// asynchronous runtime over a seeded FaultTransport and measures time to
+// the fixed point and settled query agreement. Faults are GossipOnly:
+// the paper's claim is that the periodic, idempotent gossip tolerates an
+// unreliable network, not that one-shot query forwards do.
+func RunFaults(cfg FaultsConfig) (*FaultsResult, error) {
+	dsCfg, err := cfg.Dataset.Config()
+	if err != nil {
+		return nil, err
+	}
+	k, bLo, bHi, err := cfg.Dataset.Band()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.N <= 0 {
+		cfg.N = 24
+	}
+	if len(cfg.Losses) == 0 {
+		cfg.Losses = []float64{0, 0.1, 0.3}
+	}
+	if cfg.PartitionSends == nil {
+		cfg.PartitionSends = []int{0, 1500}
+	}
+	if cfg.Queries < 1 || cfg.BSteps < 1 {
+		return nil, fmt.Errorf("sim: faults needs positive Queries and BSteps")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.SettleQuiet <= 0 {
+		cfg.SettleQuiet = 150 * time.Millisecond
+	}
+	if cfg.SettleTimeout <= 0 {
+		cfg.SettleTimeout = 30 * time.Second
+	}
+	if cfg.C <= 0 {
+		cfg.C = metric.DefaultC
+	}
+	if cfg.NCut == 0 {
+		cfg.NCut = overlay.DefaultNCut
+	}
+
+	dataRng := rand.New(rand.NewSource(cfg.Seed))
+	topo, err := dataset.NewTopology(dsCfg.WithN(cfg.N), dataRng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: faults topology: %w", err)
+	}
+	bw, err := topo.Matrix(dataRng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: faults dataset: %w", err)
+	}
+	classes, err := overlay.ClassesFromBandwidths(linspace(bLo, bHi, cfg.BSteps), cfg.C)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := BuildFramework(bw, FrameworkConfig{
+		C: cfg.C, NCut: cfg.NCut, Classes: classes, Parallelism: cfg.Parallelism,
+	}, dataRng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: faults framework: %w", err)
+	}
+	nw := fw.Net
+	hosts := nw.Hosts()
+	ovCfg := overlay.Config{NCut: cfg.NCut, Classes: classes}
+
+	out := &FaultsResult{Dataset: cfg.Dataset, N: cfg.N, K: k}
+	cell := 0
+	for _, loss := range cfg.Losses {
+		for _, ps := range cfg.PartitionSends {
+			cell++
+			pt, err := runFaultCell(cfg, fw, nw, hosts, ovCfg, loss, ps, int64(cell), k, bLo, bHi)
+			if err != nil {
+				return nil, fmt.Errorf("sim: faults cell loss=%v partition=%d: %w", loss, ps, err)
+			}
+			out.Points = append(out.Points, pt)
+		}
+	}
+	return out, nil
+}
+
+// runFaultCell measures one (loss, partition) grid cell.
+//
+// The settle stopwatch below reads the wall clock: it measures how long
+// real convergence takes, which is the experiment's output, and never
+// feeds back into algorithm state — hence the determinism suppressions.
+func runFaultCell(cfg FaultsConfig, fw *Framework, nw *overlay.Network, hosts []int,
+	ovCfg overlay.Config, loss float64, ps int, cell int64, k int, bLo, bHi float64) (FaultsPoint, error) {
+	pt := FaultsPoint{Loss: loss, PartitionSends: ps}
+	var parts []transport.Partition
+	if ps > 0 {
+		// Cut off roughly a third of the peers early in the send
+		// sequence; the window closes after ps more sends and gossip
+		// must re-converge across the healed cut.
+		island := append([]int(nil), hosts[:len(hosts)/3]...)
+		parts = []transport.Partition{{After: 100, Until: 100 + ps, Island: island}}
+	}
+	ft, err := transport.NewFault(transport.NewChan(0), transport.FaultConfig{
+		Seed:       cfg.Seed + 1000*cell,
+		Drop:       loss,
+		GossipOnly: true,
+		Partitions: parts,
+	})
+	if err != nil {
+		return pt, err
+	}
+	rt, err := runtime.NewWithTransport(fw.Forest, ovCfg, cfg.Tick, ft, nil)
+	if err != nil {
+		ft.Close()
+		return pt, err
+	}
+	rt.Start()
+	defer func() {
+		rt.Stop()
+		ft.Close()
+	}()
+	start := time.Now() //bwcvet:allow determinism wall-clock stopwatch; settle time is the measured output, never algorithm input
+	if err := rt.Settle(cfg.SettleQuiet, cfg.SettleTimeout); err != nil {
+		return pt, err
+	}
+	pt.SettleMs = float64(time.Since(start)) / float64(time.Millisecond) //bwcvet:allow determinism wall-clock stopwatch; settle time is the measured output, never algorithm input
+	pt.MsgsToSettle = ft.Sends()
+	pt.Converged = runtimeAtFixedPoint(nw, rt)
+
+	queryRng := rand.New(rand.NewSource(cfg.Seed + 500 + cell))
+	bValues := linspace(bLo, bHi, cfg.BSteps)
+	agree := 0
+	for q := 0; q < cfg.Queries; q++ {
+		b := bValues[queryRng.Intn(len(bValues))]
+		l, err := metric.DistanceForBandwidthConstraint(b, cfg.C)
+		if err != nil {
+			return pt, err
+		}
+		start := hosts[queryRng.Intn(len(hosts))]
+		want, err := nw.Query(start, k, l)
+		if err != nil {
+			return pt, err
+		}
+		got, err := rt.Query(start, k, l, cfg.SettleTimeout)
+		if err != nil {
+			return pt, err
+		}
+		if want.Found() == got.Found() {
+			agree++
+		}
+	}
+	pt.QuerySuccess = float64(agree) / float64(cfg.Queries)
+	return pt, nil
+}
+
+// runtimeAtFixedPoint reports whether the settled runtime's full gossip
+// state (selfCRT, aggregated node info and CRT per neighbor) equals the
+// synchronous fixed point.
+func runtimeAtFixedPoint(nw *overlay.Network, rt *runtime.Runtime) bool {
+	for _, x := range rt.Hosts() {
+		if !equalIntSlices(nw.SelfCRT(x), rt.SelfCRT(x)) {
+			return false
+		}
+		for _, m := range nw.Neighbors(x) {
+			if !equalIntSlices(nw.AggrNode(x, m), rt.AggrNode(x, m)) {
+				return false
+			}
+			if !equalIntSlices(nw.CRT(x, m), rt.CRT(x, m)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

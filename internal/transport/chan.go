@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultInboxCapacity is the per-peer inbound buffer used when a
+// constructor is given a non-positive capacity. It matches the buffer the
+// runtime used before the transport layer was extracted, so ChanTransport
+// preserves the historical backpressure behavior exactly.
+const DefaultInboxCapacity = 256
+
+// endpoint is one registered local peer: its inbound buffer and a
+// tombstone channel closed on unregistration so blocked senders release.
+type endpoint struct {
+	inbox chan Message
+	gone  chan struct{}
+}
+
+// ChanTransport delivers messages over in-process buffered channels. It
+// is the extraction of the runtime's original peer-inbox behavior: one
+// buffered channel per peer, non-blocking gossip sends that drop on a
+// full inbox (now counted instead of silent), and blocking query sends
+// released when the destination disappears.
+type ChanTransport struct {
+	capacity  int
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	mu  sync.Mutex
+	eps map[int]*endpoint // guarded by mu
+}
+
+// NewChan builds an in-process channel transport with the given per-peer
+// inbox capacity (non-positive: DefaultInboxCapacity).
+func NewChan(capacity int) *ChanTransport {
+	if capacity <= 0 {
+		capacity = DefaultInboxCapacity
+	}
+	return &ChanTransport{
+		capacity: capacity,
+		closed:   make(chan struct{}),
+		eps:      make(map[int]*endpoint),
+	}
+}
+
+// Register attaches a local peer and returns its inbound channel.
+func (t *ChanTransport) Register(id int) (<-chan Message, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.closed:
+		return nil, ErrClosed
+	default:
+	}
+	if _, ok := t.eps[id]; ok {
+		return nil, fmt.Errorf("transport: peer %d already registered", id)
+	}
+	ep := &endpoint{inbox: make(chan Message, t.capacity), gone: make(chan struct{})}
+	t.eps[id] = ep
+	return ep.inbox, nil
+}
+
+// Unregister detaches a local peer, releasing any sender blocked toward
+// it. Unknown ids are a no-op.
+func (t *ChanTransport) Unregister(id int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ep, ok := t.eps[id]; ok {
+		close(ep.gone)
+		delete(t.eps, id)
+	}
+	return nil
+}
+
+// endpoint returns the registered endpoint for id, nil if unknown.
+func (t *ChanTransport) endpoint(id int) *endpoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.eps[id]
+}
+
+// Send delivers m to peer m.To, blocking until the inbox accepts it, the
+// peer unregisters, or the transport closes.
+func (t *ChanTransport) Send(m Message) error {
+	ep := t.endpoint(m.To)
+	if ep == nil {
+		return ErrUnknownPeer
+	}
+	select {
+	case ep.inbox <- m:
+		mDelivered.Inc(m.Kind.String())
+		return nil
+	case <-ep.gone:
+		return ErrUnknownPeer
+	case <-t.closed:
+		return ErrClosed
+	}
+}
+
+// TrySend attempts non-blocking delivery of m to peer m.To; a full inbox
+// drops the message (counted) and returns ErrInboxFull.
+func (t *ChanTransport) TrySend(m Message) error {
+	ep := t.endpoint(m.To)
+	if ep == nil {
+		return ErrUnknownPeer
+	}
+	select {
+	case ep.inbox <- m:
+		mDelivered.Inc(m.Kind.String())
+		return nil
+	default:
+		mDropped.Inc(reasonInboxFull)
+		return ErrInboxFull
+	}
+}
+
+// Close shuts the transport down, releasing every blocked sender.
+func (t *ChanTransport) Close() error {
+	t.closeOnce.Do(func() { close(t.closed) })
+	return nil
+}

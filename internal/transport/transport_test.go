@@ -1,0 +1,440 @@
+package transport
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// recvOne receives one message from ch or fails the test after d.
+func recvOne(t *testing.T, ch <-chan Message, d time.Duration) Message {
+	t.Helper()
+	select {
+	case m := <-ch:
+		return m
+	case <-time.After(d):
+		t.Fatalf("no message within %v", d)
+		return Message{}
+	}
+}
+
+func TestKindLabels(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNodeInfo: "nodeinfo", KindCRT: "crt", KindQuery: "query",
+		KindNodeQuery: "nodequery", KindResult: "result", KindNodeResult: "noderesult",
+		Kind(0): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if !KindNodeInfo.Gossip() || !KindCRT.Gossip() {
+		t.Error("gossip kinds not marked gossip")
+	}
+	if KindQuery.Gossip() || KindResult.Gossip() {
+		t.Error("query kinds marked gossip")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := Message{
+		Kind: KindQuery, From: 1, To: 2,
+		Nodes: []int{1, 2}, CRT: []int{3},
+		Query:      &Query{ID: 9, Path: []int{1}},
+		NodeQuery:  &NodeQuery{ID: 10, Set: []int{4}},
+		Result:     &Result{ID: 11, Cluster: []int{5}, Path: []int{6}},
+		NodeResult: &NodeResult{ID: 12},
+	}
+	c := m.clone()
+	if !reflect.DeepEqual(c, m) {
+		t.Fatalf("clone differs: %+v vs %+v", c, m)
+	}
+	m.Nodes[0] = 99
+	m.Query.Path[0] = 99
+	m.NodeQuery.Set[0] = 99
+	m.Result.Cluster[0] = 99
+	if c.Nodes[0] == 99 || c.Query.Path[0] == 99 || c.NodeQuery.Set[0] == 99 || c.Result.Cluster[0] == 99 {
+		t.Error("clone aliases the original's payload storage")
+	}
+}
+
+func TestChanTransportBasics(t *testing.T) {
+	tr := NewChan(4)
+	recv1, err := tr.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Register(1); err == nil {
+		t.Error("duplicate register should fail")
+	}
+	if err := tr.Send(Message{Kind: KindCRT, From: 2, To: 1, CRT: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, recv1, time.Second)
+	if got.Kind != KindCRT || got.From != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if err := tr.Send(Message{To: 99}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("send to unknown peer: %v", err)
+	}
+	if err := tr.TrySend(Message{To: 99}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("trysend to unknown peer: %v", err)
+	}
+	if err := tr.Unregister(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{To: 1}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("send to unregistered peer: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Register(2); !errors.Is(err, ErrClosed) {
+		t.Errorf("register after close: %v", err)
+	}
+	// Close is idempotent.
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A blocked Send must release when the destination unregisters.
+func TestChanSendReleasesOnUnregister(t *testing.T) {
+	tr := NewChan(1)
+	defer tr.Close()
+	if _, err := tr.Register(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(Message{Kind: KindQuery, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- tr.Send(Message{Kind: KindQuery, To: 1}) }()
+	select {
+	case err := <-errc:
+		t.Fatalf("send returned before unregister: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := tr.Unregister(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrUnknownPeer) {
+			t.Fatalf("released send err = %v, want ErrUnknownPeer", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("send did not release on unregister")
+	}
+}
+
+// A full inbox drops best-effort sends and counts them.
+func TestTrySendFullInboxCountsDrop(t *testing.T) {
+	tr := NewChan(1)
+	defer tr.Close()
+	if _, err := tr.Register(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.TrySend(Message{Kind: KindNodeInfo, To: 1}); err != nil {
+		t.Fatal(err)
+	}
+	before := mDropped.Value(reasonInboxFull)
+	if err := tr.TrySend(Message{Kind: KindNodeInfo, To: 1}); !errors.Is(err, ErrInboxFull) {
+		t.Fatalf("second trysend err = %v, want ErrInboxFull", err)
+	}
+	if got := mDropped.Value(reasonInboxFull); got != before+1 {
+		t.Errorf("inbox_full drop counter moved %d, want 1", got-before)
+	}
+}
+
+// Two fault transports with equal seeds must produce identical
+// schedules, regardless of the order slots are first demanded in; a
+// different seed must diverge.
+func TestFaultScheduleDeterministic(t *testing.T) {
+	cfg := FaultConfig{Seed: 42, Drop: 0.3, Duplicate: 0.1, Delay: 0.2, Reorder: 0.1}
+	newFT := func(seed int64) *FaultTransport {
+		c := cfg
+		c.Seed = seed
+		ft, err := NewFault(NewChan(0), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ft
+	}
+	a, b, rev := newFT(42), newFT(42), newFT(42)
+	const n = 500
+	// rev demands its schedule back to front: laziness must not change it.
+	for i := n - 1; i >= 0; i-- {
+		rev.DecisionAt(i)
+	}
+	for i := 0; i < n; i++ {
+		da, db, dr := a.DecisionAt(i), b.DecisionAt(i), rev.DecisionAt(i)
+		if da != db || da != dr {
+			t.Fatalf("slot %d: %+v vs %+v vs %+v", i, da, db, dr)
+		}
+	}
+	other := newFT(43)
+	same := true
+	for i := 0; i < n; i++ {
+		if a.DecisionAt(i) != other.DecisionAt(i) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 500-slot schedules")
+	}
+}
+
+func TestFaultValidation(t *testing.T) {
+	if _, err := NewFault(nil, FaultConfig{}); err == nil {
+		t.Error("nil inner should fail")
+	}
+	if _, err := NewFault(NewChan(0), FaultConfig{Drop: 1}); err == nil {
+		t.Error("rate 1 should fail")
+	}
+	if _, err := NewFault(NewChan(0), FaultConfig{Reorder: -0.1}); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := NewFault(NewChan(0), FaultConfig{Partitions: []Partition{{After: 5, Until: 5, Island: []int{1}}}}); err == nil {
+		t.Error("empty window should fail")
+	}
+	if _, err := NewFault(NewChan(0), FaultConfig{Partitions: []Partition{{After: 0, Until: 5}}}); err == nil {
+		t.Error("empty island should fail")
+	}
+}
+
+// The number of delivered messages must follow the schedule exactly:
+// drops remove, duplicates add, and both are predictable from the seed.
+func TestFaultDropAndDuplicateFollowSchedule(t *testing.T) {
+	for _, tc := range []struct{ drop, dup float64 }{{0.5, 0}, {0, 0.5}, {0.3, 0.3}} {
+		ft, err := NewFault(NewChan(0), FaultConfig{Seed: 7, Drop: tc.drop, Duplicate: tc.dup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, err := ft.Register(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 100
+		want := 0
+		for i := 0; i < n; i++ {
+			d := ft.DecisionAt(i)
+			if !d.Drop {
+				want++
+				if d.Duplicate {
+					want++
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			if err := ft.Send(Message{Kind: KindNodeInfo, From: 2, To: 1, Nodes: []int{i}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got := 0
+	drain:
+		for {
+			select {
+			case <-recv:
+				got++
+			default:
+				break drain
+			}
+		}
+		if got != want {
+			t.Errorf("drop=%v dup=%v: delivered %d, want %d", tc.drop, tc.dup, got, want)
+		}
+		if ft.Sends() != n {
+			t.Errorf("Sends() = %d, want %d", ft.Sends(), n)
+		}
+		ft.Close()
+	}
+}
+
+// Partitions cut cross-island messages during their send-count window
+// and heal after it.
+func TestFaultPartitionWindow(t *testing.T) {
+	ft, err := NewFault(NewChan(0), FaultConfig{
+		Seed:       1,
+		Partitions: []Partition{{After: 0, Until: 3, Island: []int{1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ft.Close()
+	recv, err := ft.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := ft.Send(Message{Kind: KindCRT, From: 2, To: 1, CRT: []int{i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sends 0,1,2 fall inside the window and are cut; 3 and 4 deliver.
+	for _, want := range []int{3, 4} {
+		got := recvOne(t, recv, time.Second)
+		if got.CRT[0] != want {
+			t.Fatalf("delivered %v, want %d", got.CRT, want)
+		}
+	}
+	select {
+	case m := <-recv:
+		t.Fatalf("unexpected extra delivery %+v", m)
+	default:
+	}
+}
+
+// A reordered (held-back) gossip message is flushed by Close at the
+// latest, so holdback never loses messages.
+func TestFaultReorderFlushOnClose(t *testing.T) {
+	ft, err := NewFault(NewChan(0), FaultConfig{Seed: 3, Reorder: 0.999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := ft.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ft.DecisionAt(0).Reorder {
+		t.Skip("slot 0 not a reorder at this seed; schedule changed")
+	}
+	if err := ft.Send(Message{Kind: KindNodeInfo, From: 2, To: 1, Nodes: []int{7}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-recv:
+		t.Fatalf("held message delivered early: %+v", m)
+	default:
+	}
+	if err := ft.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := recvOne(t, recv, time.Second)
+	if len(got.Nodes) != 1 || got.Nodes[0] != 7 {
+		t.Fatalf("flushed message = %+v", got)
+	}
+}
+
+// Full payload round trip over real sockets: every payload struct must
+// survive the gob frame encoding bit-identically.
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0", JitterSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0", JitterSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	recv1, err := a.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv2, err := b.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddRoute(2, b.Addr())
+	b.AddRoute(1, a.Addr())
+
+	msgs := []Message{
+		{Kind: KindNodeInfo, From: 1, To: 2, Nodes: []int{3, 4, 5}},
+		{Kind: KindCRT, From: 1, To: 2, CRT: []int{1, 2, 3}},
+		{Kind: KindQuery, From: 1, To: 2, Query: &Query{ID: 7, Origin: 1, K: 3, ClassIdx: 2, ClassL: 4, Prev: -1, Hops: 1, Path: []int{1}}},
+		{Kind: KindNodeQuery, From: 1, To: 2, NodeQuery: &NodeQuery{ID: 8, Origin: 1, Set: []int{2, 3}, L: 4, BestNode: -1, BestRadius: 9.5, Prev: -1}},
+		{Kind: KindResult, From: 1, To: 2, Result: &Result{ID: 7, Cluster: []int{2, 3}, Hops: 2, Answered: 2, Class: 4, Path: []int{1, 2}}},
+		{Kind: KindNodeResult, From: 1, To: 2, NodeResult: &NodeResult{ID: 8, Node: 3, Radius: 2.5, Hops: 1, Answered: 2}},
+	}
+	for _, m := range msgs {
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+		got := recvOne(t, recv2, 5*time.Second)
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip mutated message:\n got %+v\nwant %+v", got, m)
+		}
+	}
+	// And the reverse direction.
+	reply := Message{Kind: KindResult, From: 2, To: 1, Result: &Result{ID: 7, Cluster: []int{9}, Hops: 3, Answered: 2, Class: 4, Path: []int{1, 2, 9}}}
+	if err := b.Send(reply); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, recv1, 5*time.Second); !reflect.DeepEqual(got, reply) {
+		t.Fatalf("reverse round trip mutated message: %+v", got)
+	}
+	// Local short-circuit: no route needed for a locally registered peer.
+	local := Message{Kind: KindCRT, From: 2, To: 1, CRT: []int{5}}
+	if err := a.Send(Message{Kind: KindCRT, From: 2, To: 1, CRT: []int{5}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, recv1, time.Second); !reflect.DeepEqual(got, local) {
+		t.Fatalf("local short-circuit mutated message: %+v", got)
+	}
+	// No route and not local: rejected, not silently dropped.
+	if err := a.TrySend(Message{Kind: KindCRT, To: 99}); !errors.Is(err, ErrUnknownPeer) {
+		t.Errorf("unrouted trysend err = %v, want ErrUnknownPeer", err)
+	}
+}
+
+// Killing the receiving process's transport and starting a new one on
+// the same address must heal through the sender's reconnect loop.
+func TestTCPReconnect(t *testing.T) {
+	a, err := NewTCP(TCPConfig{
+		Listen: "127.0.0.1:0", JitterSeed: 1,
+		BackoffBase: 2 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		DialTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b1, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0", JitterSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b1.Addr()
+	recv2, err := b1.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddRoute(2, addr)
+	if err := a.Send(Message{Kind: KindCRT, From: 1, To: 2, CRT: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, recv2, 5*time.Second)
+	if err := b1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the receiving side on the same address.
+	b2, err := NewTCP(TCPConfig{Listen: addr, JitterSeed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	recv2b, err := b2.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	delivered := false
+	for !delivered && time.Now().Before(deadline) {
+		_ = a.TrySend(Message{Kind: KindCRT, From: 1, To: 2, CRT: []int{1}})
+		select {
+		case <-recv2b:
+			delivered = true
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	if !delivered {
+		t.Fatal("no delivery after receiver restart")
+	}
+	if a.Reconnects() == 0 {
+		t.Error("sender healed without recording any reconnect attempt")
+	}
+}

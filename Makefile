@@ -7,7 +7,7 @@ GO ?= go
 # 0 = one worker per CPU; 1 = sequential. Never changes results.
 PARALLEL ?= 0
 
-.PHONY: all build fmt lint test race bench bench-smoke bench-json ci fault-matrix faults figures ablations clean
+.PHONY: all build fmt lint test race bench bench-smoke bench-json ci fault-matrix faults trace figures ablations clean
 
 all: build test
 
@@ -73,6 +73,12 @@ figures: build | results
 # vs gossip loss rate and partition length (EXPERIMENTS.md).
 faults: build | results
 	$(GO) run ./cmd/bwc-sim -series faults > results/fault_series.txt
+
+# Traced-query series: hop counts, trace completeness/gap rate and
+# gossip-age watermarks vs injected loss, with the flight-recorder ring
+# dumped alongside (EXPERIMENTS.md).
+trace: build | results
+	$(GO) run ./cmd/bwc-sim -series trace -flight-dump results/trace_flight.txt > results/trace_series.txt
 
 ablations: build | results
 	$(GO) run ./cmd/bwc-sim -parallel $(PARALLEL) -ablation ncut -scale 0.3      > results/ablation_ncut.txt

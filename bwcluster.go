@@ -172,7 +172,8 @@ type System struct {
 	pred    *metric.Matrix
 	treeIdx *cluster.Index
 	net     *overlay.Network
-	classes []float64 // bandwidth classes, ascending
+	ovCfg   overlay.Config // overlay parameters, kept for AsyncRuntime
+	classes []float64      // bandwidth classes, ascending
 }
 
 // QueryResult is the outcome of a decentralized query.
@@ -247,7 +248,8 @@ func New(bandwidth [][]float64, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: %w", err)
 	}
-	net, err := overlay.NewNetwork(forest, overlay.Config{NCut: o.nCut, Classes: distClasses})
+	ovCfg := overlay.Config{NCut: o.nCut, Classes: distClasses}
+	net, err := overlay.NewNetwork(forest, ovCfg)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: %w", err)
 	}
@@ -257,7 +259,7 @@ func New(bandwidth [][]float64, opts ...Option) (*System, error) {
 	mBuildSeconds.Set(time.Since(buildStart).Seconds())
 	return &System{
 		c: o.c, nCut: o.nCut, workers: workers, bw: bw, forest: forest,
-		pred: pred, treeIdx: treeIdx, net: net, classes: o.classes,
+		pred: pred, treeIdx: treeIdx, net: net, ovCfg: ovCfg, classes: o.classes,
 	}, nil
 }
 

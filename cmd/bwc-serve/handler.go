@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"bwcluster"
 	"bwcluster/internal/telemetry"
@@ -17,13 +18,21 @@ import (
 // use (queries are read-only; the centralized query cache is internally
 // lock-guarded), so requests are served without any serializing mutex —
 // the server scales with GOMAXPROCS instead of handling one query at a
-// time.
+// time. async is non-nil when the server was started with -async; it
+// then routes decentralized queries through the live message-passing
+// runtime and exposes its health monitor and flight recorder.
 type handler struct {
-	sys *bwcluster.System
+	sys   *bwcluster.System
+	async *bwcluster.AsyncRuntime
 }
 
-func newHandler(sys *bwcluster.System, logger *slog.Logger) http.Handler {
-	h := &handler{sys: sys}
+// queryTimeout bounds how long an async-routed query may wait for its
+// routed answer before the request fails (and the runtime flight
+// recorder logs a query_timeout anomaly).
+const queryTimeout = 10 * time.Second
+
+func newHandler(sys *bwcluster.System, async *bwcluster.AsyncRuntime, logger *slog.Logger) http.Handler {
+	h := &handler{sys: sys, async: async}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/info", h.info)
 	mux.HandleFunc("GET /v1/cluster", h.cluster)
@@ -32,6 +41,8 @@ func newHandler(sys *bwcluster.System, logger *slog.Logger) http.Handler {
 	mux.HandleFunc("GET /v1/tightest", h.tightest)
 	mux.HandleFunc("GET /v1/label", h.label)
 	mux.HandleFunc("GET /v1/trace", h.trace)
+	mux.HandleFunc("GET /v1/health", h.health)
+	mux.HandleFunc("GET /v1/flight", h.flight)
 	// Observability plane: metrics exposition and the stdlib profiler.
 	mux.Handle("GET /metrics", telemetry.Default().Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -131,7 +142,12 @@ func (h *handler) cluster(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		res, err := h.sys.Query(start, k, b)
+		var res bwcluster.QueryResult
+		if h.async != nil {
+			res, err = h.async.Query(start, k, b, queryTimeout)
+		} else {
+			res, err = h.sys.Query(start, k, b)
+		}
 		if err != nil {
 			badRequest(w, err)
 			return
@@ -225,7 +241,11 @@ func (h *handler) tightest(w http.ResponseWriter, r *http.Request) {
 // trace runs a decentralized query with tracing enabled and returns the
 // span tree alongside the result: one child span per overlay hop with
 // the peer id, the routing signal (CRT promise) and the candidate
-// radius. GET /v1/trace?k=10&b=50&start=3 (start defaults to 0).
+// radius. With -async the query instead travels the live message-passing
+// runtime and the tree is reassembled from hop span events reported by
+// every participating peer — including peers in other processes —
+// with dropped reports surfacing as explicit "gap" spans.
+// GET /v1/trace?k=10&b=50&start=3 (start defaults to 0).
 func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
 	k, err := intParam(r, "k")
 	if err != nil {
@@ -244,7 +264,13 @@ func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	res, span, err := h.sys.QueryTraced(start, k, b)
+	var res bwcluster.QueryResult
+	var span *telemetry.Span
+	if h.async != nil {
+		res, span, err = h.async.QueryTraced(start, k, b, queryTimeout)
+	} else {
+		res, span, err = h.sys.QueryTraced(start, k, b)
+	}
 	if err != nil {
 		badRequest(w, err)
 		return
@@ -256,6 +282,62 @@ func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
 		"answeredBy": res.AnsweredBy,
 		"classMbps":  res.Class,
 		"trace":      span,
+	})
+}
+
+// health answers readiness truthfully. Without -async a built System is
+// immediately ready (construction converged the overlay synchronously
+// before the listener opened). With -async the live runtime's
+// convergence monitor decides: until gossip has been quiet for the
+// convergence window the body reports converged=false and the status is
+// 503, so load balancers and readiness probes keep traffic away from a
+// server whose routing tables are still moving. The body always carries
+// the full health summary (gossip-age watermark, pending replies, trace
+// backlog, logical clock).
+func (h *handler) health(w http.ResponseWriter, r *http.Request) {
+	if h.async == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"mode":      "sync",
+			"hosts":     h.sys.Len(),
+			"converged": true,
+		})
+		return
+	}
+	hs := h.async.Health()
+	status := http.StatusOK
+	if !hs.Converged {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"mode":              "async",
+		"hosts":             hs.Hosts,
+		"converged":         hs.Converged,
+		"maxGossipAgeTicks": hs.MaxGossipAgeTicks,
+		"pendingReplies":    hs.PendingReplies,
+		"traceBacklog":      hs.TraceBacklog,
+		"ticks":             hs.Ticks,
+	})
+}
+
+// flight snapshots the async runtime's flight recorder — the bounded
+// black-box ring of structured overlay events. JSON by default;
+// ?format=text renders the post-mortem dump format. Without -async
+// there is no runtime to record, so the endpoint reports 404.
+func (h *handler) flight(w http.ResponseWriter, r *http.Request) {
+	if h.async == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "flight recorder requires -async"})
+		return
+	}
+	rec := h.async.Flight()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = rec.WriteTo(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"cap":    rec.Cap(),
+		"seq":    rec.Seq(),
+		"events": rec.Snapshot(),
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"bwcluster"
 	"bwcluster/internal/dataset"
@@ -34,7 +35,25 @@ func testSystem(t *testing.T) *bwcluster.System {
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv := httptest.NewServer(newHandler(testSystem(t), discardLogger()))
+	srv := httptest.NewServer(newHandler(testSystem(t), nil, discardLogger()))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// testAsyncServer serves from a live async runtime, settled so that
+// decentralized answers are deterministic.
+func testAsyncServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	sys := testSystem(t)
+	art, err := sys.AsyncRuntime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(art.Close)
+	if err := art.Settle(150*time.Millisecond, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(newHandler(sys, art, discardLogger()))
 	t.Cleanup(srv.Close)
 	return srv
 }
@@ -140,6 +159,77 @@ func TestLabelEndpoint(t *testing.T) {
 	}
 	getJSON(t, srv.URL+"/v1/label?h=99", http.StatusBadRequest)
 	getJSON(t, srv.URL+"/v1/label", http.StatusBadRequest)
+}
+
+// TestHealthEndpoint: the sync server is ready the moment it answers;
+// the settled async server reports the full health summary with 200.
+func TestHealthEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := getJSON(t, srv.URL+"/v1/health", http.StatusOK)
+	if body["mode"] != "sync" || body["converged"] != true {
+		t.Fatalf("sync health = %v", body)
+	}
+
+	asrv := testAsyncServer(t)
+	body = getJSON(t, asrv.URL+"/v1/health", http.StatusOK)
+	if body["mode"] != "async" || body["converged"] != true {
+		t.Fatalf("async health = %v", body)
+	}
+	if body["hosts"].(float64) != 30 {
+		t.Errorf("hosts = %v", body["hosts"])
+	}
+	if body["pendingReplies"].(float64) != 0 {
+		t.Errorf("pendingReplies = %v", body["pendingReplies"])
+	}
+}
+
+// TestFlightEndpoint: flight snapshots exist only in async mode; after
+// a decentralized query the ring holds its hop events.
+func TestFlightEndpoint(t *testing.T) {
+	srv := testServer(t)
+	getJSON(t, srv.URL+"/v1/flight", http.StatusNotFound)
+
+	asrv := testAsyncServer(t)
+	getJSON(t, asrv.URL+"/v1/cluster?k=4&b=15&mode=decentral&start=5", http.StatusOK)
+	body := getJSON(t, asrv.URL+"/v1/flight", http.StatusOK)
+	if body["cap"].(float64) <= 0 {
+		t.Fatalf("flight cap = %v", body["cap"])
+	}
+	if body["seq"].(float64) == 0 {
+		t.Error("flight ring empty after a decentralized query")
+	}
+	resp, err := http.Get(asrv.URL + "/v1/flight?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, _ := io.ReadAll(resp.Body)
+	if len(text) == 0 {
+		t.Error("text flight dump is empty")
+	}
+}
+
+// TestAsyncTraceEndpoint: a traced query routed over the live runtime
+// returns one reassembled span tree whose hop spans carry host ids.
+func TestAsyncTraceEndpoint(t *testing.T) {
+	asrv := testAsyncServer(t)
+	body := getJSON(t, asrv.URL+"/v1/trace?k=4&b=15&start=5", http.StatusOK)
+	if body["found"] != true {
+		t.Fatalf("trace query found nothing: %v", body)
+	}
+	span, ok := body["trace"].(map[string]any)
+	if !ok {
+		t.Fatalf("no span tree: %v", body["trace"])
+	}
+	children, _ := span["children"].([]any)
+	if len(children) == 0 {
+		t.Fatal("span tree has no hop spans")
+	}
+	hop := children[0].(map[string]any)
+	attrs, _ := hop["attrs"].(map[string]any)
+	if attrs == nil || attrs["host"] == nil {
+		t.Fatalf("hop span carries no host attr: %v", hop)
+	}
 }
 
 func TestRunValidation(t *testing.T) {

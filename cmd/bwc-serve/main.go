@@ -14,8 +14,16 @@
 //	GET /v1/tightest?k=8                 minimum-diameter cluster
 //	GET /v1/label?h=7                    a host's distance label
 //	GET /v1/trace?k=10&b=50&start=3      traced decentralized query (span tree JSON)
+//	GET /v1/health                       readiness + overlay health monitor (503 until converged)
+//	GET /v1/flight                       flight-recorder snapshot (-async only; ?format=text)
 //	GET /metrics                         Prometheus text-format metrics
 //	GET /debug/pprof/                    stdlib profiler index
+//
+// With -async, decentralized queries (mode=decentral, /v1/trace) travel
+// a live message-passing overlay runtime instead of the synchronous
+// engine: gossip runs continuously, /v1/health answers readiness from
+// the convergence monitor, and /v1/flight exposes the runtime's bounded
+// black-box event ring for post-mortems.
 //
 // Every request gets an X-Request-Id and one structured (slog) access
 // log line on stderr. SIGINT/SIGTERM drain in-flight requests before
@@ -53,6 +61,8 @@ func run(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	nCut := fs.Int("ncut", 10, "overlay propagation cutoff n_cut")
 	seed := fs.Int64("seed", 1, "construction seed")
+	async := fs.Bool("async", false, "serve decentralized queries from a live message-passing runtime (enables /v1/flight; /v1/health reports 503 until gossip converges)")
+	tick := fs.Duration("tick", 0, "async runtime gossip period (0: 1ms; requires -async)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -65,20 +75,36 @@ func run(args []string) error {
 	if *data == "" {
 		return fmt.Errorf("-data is required")
 	}
+	if *tick != 0 && !*async {
+		return fmt.Errorf("-tick requires -async")
+	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	buildStart := time.Now()
 	sys, err := buildSystem(*data, *nCut, *seed)
 	if err != nil {
 		return err
 	}
+	// The async runtime starts gossiping before the listener opens; the
+	// server is reachable immediately but /v1/health answers 503 until
+	// the convergence monitor flips — readiness stays truthful instead
+	// of blocking startup on Settle.
+	var art *bwcluster.AsyncRuntime
+	if *async {
+		art, err = sys.AsyncRuntime(*tick)
+		if err != nil {
+			return err
+		}
+		defer art.Close()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(sys, logger),
+		Handler:           newHandler(sys, art, logger),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	logger.Info("ready",
 		"hosts", sys.Len(),
 		"addr", *addr,
+		"async", *async,
 		"buildMs", time.Since(buildStart).Milliseconds(),
 		"version", buildinfo.String(),
 	)

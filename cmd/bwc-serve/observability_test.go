@@ -173,7 +173,7 @@ func TestAccessLogFields(t *testing.T) {
 	bw := testSystem(t)
 	var buf bytes.Buffer
 	logger := slog.New(slog.NewJSONHandler(&buf, nil))
-	srv := httptest.NewServer(newHandler(bw, logger))
+	srv := httptest.NewServer(newHandler(bw, nil, logger))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/v1/info")

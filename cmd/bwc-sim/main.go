@@ -35,13 +35,14 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bwc-sim", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "figure to regenerate: 3, 4, 5 or 6")
 	ablation := fs.String("ablation", "", "ablation to run instead of a figure: ncut, trees, drift, construction or sword")
-	series := fs.String("series", "", "extra experiment series to run instead of a figure: faults")
+	series := fs.String("series", "", "extra experiment series to run instead of a figure: faults or trace")
 	ds := fs.String("dataset", "hp", "dataset: hp or umd (figures 3-5)")
 	scale := fs.Float64("scale", 1, "work scale factor (rounds/queries multiplied by this)")
 	seed := fs.Int64("seed", 0, "override the experiment seed (0: per-figure default)")
 	parallel := fs.Int("parallel", 0, "workers fanning independent data series out (0: one per CPU, 1: sequential; never changes results)")
 	jsonOut := fs.Bool("json", false, "emit the result as JSON instead of a table")
 	metricsOut := fs.String("metrics", "", "dump telemetry metrics after the run to this file (\"-\": stderr)")
+	flightOut := fs.String("flight-dump", "", "dump the flight-recorder ring after the run to this file (\"-\": stderr)")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,8 +77,10 @@ func run(args []string) error {
 		return fmt.Errorf("unknown ablation %q (want ncut, trees, drift, construction or sword)", *ablation)
 	case *series == "faults":
 		err = runSeriesFaults(d, *scale, *seed, *parallel, *jsonOut)
+	case *series == "trace":
+		err = runSeriesTrace(d, *scale, *seed, *parallel, *jsonOut)
 	case *series != "":
-		return fmt.Errorf("unknown series %q (want faults)", *series)
+		return fmt.Errorf("unknown series %q (want faults or trace)", *series)
 	case *fig == 3:
 		err = runFig3(d, *scale, *seed, *parallel, *jsonOut)
 	case *fig == 4:
@@ -96,7 +99,35 @@ func run(args []string) error {
 		fmt.Printf("\n# completed in %v\n", time.Since(start).Round(time.Millisecond))
 	}
 	if *metricsOut != "" {
-		return dumpMetrics(*metricsOut)
+		if err := dumpMetrics(*metricsOut); err != nil {
+			return err
+		}
+	}
+	if *flightOut != "" {
+		return dumpFlight(*flightOut)
+	}
+	return nil
+}
+
+// dumpFlight writes the process flight recorder's retained events in
+// the post-mortem line format — the same black box bwc-serve exposes on
+// /v1/flight. Runs that attach the recorder (-series trace) leave the
+// overlay's recent sends, hops, staleness episodes and anomalies here.
+func dumpFlight(path string) error {
+	if path == "-" {
+		_, err := telemetry.FlightDefault().WriteTo(os.Stderr)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("flight dump: %w", err)
+	}
+	if _, err := telemetry.FlightDefault().WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("flight dump: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("flight dump: %w", err)
 	}
 	return nil
 }
@@ -369,6 +400,34 @@ func runSeriesFaults(d sim.Dataset, scale float64, seed int64, parallel int, jso
 	for _, p := range res.Points {
 		fmt.Printf("%-8.2f %-11d %-10d %-10.1f %-10v %-9.3f\n",
 			p.Loss, p.PartitionSends, p.MsgsToSettle, p.SettleMs, p.Converged, p.QuerySuccess)
+	}
+	return nil
+}
+
+func runSeriesTrace(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
+	cfg := sim.DefaultTraceSeriesConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	cfg.Parallelism = parallel
+	// Attach the process recorder so -flight-dump captures the series'
+	// black box (hops, staleness episodes, anomalies).
+	cfg.Flight = telemetry.FlightDefault()
+	res, err := sim.RunTraceSeries(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# trace series (%s, n=%d, k=%d): traced queries over seeded gossip loss\n", d, res.N, res.K)
+	fmt.Printf("# complete: span tree carried every expected hop event; gap: >=1 dropped report surfaced as a gap span\n")
+	fmt.Printf("%-8s %-9s %-7s %-9s %-9s %-6s %-10s %-9s %-10s\n",
+		"loss", "agree", "hops", "complete", "gapTrees", "evts", "maxAge", "converged", "queries")
+	for _, p := range res.Points {
+		fmt.Printf("%-8.2f %-9.3f %-7.2f %-9d %-9d %-6.2f %-10d %-9v %-10d\n",
+			p.Loss, p.Agreement, p.AvgHops, p.CompleteTraces, p.GapTraces,
+			p.AvgHopEvents, p.MaxGossipAgeTicks, p.Converged, p.Queries)
 	}
 	return nil
 }

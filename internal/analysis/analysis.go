@@ -172,6 +172,20 @@ func (c *Config) instrumentedScope(pkg *Package) bool {
 	return false
 }
 
+// flightScope reports whether pkg is subject to flight-recorder hygiene
+// (the instrumented packages; only the matching fixture).
+func (c *Config) flightScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "flighthygiene"
+	}
+	for _, p := range c.InstrumentedPackages {
+		if pkg.Path == p {
+			return true
+		}
+	}
+	return false
+}
+
 // apiScope reports whether pkg gets the API hygiene check.
 func (c *Config) apiScope(pkg *Package) bool {
 	if base, ok := fixtureBase(pkg); ok {
@@ -195,6 +209,7 @@ var Checks = []*Check{
 	{Name: "determinism", Doc: "no wall clocks, global math/rand, or map-order leaks in algorithm packages", Run: runDeterminism},
 	{Name: "concurrency", Doc: "Lock paired with defer Unlock across early returns; guarded-by fields read under their lock", Run: runConcurrency},
 	{Name: "telemetry", Doc: "spans and metrics only via the nil-safe telemetry constructors", Run: runTelemetry},
+	{Name: "flight", Doc: "flight recorders explicitly plumbed; event kinds are compile-time constants", Run: runFlight},
 	{Name: "apihygiene", Doc: "exported identifiers documented; context.Context first", Run: runAPIHygiene},
 }
 

@@ -1,0 +1,39 @@
+// Package flighthygiene is a bwc-vet fixture: flight recorders arrive
+// through explicit plumbing (never the process-wide default from
+// library code), and event kinds are compile-time constants.
+package flighthygiene
+
+import (
+	"fmt"
+
+	"bwcluster/internal/telemetry"
+)
+
+const kindSend = "send"
+
+// grabProcessRing reaches for the process-wide recorder from library
+// code, making the black box untestable and unpluggable.
+func grabProcessRing() *telemetry.FlightRecorder {
+	return telemetry.FlightDefault() // want `must not touch telemetry\.FlightDefault`
+}
+
+// recordConst passes constant kinds: a package const and an untyped
+// literal both keep the kind set enumerable.
+func recordConst(r *telemetry.FlightRecorder) {
+	r.Record(kindSend, 1, 2, "ok")
+	r.Anomaly("reconnect_storm", 1, 2, "literal kinds are constants too")
+}
+
+// recordDynamic builds kinds at run time, exploding the set a
+// post-mortem reader has to grep through.
+func recordDynamic(r *telemetry.FlightRecorder, i int) {
+	r.Record(fmt.Sprintf("kind-%d", i), 1, 2, "x") // want `compile-time constants`
+	kind := "anomaly-" + fmt.Sprint(i)
+	r.Anomaly(kind, 1, 2, "x") // want `compile-time constants`
+}
+
+// recordDetailDynamic varies only the detail argument: that is where
+// run-time payload belongs.
+func recordDetailDynamic(r *telemetry.FlightRecorder, i int) {
+	r.Record(kindSend, 1, 2, fmt.Sprintf("attempt %d", i))
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bwcluster/internal/overlay"
+	"bwcluster/internal/telemetry"
 	"bwcluster/internal/transport"
 )
 
@@ -71,10 +72,14 @@ func TestFaultMatrixMatchesFixedPoint(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// Feed the process recorder so a failure leaves a black box
+			// for TestMain's BWC_FLIGHT_DUMP artifact.
+			ft.SetFlight(telemetry.FlightDefault())
 			rt, err := NewWithTransport(tree, cfg, testTick, ft, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
+			rt.SetFlight(telemetry.FlightDefault())
 			rt.Start()
 			defer func() {
 				rt.Stop()
@@ -99,6 +104,17 @@ func TestFaultMatrixMatchesFixedPoint(t *testing.T) {
 				if want.Found() != got.Found() {
 					t.Fatalf("start=%d k=%d: sync found=%v async found=%v", start, k, want.Found(), got.Found())
 				}
+			}
+
+			// Pending-reply boundedness: every answered query removed its
+			// table entry, and a TTL sweep far in the logical future finds
+			// nothing left to reap — the tables cannot leak under faults.
+			if n := rt.pendingReplies(); n != 0 {
+				t.Fatalf("drop=%v: %d pending-reply entries leaked after %d queries", drop, n, 3)
+			}
+			rt.sweepPendingAt(rt.Ticks() + 10*pendTTLTicks)
+			if n := rt.pendingReplies(); n != 0 {
+				t.Fatalf("drop=%v: sweep found %d entries the callers should have dropped", drop, n)
 			}
 		})
 	}
@@ -128,10 +144,12 @@ func TestPartitionHealsToFixedPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	ft.SetFlight(telemetry.FlightDefault())
 	rt, err := NewWithTransport(tree, cfg, testTick, ft, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rt.SetFlight(telemetry.FlightDefault())
 	rt.Start()
 	defer func() {
 		rt.Stop()

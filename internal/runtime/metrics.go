@@ -20,4 +20,14 @@ var (
 		telemetry.HopBuckets())
 	mGossipLoss = telemetry.NewCounter("bwc_runtime_gossip_loss_injected_total",
 		"Gossip messages skipped by InjectLoss before reaching the transport; the protocol retries them next tick.")
+	mPendingReplies = telemetry.NewGauge("bwc_runtime_pending_replies",
+		"In-flight query reply-table entries (cluster + node). Bounded: callers drop their entry on timeout and the health monitor sweeps leaked entries after a TTL.")
+	mPendSwept = telemetry.NewCounter("bwc_runtime_pending_swept_total",
+		"Pending-reply entries removed by the health monitor's TTL sweep; any increment indicates a caller leaked its entry.")
+	mConverged = telemetry.NewGauge("bwc_runtime_converged",
+		"1 when the gossip version counter has been quiet for the convergence window, else 0 (the readiness signal).")
+	mGossipAge = telemetry.NewGauge("bwc_runtime_gossip_age_ticks",
+		"Worst per-neighbor gossip-age watermark across local peers, in monitor ticks; a growing value means some link has gone quiet.")
+	mTraceEvents = telemetry.NewCounter("bwc_runtime_trace_events_total",
+		"Span events minted by traced hops (reported to the trace origin best-effort).")
 )

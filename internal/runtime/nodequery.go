@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bwcluster/internal/overlay"
+	"bwcluster/internal/telemetry"
 	"bwcluster/internal/transport"
 )
 
@@ -16,6 +17,12 @@ import (
 // The start peer must be hosted by this runtime; set members may live
 // anywhere in the network.
 func (rt *Runtime) QueryNode(start int, set []int, l float64, timeout time.Duration) (overlay.NodeResult, error) {
+	return rt.QueryNodeTraced(start, set, l, timeout, nil)
+}
+
+// QueryNodeTraced is QueryNode with distributed tracing; see QueryTraced
+// for the trace semantics (a nil span runs the exact untraced path).
+func (rt *Runtime) QueryNodeTraced(start int, set []int, l float64, timeout time.Duration, span *telemetry.Span) (overlay.NodeResult, error) {
 	if p := rt.peerByID(start); p == nil {
 		return overlay.NodeResult{}, fmt.Errorf("runtime: unknown start host %d", start)
 	}
@@ -34,8 +41,15 @@ func (rt *Runtime) QueryNode(start int, set []int, l float64, timeout time.Durat
 	id := rt.qid.Add(1)
 	reply := make(chan overlay.NodeResult, replyCapacity)
 	rt.pendMu.Lock()
-	rt.pendNode[id] = reply
+	rt.pendNode[id] = pendingNode{ch: reply, born: rt.ticks.Load()}
+	rt.updatePendingGaugeLocked()
 	rt.pendMu.Unlock()
+	var tc *transport.TraceContext
+	var rootSpanID uint64
+	if span != nil {
+		rootSpanID = rt.mintSpanID(start)
+		tc = &transport.TraceContext{TraceID: id, ParentSpan: rootSpanID, Origin: start, SentUnixNano: traceNow()}
+	}
 	q := &transport.NodeQuery{
 		ID:         id,
 		Origin:     start,
@@ -45,15 +59,20 @@ func (rt *Runtime) QueryNode(start int, set []int, l float64, timeout time.Durat
 		BestRadius: math.Inf(1),
 		Prev:       -1,
 	}
-	if err := rt.tr.Send(transport.Message{Kind: transport.KindNodeQuery, From: -1, To: start, NodeQuery: q}); err != nil {
+	if err := rt.tr.Send(transport.Message{Kind: transport.KindNodeQuery, From: -1, To: start, NodeQuery: q, Trace: tc}); err != nil {
 		rt.dropPendingNode(id)
 		return overlay.NodeResult{}, fmt.Errorf("runtime: start peer %d did not accept the query: %w", start, err)
 	}
 	select {
 	case res := <-reply:
+		if span != nil {
+			rt.gatherTrace(span, rootSpanID, id, res.Hops)
+		}
 		return res, nil
 	case <-time.After(timeout):
 		rt.dropPendingNode(id)
+		rt.collector.Take(id)
+		rt.fl().Anomaly(anomalyQueryTO, start, -1, fmt.Sprintf("node query l=%v after %v", l, timeout))
 		return overlay.NodeResult{}, fmt.Errorf("runtime: node query timed out after %v", timeout)
 	}
 }
@@ -64,6 +83,7 @@ func (rt *Runtime) dropPendingNode(id uint64) {
 	rt.pendMu.Lock()
 	defer rt.pendMu.Unlock()
 	delete(rt.pendNode, id)
+	rt.updatePendingGaugeLocked()
 }
 
 // resolveNode completes the pending node search a routed result answers;
@@ -73,17 +93,19 @@ func (rt *Runtime) resolveNode(r *transport.NodeResult) {
 		return
 	}
 	rt.pendMu.Lock()
-	ch, ok := rt.pendNode[r.ID]
+	e, ok := rt.pendNode[r.ID]
 	delete(rt.pendNode, r.ID)
+	rt.updatePendingGaugeLocked()
 	rt.pendMu.Unlock()
 	if !ok {
 		return
 	}
-	ch <- overlay.NodeResult{Node: r.Node, Radius: r.Radius, Hops: r.Hops, Answered: r.Answered}
+	e.ch <- overlay.NodeResult{Node: r.Node, Radius: r.Radius, Hops: r.Hops, Answered: r.Answered}
 }
 
-// handleNodeQuery executes one hill-climbing step at this peer.
-func (p *peer) handleNodeQuery(q *transport.NodeQuery) {
+// handleNodeQuery executes one hill-climbing step at this peer. ht is
+// the hop's trace state (nil when untraced).
+func (p *peer) handleNodeQuery(q *transport.NodeQuery, ht *hopTrace) {
 	inSet := make(map[int]bool, len(q.Set))
 	for _, m := range q.Set {
 		inSet[m] = true
@@ -118,40 +140,46 @@ func (p *peer) handleNodeQuery(q *transport.NodeQuery) {
 	p.mu.Unlock()
 
 	if bestDir == -1 || bestDir == q.Prev || q.Hops >= maxQueryHops {
-		p.answerNodeQuery(q)
+		ht.setNote("answered")
+		p.answerNodeQuery(q, ht)
+		p.finishHop(ht, "nodequery")
 		return
 	}
+	ht.setNote("forward")
 	fwd := *q
 	fwd.Prev = p.id
 	fwd.Hops++
 	// Copy the set so the forwarded message shares no backing array with
 	// this delivery.
 	fwd.Set = append([]int(nil), q.Set...)
-	p.forwardNodeQuery(bestDir, &fwd)
+	p.forwardNodeQuery(bestDir, &fwd, ht)
+	p.finishHop(ht, "nodequery")
 }
 
 // answerNodeQuery routes the search's answer back to its origin peer
-// (Node -1 when no candidate satisfies the constraint).
-func (p *peer) answerNodeQuery(q *transport.NodeQuery) {
+// (Node -1 when no candidate satisfies the constraint), carrying the
+// trace context so the origin can time the return leg.
+func (p *peer) answerNodeQuery(q *transport.NodeQuery, ht *hopTrace) {
 	res := &transport.NodeResult{ID: q.ID, Node: q.BestNode, Radius: q.BestRadius, Hops: q.Hops, Answered: p.id}
 	if q.BestNode < 0 || q.BestRadius > q.L {
 		res = &transport.NodeResult{ID: q.ID, Node: -1, Hops: q.Hops, Answered: p.id}
 	}
-	p.rt.sendAsync(transport.Message{Kind: transport.KindNodeResult, From: p.id, To: q.Origin, NodeResult: res})
+	p.rt.sendAsync(transport.Message{Kind: transport.KindNodeResult, From: p.id, To: q.Origin, NodeResult: res, Trace: ht.back()})
 }
 
 // forwardNodeQuery passes the search to the next peer from a helper
 // goroutine; if the transport rejects the forward (next is dead and
 // unrouted), the search fails over to a not-found answer.
-func (p *peer) forwardNodeQuery(next int, fwd *transport.NodeQuery) {
+func (p *peer) forwardNodeQuery(next int, fwd *transport.NodeQuery, ht *hopTrace) {
 	from := p.id
+	tc := ht.next()
 	p.rt.wg.Add(1)
 	go func() {
 		defer p.rt.wg.Done()
-		if p.rt.tr.Send(transport.Message{Kind: transport.KindNodeQuery, From: from, To: next, NodeQuery: fwd}) == nil {
+		if p.rt.tr.Send(transport.Message{Kind: transport.KindNodeQuery, From: from, To: next, NodeQuery: fwd, Trace: tc}) == nil {
 			return
 		}
 		res := &transport.NodeResult{ID: fwd.ID, Node: -1, Hops: fwd.Hops, Answered: from}
-		_ = p.rt.tr.Send(transport.Message{Kind: transport.KindNodeResult, From: from, To: fwd.Origin, NodeResult: res})
+		_ = p.rt.tr.Send(transport.Message{Kind: transport.KindNodeResult, From: from, To: fwd.Origin, NodeResult: res, Trace: tc})
 	}()
 }

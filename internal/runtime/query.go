@@ -8,6 +8,7 @@ import (
 	"bwcluster/internal/cluster"
 	"bwcluster/internal/overlay"
 	"bwcluster/internal/predtree"
+	"bwcluster/internal/telemetry"
 	"bwcluster/internal/transport"
 )
 
@@ -18,6 +19,17 @@ import (
 // works even when intermediate peers live in other processes. The start
 // peer must be hosted by this runtime.
 func (rt *Runtime) Query(start, k int, l float64, timeout time.Duration) (overlay.Result, error) {
+	return rt.QueryTraced(start, k, l, timeout, nil)
+}
+
+// QueryTraced is Query with distributed tracing: when span is non-nil,
+// the query carries a trace context across every hop — including hops
+// executed by peers in other processes — and each hop's span event is
+// reported back to this runtime, reassembled into span's tree after the
+// answer arrives (hop spans carry host, peer, hop index, queue wait;
+// dropped reports appear as explicit "gap" spans). A nil span runs the
+// exact untraced path: no context on the wire, no events, no waits.
+func (rt *Runtime) QueryTraced(start, k int, l float64, timeout time.Duration, span *telemetry.Span) (overlay.Result, error) {
 	if p := rt.peerByID(start); p == nil {
 		return overlay.Result{}, fmt.Errorf("runtime: unknown start host %d", start)
 	}
@@ -31,19 +43,31 @@ func (rt *Runtime) Query(start, k int, l float64, timeout time.Duration) (overla
 	id := rt.qid.Add(1)
 	reply := make(chan overlay.Result, replyCapacity)
 	rt.pendMu.Lock()
-	rt.pendCluster[id] = reply
+	rt.pendCluster[id] = pendingCluster{ch: reply, born: rt.ticks.Load()}
+	rt.updatePendingGaugeLocked()
 	rt.pendMu.Unlock()
+	var tc *transport.TraceContext
+	var rootSpanID uint64
+	if span != nil {
+		rootSpanID = rt.mintSpanID(start)
+		tc = &transport.TraceContext{TraceID: id, ParentSpan: rootSpanID, Origin: start, SentUnixNano: traceNow()}
+	}
 	q := &transport.Query{ID: id, Origin: start, K: k, ClassIdx: classIdx, ClassL: classL, Prev: -1}
-	if err := rt.tr.Send(transport.Message{Kind: transport.KindQuery, From: -1, To: start, Query: q}); err != nil {
+	if err := rt.tr.Send(transport.Message{Kind: transport.KindQuery, From: -1, To: start, Query: q, Trace: tc}); err != nil {
 		rt.dropPendingCluster(id)
 		return overlay.Result{}, fmt.Errorf("runtime: start peer %d did not accept the query: %w", start, err)
 	}
 	select {
 	case res := <-reply:
 		mRuntimeQueryHops.Observe(float64(res.Hops))
+		if span != nil {
+			rt.gatherTrace(span, rootSpanID, id, res.Hops)
+		}
 		return res, nil
 	case <-time.After(timeout):
 		rt.dropPendingCluster(id)
+		rt.collector.Take(id)
+		rt.fl().Anomaly(anomalyQueryTO, start, -1, fmt.Sprintf("cluster query k=%d l=%v after %v", k, l, timeout))
 		return overlay.Result{}, fmt.Errorf("runtime: query (k=%d, l=%v) timed out after %v", k, l, timeout)
 	}
 }
@@ -54,6 +78,7 @@ func (rt *Runtime) dropPendingCluster(id uint64) {
 	rt.pendMu.Lock()
 	defer rt.pendMu.Unlock()
 	delete(rt.pendCluster, id)
+	rt.updatePendingGaugeLocked()
 }
 
 // resolveCluster completes the pending query a routed result answers.
@@ -65,13 +90,14 @@ func (rt *Runtime) resolveCluster(r *transport.Result) {
 		return
 	}
 	rt.pendMu.Lock()
-	ch, ok := rt.pendCluster[r.ID]
+	e, ok := rt.pendCluster[r.ID]
 	delete(rt.pendCluster, r.ID)
+	rt.updatePendingGaugeLocked()
 	rt.pendMu.Unlock()
 	if !ok {
 		return // duplicate, late, or foreign answer
 	}
-	ch <- overlay.Result{Cluster: r.Cluster, Hops: r.Hops, Answered: r.Answered, Class: r.Class, Path: r.Path}
+	e.ch <- overlay.Result{Cluster: r.Cluster, Hops: r.Hops, Answered: r.Answered, Class: r.Class, Path: r.Path}
 }
 
 // classFor snaps l to the largest configured class <= l.
@@ -89,8 +115,9 @@ func (rt *Runtime) classFor(l float64) (float64, int, error) {
 
 // handleQuery runs one Algorithm 4 step at this peer: answer locally if
 // the local CRT admits the size, otherwise forward toward a promising
-// neighbor, otherwise report failure.
-func (p *peer) handleQuery(q *transport.Query) {
+// neighbor, otherwise report failure. ht is the hop's trace state (nil
+// when untraced); the span event is reported when the step concludes.
+func (p *peer) handleQuery(q *transport.Query, ht *hopTrace) {
 	q.Path = append(q.Path, p.id)
 	p.mu.Lock()
 	if p.dirty {
@@ -123,25 +150,30 @@ func (p *peer) handleQuery(q *transport.Query) {
 
 	switch {
 	case members != nil:
-		p.answerQuery(q, members)
+		ht.setNote("answered")
+		p.answerQuery(q, members, ht)
 	case next != -1 && q.Hops < maxQueryHops:
+		ht.setNote("forward")
 		fwd := *q
 		fwd.Prev = p.id
 		fwd.Hops++
 		// Copy the path: the forwarded message and this peer's local view
 		// must not share a backing array across goroutines.
 		fwd.Path = append([]int(nil), q.Path...)
-		p.forwardQuery(next, &fwd)
+		p.forwardQuery(next, &fwd, ht)
 	default:
-		p.answerQuery(q, nil)
+		ht.setNote("notfound")
+		p.answerQuery(q, nil, ht)
 	}
+	p.finishHop(ht, "query")
 }
 
 // answerQuery routes the query's answer back to its origin peer as a
-// result message (members nil: not found).
-func (p *peer) answerQuery(q *transport.Query, members []int) {
+// result message (members nil: not found), carrying the trace context
+// so the origin can time the return leg.
+func (p *peer) answerQuery(q *transport.Query, members []int, ht *hopTrace) {
 	res := &transport.Result{ID: q.ID, Cluster: members, Hops: q.Hops, Answered: p.id, Class: q.ClassL, Path: q.Path}
-	p.rt.sendAsync(transport.Message{Kind: transport.KindResult, From: p.id, To: q.Origin, Result: res})
+	p.rt.sendAsync(transport.Message{Kind: transport.KindResult, From: p.id, To: q.Origin, Result: res, Trace: ht.back()})
 }
 
 // forwardQuery passes the query to the next peer from a helper goroutine
@@ -149,16 +181,17 @@ func (p *peer) answerQuery(q *transport.Query, members []int) {
 // rejects the forward (next is dead and unrouted), the query fails over
 // to a not-found answer from this peer, preserving the pre-transport
 // crash semantics.
-func (p *peer) forwardQuery(next int, fwd *transport.Query) {
+func (p *peer) forwardQuery(next int, fwd *transport.Query, ht *hopTrace) {
 	from := p.id
+	tc := ht.next()
 	p.rt.wg.Add(1)
 	go func() {
 		defer p.rt.wg.Done()
-		if p.rt.tr.Send(transport.Message{Kind: transport.KindQuery, From: from, To: next, Query: fwd}) == nil {
+		if p.rt.tr.Send(transport.Message{Kind: transport.KindQuery, From: from, To: next, Query: fwd, Trace: tc}) == nil {
 			return
 		}
 		res := &transport.Result{ID: fwd.ID, Hops: fwd.Hops, Answered: from, Class: fwd.ClassL, Path: fwd.Path}
-		_ = p.rt.tr.Send(transport.Message{Kind: transport.KindResult, From: from, To: fwd.Origin, Result: res})
+		_ = p.rt.tr.Send(transport.Message{Kind: transport.KindResult, From: from, To: fwd.Origin, Result: res, Trace: tc})
 	}()
 }
 
@@ -204,10 +237,12 @@ func (rt *Runtime) AddHost(h int, o predtree.Oracle) error {
 	}
 	rt.peers[h] = p
 	// The anchor parent gained a neighbor.
+	now := rt.ticks.Load()
 	for _, other := range nb {
 		if q := rt.peers[other]; q != nil {
 			q.mu.Lock()
 			q.neighbors = insertSorted(q.neighbors, h)
+			q.lastGossip[h] = now // fresh link; age the watermark from now
 			q.dirty = true
 			q.mu.Unlock()
 			rt.version.Add(1)

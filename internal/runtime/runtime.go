@@ -31,6 +31,7 @@ import (
 	"bwcluster/internal/cluster"
 	"bwcluster/internal/metric"
 	"bwcluster/internal/overlay"
+	"bwcluster/internal/telemetry"
 	"bwcluster/internal/transport"
 )
 
@@ -71,15 +72,41 @@ type Runtime struct {
 	// Pending query replies, keyed by the query id minted at submission.
 	// Answers arrive as routed messages (transport.KindResult and
 	// KindNodeResult) at the origin peer, which resolves them here;
-	// duplicate or late answers find no entry and are dropped.
+	// duplicate or late answers find no entry and are dropped. Entries
+	// record their birth tick so the health monitor's sweep can prove
+	// the tables bounded even if a caller leaks its entry.
 	qid         atomic.Uint64
 	pendMu      sync.Mutex
-	pendCluster map[uint64]chan overlay.Result     // guarded by pendMu
-	pendNode    map[uint64]chan overlay.NodeResult // guarded by pendMu
+	pendCluster map[uint64]pendingCluster // guarded by pendMu
+	pendNode    map[uint64]pendingNode    // guarded by pendMu
+
+	// Distributed tracing: per-runtime span-id sequence and the origin
+	// -side collector reassembling reported hop events.
+	spanSeq   atomic.Uint64
+	collector *telemetry.TraceCollector
+
+	// Observability plumbing: the optional flight recorder and the
+	// health monitor's logical clock + flags.
+	flight atomic.Pointer[telemetry.FlightRecorder]
+	monitorState
+	monStop chan struct{}
+	monOnce sync.Once
 
 	mu    sync.Mutex
 	peers map[int]*peer // guarded by mu
 	wg    sync.WaitGroup
+}
+
+// pendingCluster is one in-flight cluster query's reply slot.
+type pendingCluster struct {
+	ch   chan overlay.Result
+	born uint64 // monitor tick at submission
+}
+
+// pendingNode is one in-flight node search's reply slot.
+type pendingNode struct {
+	ch   chan overlay.NodeResult
+	born uint64 // monitor tick at submission
 }
 
 // Traffic reports how many messages of each kind have been delivered
@@ -111,11 +138,12 @@ type peer struct {
 	done      chan struct{}
 	lossRng   *rand.Rand // per-peer source for loss injection
 
-	mu       sync.Mutex
-	aggrNode map[int][]int
-	aggrCRT  map[int][]int
-	selfCRT  []int
-	dirty    bool // V_x changed since selfCRT was computed
+	mu         sync.Mutex
+	aggrNode   map[int][]int
+	aggrCRT    map[int][]int
+	selfCRT    []int
+	dirty      bool           // V_x changed since selfCRT was computed
+	lastGossip map[int]uint64 // guarded by mu; monitor tick of each neighbor's last gossip
 }
 
 // New builds a runtime hosting every host in the substrate (a prediction
@@ -156,8 +184,10 @@ func NewWithTransport(sub overlay.Substrate, cfg overlay.Config, tick time.Durat
 		tr:          tr,
 		ownsTr:      owns,
 		peers:       make(map[int]*peer, len(hosts)),
-		pendCluster: make(map[uint64]chan overlay.Result),
-		pendNode:    make(map[uint64]chan overlay.NodeResult),
+		pendCluster: make(map[uint64]pendingCluster),
+		pendNode:    make(map[uint64]pendingNode),
+		collector:   telemetry.NewTraceCollector(0),
+		monStop:     make(chan struct{}),
 	}
 	tbl := &distTable{dist: dist, index: make(map[int]int, len(hosts))}
 	for i, h := range hosts {
@@ -198,21 +228,27 @@ func (rt *Runtime) newPeer(id int, neighbors []int) (*peer, error) {
 	if err != nil {
 		return nil, err
 	}
+	last := make(map[int]uint64, len(neighbors))
+	now := rt.ticks.Load()
+	for _, v := range neighbors {
+		last[v] = now // watermark ages start at peer creation, not tick zero
+	}
 	return &peer{
-		id:        id,
-		rt:        rt,
-		neighbors: neighbors,
-		recv:      recv,
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
-		lossRng:   rand.New(rand.NewSource(int64(id)*7919 + 1)),
-		aggrNode:  make(map[int][]int, len(neighbors)),
-		aggrCRT:   make(map[int][]int, len(neighbors)),
-		dirty:     true,
+		id:         id,
+		rt:         rt,
+		neighbors:  neighbors,
+		recv:       recv,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+		lossRng:    rand.New(rand.NewSource(int64(id)*7919 + 1)),
+		aggrNode:   make(map[int][]int, len(neighbors)),
+		aggrCRT:    make(map[int][]int, len(neighbors)),
+		dirty:      true,
+		lastGossip: last,
 	}, nil
 }
 
-// Start launches every peer goroutine.
+// Start launches every peer goroutine and the health monitor.
 func (rt *Runtime) Start() {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -220,6 +256,8 @@ func (rt *Runtime) Start() {
 		rt.wg.Add(1)
 		go p.run()
 	}
+	rt.wg.Add(1)
+	go rt.monitor()
 }
 
 // Stop signals all peers to exit, unregisters them from the transport
@@ -227,6 +265,7 @@ func (rt *Runtime) Start() {
 // for every runtime goroutine, and closes the transport if this runtime
 // owns it.
 func (rt *Runtime) Stop() {
+	rt.monOnce.Do(func() { close(rt.monStop) })
 	rt.mu.Lock()
 	ids := make([]int, 0, len(rt.peers))
 	for id, p := range rt.peers {
@@ -281,6 +320,7 @@ func (rt *Runtime) Settle(quiet, timeout time.Duration) error {
 			return nil
 		}
 		if time.Now().After(deadline) { //bwcvet:allow determinism wall-clock timeout check; never feeds algorithm state
+			rt.fl().Anomaly(anomalySettle, -1, -1, fmt.Sprintf("no fixed point within %v", timeout))
 			return fmt.Errorf("runtime: gossip did not settle within %v", timeout)
 		}
 	}
@@ -333,7 +373,9 @@ func (p *peer) handle(m transport.Message) {
 	switch m.Kind {
 	case transport.KindNodeInfo:
 		p.rt.nodeInfoMsgs.Add(1)
+		now := p.rt.ticks.Load()
 		p.mu.Lock()
+		p.lastGossip[m.From] = now
 		if !equalInts(p.aggrNode[m.From], m.Nodes) {
 			p.aggrNode[m.From] = m.Nodes
 			p.dirty = true
@@ -342,7 +384,9 @@ func (p *peer) handle(m transport.Message) {
 		p.mu.Unlock()
 	case transport.KindCRT:
 		p.rt.crtMsgs.Add(1)
+		now := p.rt.ticks.Load()
 		p.mu.Lock()
+		p.lastGossip[m.From] = now
 		if !equalInts(p.aggrCRT[m.From], m.CRT) {
 			p.aggrCRT[m.From] = m.CRT
 			p.rt.version.Add(1)
@@ -351,17 +395,21 @@ func (p *peer) handle(m transport.Message) {
 	case transport.KindQuery:
 		if m.Query != nil {
 			p.rt.queryMsgs.Add(1)
-			p.handleQuery(m.Query)
+			p.handleQuery(m.Query, p.beginHop(m))
 		}
 	case transport.KindNodeQuery:
 		if m.NodeQuery != nil {
 			p.rt.queryMsgs.Add(1)
-			p.handleNodeQuery(m.NodeQuery)
+			p.handleNodeQuery(m.NodeQuery, p.beginHop(m))
 		}
 	case transport.KindResult:
+		p.rt.noteReturnLeg(p.id, m.Trace, "result")
 		p.rt.resolveCluster(m.Result)
 	case transport.KindNodeResult:
+		p.rt.noteReturnLeg(p.id, m.Trace, "noderesult")
 		p.rt.resolveNode(m.NodeResult)
+	case transport.KindTrace:
+		p.rt.addTraceEvent(m.Event)
 	}
 }
 
@@ -472,6 +520,9 @@ func (p *peer) recomputeSelfCRTLocked() {
 	if !equalInts(p.selfCRT, selfCRT) {
 		p.selfCRT = selfCRT
 		p.rt.version.Add(1)
+		// Gossip-triggered work, visible in the black box: the peer's
+		// clustering space changed enough to move its CRT.
+		p.rt.fl().Record(flightCRT, p.id, -1, "")
 	}
 }
 

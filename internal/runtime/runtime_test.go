@@ -23,7 +23,7 @@ func testConfig() overlay.Config {
 	return overlay.Config{NCut: 4, Classes: []float64{1, 2, 4, 8, 16, 32, 64}}
 }
 
-func buildTree(t *testing.T, n int, noise float64, seed int64) (*predtree.Tree, *metric.Matrix) {
+func buildTree(t testing.TB, n int, noise float64, seed int64) (*predtree.Tree, *metric.Matrix) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	o := testutil.NoisyTreeMetric(n, noise, rng)

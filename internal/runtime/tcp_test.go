@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"bwcluster/internal/telemetry"
 	"bwcluster/internal/transport"
 )
 
@@ -61,6 +62,10 @@ func TestTCPSplitRuntimeMatchesFixedPoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer trB.Close()
+	// Feed the process recorder so a failure leaves a black box for
+	// TestMain's BWC_FLIGHT_DUMP artifact.
+	trA.SetFlight(telemetry.FlightDefault())
+	trB.SetFlight(telemetry.FlightDefault())
 	for _, h := range hostsB {
 		trA.AddRoute(h, trB.Addr())
 	}
@@ -76,6 +81,8 @@ func TestTCPSplitRuntimeMatchesFixedPoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	rtA.SetFlight(telemetry.FlightDefault())
+	rtB.SetFlight(telemetry.FlightDefault())
 	rtA.Start()
 	rtB.Start()
 	defer func() {

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bwcluster/internal/dataset"
+	"bwcluster/internal/metric"
+	"bwcluster/internal/overlay"
+	"bwcluster/internal/runtime"
+	"bwcluster/internal/telemetry"
+	"bwcluster/internal/transport"
+)
+
+// TraceSeriesConfig parameterizes the traced-faults experiment: the
+// asynchronous runtime is run over seeded gossip loss, every query is
+// traced, and each loss level measures how complete the reassembled
+// span trees stay — the observability plane's own fidelity under the
+// faults it exists to explain.
+type TraceSeriesConfig struct {
+	Dataset Dataset
+	// N restricts the experiment to a subset (0: 24 hosts).
+	N int
+	// Losses are the gossip drop rates to sweep (nil: 0, 0.1, 0.3).
+	Losses []float64
+	// Queries is the per-level traced query count.
+	Queries int
+	// Tick is the runtime gossip period (0: 1ms).
+	Tick time.Duration
+	// SettleQuiet and SettleTimeout bound the convergence wait (0: 150ms
+	// and 30s).
+	SettleQuiet   time.Duration
+	SettleTimeout time.Duration
+	NCut          int
+	BSteps        int
+	C             float64
+	Seed          int64
+	// Parallelism bounds the framework-construction worker pool; the
+	// loss levels themselves run sequentially (each times a live
+	// runtime).
+	Parallelism int
+	// Flight, when non-nil, is attached to every runtime so the series
+	// leaves a black-box record (bwc-sim wires the process recorder
+	// here for -flight-dump).
+	Flight *telemetry.FlightRecorder
+}
+
+// DefaultTraceSeriesConfig returns the grid recorded in
+// results/trace_series.txt.
+func DefaultTraceSeriesConfig(ds Dataset) TraceSeriesConfig {
+	return TraceSeriesConfig{
+		Dataset: ds,
+		N:       24,
+		Losses:  []float64{0, 0.1, 0.3},
+		Queries: 30,
+		Tick:    time.Millisecond,
+		NCut:    overlay.DefaultNCut,
+		BSteps:  7,
+		C:       metric.DefaultC,
+		Seed:    11,
+	}
+}
+
+// Scaled returns a copy with the per-level query count multiplied by f.
+func (c TraceSeriesConfig) Scaled(f float64) TraceSeriesConfig {
+	c.Queries = scaleInt(c.Queries, f)
+	return c
+}
+
+// TraceSeriesPoint is one loss level of the traced series.
+type TraceSeriesPoint struct {
+	// Loss is the injected gossip drop rate.
+	Loss float64
+	// Queries is how many traced queries ran at this level.
+	Queries int
+	// Agreement is the fraction of queries whose findability agreed
+	// with the synchronous engine.
+	Agreement float64
+	// AvgHops is the mean overlay hop count per query.
+	AvgHops float64
+	// CompleteTraces counts queries whose span tree carried every
+	// expected hop event (res.Hops+2) and no gap span.
+	CompleteTraces int
+	// GapTraces counts queries whose tree contained at least one
+	// explicit gap span (a dropped trace report, surfaced instead of
+	// silently corrupting the tree).
+	GapTraces int
+	// AvgHopEvents is the mean number of hop events assembled per trace.
+	AvgHopEvents float64
+	// MaxGossipAgeTicks is the health monitor's gossip-age watermark
+	// after the query batch.
+	MaxGossipAgeTicks uint64
+	// Converged reports whether the settled runtime matched the
+	// synchronous fixed point exactly.
+	Converged bool
+}
+
+// TraceSeriesResult is the traced-faults measurement series.
+type TraceSeriesResult struct {
+	Dataset Dataset
+	N       int
+	K       int
+	Points  []TraceSeriesPoint
+}
+
+// RunTraceSeries builds one prediction framework, converges the
+// synchronous reference, then for each loss level runs the asynchronous
+// runtime over a seeded GossipOnly FaultTransport, settles it, and runs
+// traced queries, measuring answer agreement and trace completeness.
+func RunTraceSeries(cfg TraceSeriesConfig) (*TraceSeriesResult, error) {
+	dsCfg, err := cfg.Dataset.Config()
+	if err != nil {
+		return nil, err
+	}
+	k, bLo, bHi, err := cfg.Dataset.Band()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.N <= 0 {
+		cfg.N = 24
+	}
+	if len(cfg.Losses) == 0 {
+		cfg.Losses = []float64{0, 0.1, 0.3}
+	}
+	if cfg.Queries < 1 || cfg.BSteps < 1 {
+		return nil, fmt.Errorf("sim: trace series needs positive Queries and BSteps")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.SettleQuiet <= 0 {
+		cfg.SettleQuiet = 150 * time.Millisecond
+	}
+	if cfg.SettleTimeout <= 0 {
+		cfg.SettleTimeout = 30 * time.Second
+	}
+	if cfg.C <= 0 {
+		cfg.C = metric.DefaultC
+	}
+	if cfg.NCut == 0 {
+		cfg.NCut = overlay.DefaultNCut
+	}
+
+	dataRng := rand.New(rand.NewSource(cfg.Seed))
+	topo, err := dataset.NewTopology(dsCfg.WithN(cfg.N), dataRng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: trace series topology: %w", err)
+	}
+	bw, err := topo.Matrix(dataRng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: trace series dataset: %w", err)
+	}
+	classes, err := overlay.ClassesFromBandwidths(linspace(bLo, bHi, cfg.BSteps), cfg.C)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := BuildFramework(bw, FrameworkConfig{
+		C: cfg.C, NCut: cfg.NCut, Classes: classes, Parallelism: cfg.Parallelism,
+	}, dataRng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: trace series framework: %w", err)
+	}
+	nw := fw.Net
+	hosts := nw.Hosts()
+	ovCfg := overlay.Config{NCut: cfg.NCut, Classes: classes}
+
+	out := &TraceSeriesResult{Dataset: cfg.Dataset, N: cfg.N, K: k}
+	for i, loss := range cfg.Losses {
+		pt, err := runTraceLevel(cfg, fw, nw, hosts, ovCfg, loss, int64(i+1), k, bLo, bHi)
+		if err != nil {
+			return nil, fmt.Errorf("sim: trace series loss=%v: %w", loss, err)
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// runTraceLevel measures one loss level: settled traced queries, their
+// span-tree completeness, and the health watermark after the batch.
+func runTraceLevel(cfg TraceSeriesConfig, fw *Framework, nw *overlay.Network, hosts []int,
+	ovCfg overlay.Config, loss float64, level int64, k int, bLo, bHi float64) (TraceSeriesPoint, error) {
+	pt := TraceSeriesPoint{Loss: loss, Queries: cfg.Queries}
+	ft, err := transport.NewFault(transport.NewChan(0), transport.FaultConfig{
+		Seed:       cfg.Seed + 1000*level,
+		Drop:       loss,
+		GossipOnly: true,
+	})
+	if err != nil {
+		return pt, err
+	}
+	rt, err := runtime.NewWithTransport(fw.Forest, ovCfg, cfg.Tick, ft, nil)
+	if err != nil {
+		ft.Close()
+		return pt, err
+	}
+	rt.SetFlight(cfg.Flight)
+	rt.Start()
+	defer func() {
+		rt.Stop()
+		ft.Close()
+	}()
+	if err := rt.Settle(cfg.SettleQuiet, cfg.SettleTimeout); err != nil {
+		return pt, err
+	}
+	pt.Converged = runtimeAtFixedPoint(nw, rt)
+
+	queryRng := rand.New(rand.NewSource(cfg.Seed + 500 + level))
+	bValues := linspace(bLo, bHi, cfg.BSteps)
+	agree, hops, events := 0, 0, 0
+	for q := 0; q < cfg.Queries; q++ {
+		b := bValues[queryRng.Intn(len(bValues))]
+		l, err := metric.DistanceForBandwidthConstraint(b, cfg.C)
+		if err != nil {
+			return pt, err
+		}
+		start := hosts[queryRng.Intn(len(hosts))]
+		want, err := nw.Query(start, k, l)
+		if err != nil {
+			return pt, err
+		}
+		span := telemetry.StartSpan("query")
+		got, err := rt.QueryTraced(start, k, l, cfg.SettleTimeout, span)
+		span.Finish()
+		if err != nil {
+			return pt, err
+		}
+		if want.Found() == got.Found() {
+			agree++
+		}
+		hops += got.Hops
+		ev, _ := span.Attr("hopEvents").(int)
+		events += ev
+		gaps := countGapSpans(span)
+		if gaps > 0 {
+			pt.GapTraces++
+		} else if ev == got.Hops+2 {
+			pt.CompleteTraces++
+		}
+	}
+	pt.Agreement = float64(agree) / float64(cfg.Queries)
+	pt.AvgHops = float64(hops) / float64(cfg.Queries)
+	pt.AvgHopEvents = float64(events) / float64(cfg.Queries)
+	pt.MaxGossipAgeTicks = rt.Health().MaxGossipAgeTicks
+	return pt, nil
+}
+
+// countGapSpans walks a span tree counting explicit "gap" spans (the
+// marker AttachEvents plants where a hop report never arrived).
+func countGapSpans(s *telemetry.Span) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	if s.Name() == "gap" {
+		n++
+	}
+	for _, c := range s.Children() {
+		n += countGapSpans(c)
+	}
+	return n
+}

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one recorded hop of a distributed trace: a span that was
+// executed on some host (possibly in another process) and reported back
+// to the trace's origin as plain data. The transport layer carries a
+// mirror of this struct on the wire; the collector reassembles the
+// causal tree from whichever events actually arrived.
+type SpanEvent struct {
+	// TraceID groups events belonging to one distributed operation.
+	TraceID uint64
+	// SpanID uniquely identifies this hop across every participating
+	// host (hosts mint ids from disjoint ranges).
+	SpanID uint64
+	// ParentID is the span this hop was caused by (the previous hop, or
+	// the origin's root span).
+	ParentID uint64
+	// Host executed the hop.
+	Host int
+	// Peer is the hop's counterparty: the peer the message came from, or
+	// -1 at the first hop.
+	Peer int
+	// Hop is the hop index along the forwarding path, 0-based.
+	Hop int
+	// Kind labels the work ("query", "nodequery", ...).
+	Kind string
+	// StartUnixNano is the hop's start time on the executing host's
+	// clock (cross-process skew applies; durations do not suffer it).
+	StartUnixNano int64
+	// DurationNs is the hop's processing time.
+	DurationNs int64
+	// QueueNs is the time the triggering message waited between send and
+	// handling (sender and receiver clocks; on one machine this is queue
+	// plus wire time).
+	QueueNs int64
+	// Note records the hop's outcome ("answered", "forward", ...).
+	Note string
+}
+
+// NewSpanEvent returns a span event keyed to a trace, span and parent;
+// callers fill the descriptive fields before handing it to a collector.
+// Instrumented packages must build telemetry values through package
+// constructors (DESIGN.md §8c), and this is SpanEvent's.
+func NewSpanEvent(traceID, spanID, parentID uint64) *SpanEvent {
+	return &SpanEvent{TraceID: traceID, SpanID: spanID, ParentID: parentID}
+}
+
+// TraceCollector accumulates SpanEvents per trace until the origin
+// assembles them. Both dimensions are bounded: at most maxTraces traces
+// are retained (oldest evicted first) and each trace keeps at most
+// maxEventsPerTrace events, so a reconnect storm of trace reports cannot
+// grow the collector without bound. Duplicate deliveries of the same
+// span (fault injection, at-least-once transports) are idempotently
+// ignored.
+//
+// A nil *TraceCollector is a valid no-op receiver for every method.
+type TraceCollector struct {
+	maxTraces int
+	maxEvents int
+
+	mu     sync.Mutex
+	traces map[uint64][]SpanEvent // guarded by mu
+	seen   map[uint64]map[uint64]bool
+	order  []uint64 // guarded by mu; insertion order for eviction
+}
+
+// Collector size defaults: enough for every in-flight query of a busy
+// origin without letting an abandoned-trace backlog grow unbounded.
+const (
+	defaultMaxTraces        = 256
+	defaultMaxEventsPerSpan = 1024
+)
+
+// NewTraceCollector returns a collector retaining at most maxTraces
+// in-flight traces (non-positive: 256) with a fixed per-trace event cap.
+func NewTraceCollector(maxTraces int) *TraceCollector {
+	if maxTraces <= 0 {
+		maxTraces = defaultMaxTraces
+	}
+	return &TraceCollector{
+		maxTraces: maxTraces,
+		maxEvents: defaultMaxEventsPerSpan,
+		traces:    make(map[uint64][]SpanEvent),
+		seen:      make(map[uint64]map[uint64]bool),
+	}
+}
+
+// Add records one reported span event, deduplicating by span id and
+// evicting the oldest trace when the trace cap is exceeded.
+func (c *TraceCollector) Add(ev SpanEvent) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen, ok := c.seen[ev.TraceID]
+	if !ok {
+		if len(c.order) >= c.maxTraces {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.traces, oldest)
+			delete(c.seen, oldest)
+		}
+		seen = make(map[uint64]bool)
+		c.seen[ev.TraceID] = seen
+		c.order = append(c.order, ev.TraceID)
+	}
+	if seen[ev.SpanID] || len(c.traces[ev.TraceID]) >= c.maxEvents {
+		return // duplicate span report or per-trace cap reached
+	}
+	seen[ev.SpanID] = true
+	c.traces[ev.TraceID] = append(c.traces[ev.TraceID], ev)
+}
+
+// Count returns how many events have been collected for a trace.
+func (c *TraceCollector) Count(traceID uint64) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.traces[traceID])
+}
+
+// Len returns the number of traces currently retained.
+func (c *TraceCollector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
+
+// Take removes and returns a trace's events (nil when unknown).
+func (c *TraceCollector) Take(traceID uint64) []SpanEvent {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	evs, ok := c.traces[traceID]
+	if !ok {
+		return nil
+	}
+	delete(c.traces, traceID)
+	delete(c.seen, traceID)
+	for i, id := range c.order {
+		if id == traceID {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	return evs
+}
+
+// AttachEvents reassembles collected hop events into s's span tree:
+// every event becomes a child span of the event that caused it
+// (ParentID), events parented on rootSpanID attach directly under s, and
+// events whose parent never arrived — a dropped trace report — attach
+// under an explicit "gap" span carrying the missing span id, so a lossy
+// transport degrades the tree visibly instead of corrupting it.
+// Children are ordered by hop index, then span id, so the tree shape is
+// deterministic for a fixed event set.
+func (s *Span) AttachEvents(rootSpanID uint64, events []SpanEvent) {
+	if s == nil || len(events) == 0 {
+		return
+	}
+	evs := append([]SpanEvent(nil), events...)
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].Hop != evs[j].Hop {
+			return evs[i].Hop < evs[j].Hop
+		}
+		return evs[i].SpanID < evs[j].SpanID
+	})
+	spans := make(map[uint64]*Span, len(evs))
+	for _, ev := range evs {
+		hop := &Span{name: ev.Kind, start: time.Unix(0, ev.StartUnixNano)}
+		hop.end = hop.start.Add(time.Duration(ev.DurationNs))
+		hop.SetAttr("host", ev.Host)
+		if ev.Peer >= 0 {
+			hop.SetAttr("peer", ev.Peer)
+		}
+		hop.SetAttr("hop", ev.Hop)
+		hop.SetAttr("queueNs", ev.QueueNs)
+		if ev.Note != "" {
+			hop.SetAttr("note", ev.Note)
+		}
+		spans[ev.SpanID] = hop
+	}
+	// gaps holds one synthetic span per missing parent, so sibling
+	// orphans of the same dropped hop stay grouped.
+	gaps := make(map[uint64]*Span)
+	for _, ev := range evs {
+		hop := spans[ev.SpanID]
+		switch {
+		case ev.ParentID == rootSpanID:
+			s.children = append(s.children, hop)
+		case spans[ev.ParentID] != nil:
+			parent := spans[ev.ParentID]
+			parent.children = append(parent.children, hop)
+		default:
+			gap := gaps[ev.ParentID]
+			if gap == nil {
+				gap = &Span{name: "gap", start: hop.start, end: hop.start}
+				gap.SetAttr("missingSpan", fmt.Sprintf("%#x", ev.ParentID))
+				gaps[ev.ParentID] = gap
+				s.children = append(s.children, gap)
+			}
+			gap.children = append(gap.children, hop)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func ev(trace, span, parent uint64, host, hop int, kind string) SpanEvent {
+	return SpanEvent{
+		TraceID: trace, SpanID: span, ParentID: parent,
+		Host: host, Peer: host - 1, Hop: hop, Kind: kind,
+		StartUnixNano: int64(hop) * 1000, DurationNs: 500, QueueNs: 10,
+	}
+}
+
+// TestCollectorDedupe: duplicate deliveries of the same span id (fault
+// duplication, retries) must collapse to one event.
+func TestCollectorDedupe(t *testing.T) {
+	c := NewTraceCollector(4)
+	e := ev(7, 100, 1, 3, 0, "query")
+	c.Add(e)
+	c.Add(e)
+	c.Add(e)
+	if got := c.Count(7); got != 1 {
+		t.Fatalf("Count = %d after duplicate adds, want 1", got)
+	}
+	evs := c.Take(7)
+	if len(evs) != 1 {
+		t.Fatalf("Take returned %d events, want 1", len(evs))
+	}
+	if c.Take(7) != nil {
+		t.Fatal("second Take must return nil")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Take, want 0", c.Len())
+	}
+}
+
+// TestCollectorEviction: exceeding the trace cap evicts the oldest
+// trace, keeping the collector bounded.
+func TestCollectorEviction(t *testing.T) {
+	c := NewTraceCollector(2)
+	c.Add(ev(1, 10, 0, 0, 0, "query"))
+	c.Add(ev(2, 20, 0, 0, 0, "query"))
+	c.Add(ev(3, 30, 0, 0, 0, "query"))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (bounded)", c.Len())
+	}
+	if c.Count(1) != 0 {
+		t.Fatal("oldest trace 1 should have been evicted")
+	}
+	if c.Count(2) != 1 || c.Count(3) != 1 {
+		t.Fatal("traces 2 and 3 should survive")
+	}
+}
+
+// TestCollectorNil exercises the nil-receiver contract.
+func TestCollectorNil(t *testing.T) {
+	var c *TraceCollector
+	c.Add(ev(1, 1, 0, 0, 0, "query"))
+	if c.Count(1) != 0 || c.Len() != 0 || c.Take(1) != nil {
+		t.Fatal("nil collector must be a no-op")
+	}
+}
+
+// TestAttachEventsChain reassembles a complete three-hop chain: each hop
+// becomes a child of the previous one, rooted under the origin span.
+func TestAttachEventsChain(t *testing.T) {
+	const root = uint64(1)
+	s := StartSpan("query")
+	s.AttachEvents(root, []SpanEvent{
+		// Delivery order is scrambled; assembly must not care.
+		ev(9, 102, 101, 4, 2, "query"),
+		ev(9, 100, root, 2, 0, "query"),
+		ev(9, 101, 100, 3, 1, "query"),
+	})
+	s.Finish()
+	kids := s.Children()
+	if len(kids) != 1 {
+		t.Fatalf("root has %d children, want 1", len(kids))
+	}
+	hop0 := kids[0]
+	if hop0.Attr("host") != 2 || hop0.Attr("hop") != 0 {
+		t.Fatalf("hop0 attrs host=%v hop=%v", hop0.Attr("host"), hop0.Attr("hop"))
+	}
+	if len(hop0.Children()) != 1 || hop0.Children()[0].Attr("host") != 3 {
+		t.Fatalf("hop1 missing under hop0: %+v", hop0.Children())
+	}
+	hop1 := hop0.Children()[0]
+	if len(hop1.Children()) != 1 || hop1.Children()[0].Attr("host") != 4 {
+		t.Fatalf("hop2 missing under hop1: %+v", hop1.Children())
+	}
+}
+
+// TestAttachEventsGap: when the middle hop's report was dropped, its
+// children must attach under an explicit "gap" span instead of
+// vanishing or corrupting the tree.
+func TestAttachEventsGap(t *testing.T) {
+	const root = uint64(1)
+	s := StartSpan("query")
+	s.AttachEvents(root, []SpanEvent{
+		ev(9, 100, root, 2, 0, "query"),
+		// span 101 (hop 1) was dropped in flight; hops 2 and 3 arrived.
+		ev(9, 102, 101, 4, 2, "query"),
+		ev(9, 103, 102, 5, 3, "query"),
+	})
+	kids := s.Children()
+	if len(kids) != 2 {
+		t.Fatalf("root has %d children, want hop0 + gap", len(kids))
+	}
+	var gap *Span
+	for _, k := range kids {
+		if k.Name() == "gap" {
+			gap = k
+		}
+	}
+	if gap == nil {
+		t.Fatal("no explicit gap span for the missing hop")
+	}
+	if gap.Attr("missingSpan") == nil {
+		t.Fatal("gap span must carry the missing span id")
+	}
+	if len(gap.Children()) != 1 || gap.Children()[0].Attr("host") != 4 {
+		t.Fatalf("orphan hop2 not under gap: %+v", gap.Children())
+	}
+	hop2 := gap.Children()[0]
+	if len(hop2.Children()) != 1 || hop2.Children()[0].Attr("host") != 5 {
+		t.Fatal("hop3 must still chain under hop2 (only the gap is synthetic)")
+	}
+}
+
+// TestAttachEventsSharedGap: two orphans with the same missing parent
+// share one gap span.
+func TestAttachEventsSharedGap(t *testing.T) {
+	const root = uint64(1)
+	s := StartSpan("query")
+	s.AttachEvents(root, []SpanEvent{
+		ev(9, 102, 101, 4, 2, "query"),
+		ev(9, 103, 101, 5, 2, "nodequery"),
+	})
+	kids := s.Children()
+	if len(kids) != 1 || kids[0].Name() != "gap" {
+		t.Fatalf("want a single shared gap child, got %d children", len(kids))
+	}
+	if len(kids[0].Children()) != 2 {
+		t.Fatalf("gap has %d children, want both orphans", len(kids[0].Children()))
+	}
+}
+
+// TestAttachEventsNilAndEmpty: nil span and empty event sets are no-ops.
+func TestAttachEventsNilAndEmpty(t *testing.T) {
+	var s *Span
+	s.AttachEvents(1, []SpanEvent{ev(9, 100, 1, 2, 0, "query")})
+	real := StartSpan("query")
+	real.AttachEvents(1, nil)
+	if len(real.Children()) != 0 {
+		t.Fatal("empty events must attach nothing")
+	}
+}

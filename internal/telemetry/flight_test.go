@@ -1,0 +1,169 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFlightRecorderBounded proves the memory-bound claim: recording far
+// more events than the capacity leaves the ring at exactly capacity,
+// retaining the newest events, with oversized details truncated.
+func TestFlightRecorderBounded(t *testing.T) {
+	const capacity = 64
+	r := NewFlightRecorder(capacity)
+	r.SetClock(func() int64 { return 42 })
+	huge := strings.Repeat("x", 10*maxFlightDetail)
+	for i := 0; i < 10*capacity; i++ {
+		r.Record("send", i, i+1, huge)
+	}
+	if got := r.Cap(); got != capacity {
+		t.Fatalf("Cap() = %d, want %d", got, capacity)
+	}
+	if got := r.Seq(); got != 10*capacity {
+		t.Fatalf("Seq() = %d, want %d", got, 10*capacity)
+	}
+	snap := r.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("snapshot holds %d events, want exactly capacity %d", len(snap), capacity)
+	}
+	for i, ev := range snap {
+		wantSeq := uint64(9*capacity + i)
+		if ev.Seq != wantSeq {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (oldest-first, newest retained)", i, ev.Seq, wantSeq)
+		}
+		if len(ev.Detail) != maxFlightDetail {
+			t.Fatalf("snapshot[%d] detail length %d, want truncated to %d", i, len(ev.Detail), maxFlightDetail)
+		}
+		if ev.UnixNano != 42 {
+			t.Fatalf("snapshot[%d].UnixNano = %d, want injected clock value 42", i, ev.UnixNano)
+		}
+	}
+}
+
+// TestFlightRecorderPartial covers the pre-wrap window: fewer appends
+// than capacity snapshot to exactly that many events.
+func TestFlightRecorderPartial(t *testing.T) {
+	r := NewFlightRecorder(128)
+	for i := 0; i < 5; i++ {
+		r.Record("recv", 1, 2, "ok")
+	}
+	snap := r.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot holds %d events, want 5", len(snap))
+	}
+	for i, ev := range snap {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d", i, ev.Seq, i)
+		}
+	}
+}
+
+// TestFlightRecorderNil exercises every method on a nil recorder: the
+// nil-safety contract instrumented code relies on.
+func TestFlightRecorderNil(t *testing.T) {
+	var r *FlightRecorder
+	r.Record("send", 0, 1, "x")
+	r.Anomaly("query_timeout", 0, 1, "x")
+	r.SetClock(func() int64 { return 0 })
+	r.SetAnomalyHook(func(FlightEvent, []FlightEvent) {})
+	if r.Cap() != 0 || r.Seq() != 0 || r.Snapshot() != nil {
+		t.Fatal("nil recorder must report empty state")
+	}
+	if _, err := r.WriteTo(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WriteTo: %v", err)
+	}
+}
+
+// TestFlightRecorderAnomalyHook checks the automatic black-box dump: the
+// hook fires synchronously with the anomaly event and a snapshot that
+// includes it.
+func TestFlightRecorderAnomalyHook(t *testing.T) {
+	r := NewFlightRecorder(32)
+	var gotEv FlightEvent
+	var gotSnap []FlightEvent
+	calls := 0
+	r.SetAnomalyHook(func(ev FlightEvent, snap []FlightEvent) {
+		calls++
+		gotEv, gotSnap = ev, snap
+	})
+	r.Record("send", 3, 4, "pre")
+	r.Anomaly("reconnect_storm", 3, 4, "attempts=9")
+	if calls != 1 {
+		t.Fatalf("hook fired %d times, want 1", calls)
+	}
+	if gotEv.Kind != "reconnect_storm" || gotEv.Host != 3 || gotEv.Peer != 4 {
+		t.Fatalf("hook anomaly event = %+v", gotEv)
+	}
+	if len(gotSnap) != 2 || gotSnap[1].Kind != "reconnect_storm" {
+		t.Fatalf("hook snapshot = %+v, want 2 events ending in the anomaly", gotSnap)
+	}
+	r.SetAnomalyHook(nil)
+	r.Anomaly("query_timeout", 0, 0, "")
+	if calls != 1 {
+		t.Fatal("hook fired after removal")
+	}
+}
+
+// TestFlightRecorderRace stress-tests concurrent appenders, anomaly
+// reporters and snapshotters under the race detector; afterwards the
+// ring must still hold exactly its capacity with a coherent sequence.
+func TestFlightRecorderRace(t *testing.T) {
+	const capacity = 256
+	r := NewFlightRecorder(capacity)
+	r.SetAnomalyHook(func(FlightEvent, []FlightEvent) {})
+	var wg sync.WaitGroup
+	const writers = 8
+	const perWriter = 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if i%100 == 0 {
+					r.Anomaly("query_timeout", w, i, "stress")
+				} else {
+					r.Record("hop", w, i, "stress")
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			snap := r.Snapshot()
+			for j := 1; j < len(snap); j++ {
+				if snap[j].Seq != snap[j-1].Seq+1 {
+					t.Errorf("snapshot not contiguous: %d then %d", snap[j-1].Seq, snap[j].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if got := r.Seq(); got != writers*perWriter {
+		t.Fatalf("Seq() = %d, want %d", got, writers*perWriter)
+	}
+	if got := len(r.Snapshot()); got != capacity {
+		t.Fatalf("snapshot holds %d events, want capacity %d", got, capacity)
+	}
+}
+
+// TestFlightRecorderWriteTo checks the dump line format consumed by
+// /v1/flight, bwc-sim -flight-dump and the CI failure artifact.
+func TestFlightRecorderWriteTo(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.SetClock(func() int64 { return 0 })
+	r.Record("drop", 2, 5, "fault=drop")
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	line := sb.String()
+	for _, want := range []string{"drop", "host=2", "peer=5", "fault=drop"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("dump %q missing %q", line, want)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package transport
 import (
 	"fmt"
 	"sync"
+
+	"bwcluster/internal/telemetry"
 )
 
 // DefaultInboxCapacity is the per-peer inbound buffer used when a
@@ -27,10 +29,15 @@ type ChanTransport struct {
 	capacity  int
 	closed    chan struct{}
 	closeOnce sync.Once
+	flight    flightRef
 
 	mu  sync.Mutex
 	eps map[int]*endpoint // guarded by mu
 }
+
+// SetFlight attaches a flight recorder; non-gossip deliveries and all
+// drops are recorded. A nil recorder detaches.
+func (t *ChanTransport) SetFlight(r *telemetry.FlightRecorder) { t.flight.set(r) }
 
 // NewChan builds an in-process channel transport with the given per-peer
 // inbox capacity (non-positive: DefaultInboxCapacity).
@@ -91,6 +98,9 @@ func (t *ChanTransport) Send(m Message) error {
 	select {
 	case ep.inbox <- m:
 		mDelivered.Inc(m.Kind.String())
+		if !m.Kind.Gossip() {
+			t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
+		}
 		return nil
 	case <-ep.gone:
 		return ErrUnknownPeer
@@ -109,9 +119,13 @@ func (t *ChanTransport) TrySend(m Message) error {
 	select {
 	case ep.inbox <- m:
 		mDelivered.Inc(m.Kind.String())
+		if !m.Kind.Gossip() {
+			t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
+		}
 		return nil
 	default:
 		mDropped.Inc(reasonInboxFull)
+		t.flight.get().Record(flightDrop, m.From, m.To, m.Kind.String()+" "+reasonInboxFull)
 		return ErrInboxFull
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"bwcluster/internal/telemetry"
 )
 
 // FaultConfig parameterizes deterministic fault injection. All
@@ -27,10 +29,11 @@ type FaultConfig struct {
 	// are never held: gossip resends make holdback safe, a held query
 	// would just stall).
 	Reorder float64
-	// GossipOnly restricts drop/duplicate/delay/reorder to the periodic
-	// gossip kinds; queries and results pass through unfaulted.
-	// Partitions always apply to every kind — a partitioned network
-	// cannot route queries either.
+	// GossipOnly restricts drop/duplicate/delay/reorder to the
+	// best-effort kinds — periodic gossip and trace reports (whose loss
+	// surfaces as explicit trace gaps); queries and results pass through
+	// unfaulted. Partitions always apply to every kind — a partitioned
+	// network cannot route queries either.
 	GossipOnly bool
 	// Partitions is the scheduled partition plan.
 	Partitions []Partition
@@ -76,6 +79,7 @@ type FaultTransport struct {
 	inner  Transport
 	cfg    FaultConfig
 	island map[int]bool
+	flight flightRef
 
 	mu       sync.Mutex
 	rng      *rand.Rand       // guarded by mu
@@ -169,6 +173,16 @@ func (t *FaultTransport) partitionCut(seq, from, to int) bool {
 	return false
 }
 
+// SetFlight attaches a flight recorder to the injector and, when the
+// inner transport supports one, forwards it there too — one call wires
+// the whole stack.
+func (t *FaultTransport) SetFlight(r *telemetry.FlightRecorder) {
+	t.flight.set(r)
+	if fs, ok := t.inner.(flightSetter); ok {
+		fs.SetFlight(r)
+	}
+}
+
 // Register delegates to the inner transport.
 func (t *FaultTransport) Register(id int) (<-chan Message, error) { return t.inner.Register(id) }
 
@@ -192,7 +206,7 @@ func (t *FaultTransport) inject(m Message, deliver func(Message) error) error {
 	t.sends++
 	cut := t.partitionCut(seq, m.From, m.To)
 	var dec Decision
-	if !cut && (!t.cfg.GossipOnly || m.Kind.Gossip()) {
+	if !cut && (!t.cfg.GossipOnly || m.Kind.BestEffort()) {
 		dec = t.decisionAtLocked(t.faulted)
 		t.faulted++
 	}
@@ -213,17 +227,21 @@ func (t *FaultTransport) inject(m Message, deliver func(Message) error) error {
 	switch {
 	case cut:
 		mFaults.Inc(faultPartition)
+		t.flight.get().Record(flightFault, m.From, m.To, faultPartition+" "+m.Kind.String())
 		return nil
 	case dec.Drop:
 		mFaults.Inc(faultDrop)
+		t.flight.get().Record(flightFault, m.From, m.To, faultDrop+" "+m.Kind.String())
 		return nil
 	case hold:
 		mFaults.Inc(faultReorder)
+		t.flight.get().Record(flightFault, m.From, m.To, faultReorder+" "+m.Kind.String())
 		return nil
 	}
 	var err error
 	if dec.Delay > 0 {
 		mFaults.Inc(faultDelay)
+		t.flight.get().Record(flightFault, m.From, m.To, faultDelay+" "+m.Kind.String())
 		dm := m.clone()
 		time.AfterFunc(dec.Delay, func() { _ = deliver(dm) })
 	} else {
@@ -231,6 +249,7 @@ func (t *FaultTransport) inject(m Message, deliver func(Message) error) error {
 	}
 	if dec.Duplicate {
 		mFaults.Inc(faultDuplicate)
+		t.flight.get().Record(flightFault, m.From, m.To, faultDuplicate+" "+m.Kind.String())
 		_ = deliver(m.clone())
 	}
 	if flush != nil {

@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"bwcluster/internal/telemetry"
+)
+
+// Flight-recorder integration. Transports do not reach for the process
+// default recorder (bwc-vet bans that from internal packages); the
+// hosting binary or test threads one in with SetFlight, and every
+// recording site goes through a nil-safe pointer load, so an unwired
+// transport pays one atomic read per event site.
+//
+// Gossip volume would flood the ring (every peer, every tick), so only
+// the consequential traffic is recorded: queries, results and trace
+// reports moving, anything dropped, every injected fault, and every
+// reconnect attempt.
+
+// Flight event kinds recorded by the transport layer.
+const (
+	flightSend      = "send"
+	flightRecv      = "recv"
+	flightDrop      = "drop"
+	flightFault     = "fault"
+	flightReconnect = "reconnect"
+
+	// anomalyReconnectStorm is fired when one connection's consecutive
+	// failed dial/write attempts reach reconnectStormAttempts: with
+	// exponential backoff that many failures means the remote has been
+	// unreachable for several backoff-max periods, not a blip.
+	anomalyReconnectStorm = "reconnect_storm"
+)
+
+// reconnectStormAttempts is the consecutive-failure threshold that
+// classifies a reconnect sequence as a storm anomaly.
+const reconnectStormAttempts = 8
+
+// flightRef is the shared one-field holder embedded by every transport:
+// an atomically swappable, nil-safe recorder reference.
+type flightRef struct {
+	p atomic.Pointer[telemetry.FlightRecorder]
+}
+
+// set installs the recorder (nil detaches it).
+func (f *flightRef) set(r *telemetry.FlightRecorder) { f.p.Store(r) }
+
+// get returns the current recorder; nil (a no-op recorder) when unset.
+func (f *flightRef) get() *telemetry.FlightRecorder { return f.p.Load() }
+
+// flightSetter is implemented by every transport in this package;
+// FaultTransport uses it to forward its recorder to the wrapped inner
+// transport.
+type flightSetter interface {
+	SetFlight(*telemetry.FlightRecorder)
+}

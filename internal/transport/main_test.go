@@ -1,0 +1,43 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"bwcluster/internal/telemetry"
+)
+
+// TestMain gives CI a black box: when BWC_FLIGHT_DUMP names a file
+// ("-": stderr) and this package's tests fail, the process-wide flight
+// recorder — fed by the TCP round-trip and reconnect suites — is dumped
+// there so the workflow can upload it as a post-mortem artifact.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if code != 0 {
+		dumpFlightOnFailure()
+	}
+	os.Exit(code)
+}
+
+func dumpFlightOnFailure() {
+	path := os.Getenv("BWC_FLIGHT_DUMP")
+	if path == "" {
+		return
+	}
+	w := os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flight dump: %v\n", err)
+			return
+		}
+		defer f.Close()
+		w = f
+	}
+	rec := telemetry.FlightDefault()
+	fmt.Fprintf(w, "# flight dump: %d events recorded, last %d retained\n", rec.Seq(), len(rec.Snapshot()))
+	if _, err := rec.WriteTo(w); err != nil {
+		fmt.Fprintf(os.Stderr, "flight dump: %v\n", err)
+	}
+}

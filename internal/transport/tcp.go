@@ -14,12 +14,46 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"bwcluster/internal/telemetry"
 )
 
 // maxFrame bounds a single wire frame; protocol messages are small
 // (id slices and scalars), so anything larger indicates a corrupt or
 // hostile stream and tears the connection down.
 const maxFrame = 1 << 20
+
+// wireVersion is the TCP frame format version, carried in every frame
+// header so mixed-version processes fail loudly at the first frame
+// instead of mis-decoding each other. Version 2 added the header's
+// version and payload-tag bytes and the trace payloads (v1 frames had
+// neither byte, so a v1 peer is rejected by the header check, not by
+// gob).
+const wireVersion = 2
+
+// Frame payload tags. Untraced messages — all gossip, and every query
+// when tracing is off — are encoded as a wireMessage, whose gob type
+// descriptors exclude the trace structs; each frame uses a fresh
+// encoder, so those descriptors would otherwise ride on every single
+// frame (+50% on a typical gossip body) whether or not tracing is on.
+// Only frames that actually carry trace state pay for its schema.
+const (
+	frameLean   = 0 // payload is a gob wireMessage (no trace state)
+	frameTraced = 1 // payload is a gob Message (trace context or event)
+)
+
+// wireMessage is the lean frame payload: Message minus the trace
+// fields. It must list exactly the non-trace fields of Message.
+type wireMessage struct {
+	Kind       Kind
+	From, To   int
+	Nodes      []int
+	CRT        []int
+	Query      *Query
+	NodeQuery  *NodeQuery
+	Result     *Result
+	NodeResult *NodeResult
+}
 
 // TCPConfig configures a TCPTransport. Only Listen is required.
 type TCPConfig struct {
@@ -110,11 +144,32 @@ type TCPTransport struct {
 	closeErr   error
 	wg         sync.WaitGroup
 	reconnects atomic.Int64
+	flight     flightRef
 
 	mu     sync.Mutex
 	eps    map[int]*endpoint   // guarded by mu
 	routes map[int]string      // guarded by mu
 	conns  map[string]*tcpConn // guarded by mu
+}
+
+// SetFlight attaches a flight recorder; non-gossip frames, drops and
+// reconnect attempts are recorded, and a sustained reconnect failure
+// sequence fires a reconnect_storm anomaly dump. A nil recorder
+// detaches.
+func (t *TCPTransport) SetFlight(r *telemetry.FlightRecorder) { t.flight.set(r) }
+
+// noteReconnect accounts one failed dial/write attempt on a connection:
+// counters, the flight ring, and — when the consecutive-failure count
+// crosses the storm threshold — the anomaly dump.
+func (t *TCPTransport) noteReconnect(addr string, attempt int) {
+	t.reconnects.Add(1)
+	mTCPReconnects.Inc()
+	fl := t.flight.get()
+	fl.Record(flightReconnect, -1, -1, fmt.Sprintf("%s attempt=%d", addr, attempt))
+	if attempt == reconnectStormAttempts {
+		fl.Anomaly(anomalyReconnectStorm, -1, -1,
+			fmt.Sprintf("%s unreachable after %d attempts", addr, attempt))
+	}
 }
 
 // tcpConn is one outbound connection: an address, queues, and a writer
@@ -288,6 +343,9 @@ func (t *TCPTransport) Send(m Message) error {
 		select {
 		case ep.inbox <- m:
 			mDelivered.Inc(m.Kind.String())
+			if !m.Kind.Gossip() {
+				t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
+			}
 			return nil
 		case <-ep.gone:
 			return ErrUnknownPeer
@@ -298,6 +356,7 @@ func (t *TCPTransport) Send(m Message) error {
 	addr := t.route(m.To)
 	if addr == "" {
 		mDropped.Inc(reasonNoRoute)
+		t.flight.get().Record(flightDrop, m.From, m.To, m.Kind.String()+" "+reasonNoRoute)
 		return ErrUnknownPeer
 	}
 	c := t.conn(addr)
@@ -314,6 +373,7 @@ func (t *TCPTransport) Send(m Message) error {
 		return ErrClosed
 	case <-timer.C:
 		mDropped.Inc(reasonQueueFull)
+		t.flight.get().Record(flightDrop, m.From, m.To, m.Kind.String()+" "+reasonQueueFull)
 		return ErrTimeout
 	}
 }
@@ -327,15 +387,20 @@ func (t *TCPTransport) TrySend(m Message) error {
 		select {
 		case ep.inbox <- m:
 			mDelivered.Inc(m.Kind.String())
+			if !m.Kind.Gossip() {
+				t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
+			}
 			return nil
 		default:
 			mDropped.Inc(reasonInboxFull)
+			t.flight.get().Record(flightDrop, m.From, m.To, m.Kind.String()+" "+reasonInboxFull)
 			return ErrInboxFull
 		}
 	}
 	addr := t.route(m.To)
 	if addr == "" {
 		mDropped.Inc(reasonNoRoute)
+		t.flight.get().Record(flightDrop, m.From, m.To, m.Kind.String()+" "+reasonNoRoute)
 		return ErrUnknownPeer
 	}
 	c := t.conn(addr)
@@ -348,6 +413,7 @@ func (t *TCPTransport) TrySend(m Message) error {
 		return nil
 	default:
 		mDropped.Inc(reasonQueueFull)
+		t.flight.get().Record(flightDrop, m.From, m.To, m.Kind.String()+" "+reasonQueueFull)
 		return ErrInboxFull
 	}
 }
@@ -413,8 +479,7 @@ func (t *TCPTransport) writeLoop(c *tcpConn) {
 					t.tune(conn)
 				} else {
 					attempt++
-					t.reconnects.Add(1)
-					mTCPReconnects.Inc()
+					t.noteReconnect(c.addr, attempt)
 					if !t.backoffWait(attempt, rng) {
 						return
 					}
@@ -427,13 +492,15 @@ func (t *TCPTransport) writeLoop(c *tcpConn) {
 			conn.SetWriteDeadline(time.Now().Add(t.cfg.SendTimeout))
 			if _, err = conn.Write(frame); err == nil {
 				mTCPFrames.Inc(dirSent)
+				if !m.Kind.Gossip() {
+					t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
+				}
 				break
 			}
 			conn.Close()
 			conn = nil
 			attempt++
-			t.reconnects.Add(1)
-			mTCPReconnects.Inc()
+			t.noteReconnect(c.addr, attempt)
 			if !t.backoffWait(attempt, rng) {
 				return
 			}
@@ -514,25 +581,33 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		ep := t.endpoint(m.To)
 		if ep == nil {
 			mDropped.Inc(reasonUnknownPeer)
+			t.flight.get().Record(flightDrop, m.From, m.To, m.Kind.String()+" "+reasonUnknownPeer)
 			continue
 		}
-		// Gossip is delivered best effort: the sender repeats it every
-		// tick, so blocking the whole stream on one full inbox would only
-		// delay fresher values (and any queries framed behind them).
-		if m.Kind.Gossip() {
+		// Best-effort kinds are shed on a full inbox: gossip is re-sent
+		// every tick and a lost trace report becomes an explicit gap, so
+		// blocking the whole stream on one full inbox would only delay
+		// fresher values (and any queries framed behind them).
+		if m.Kind.BestEffort() {
 			select {
 			case ep.inbox <- m:
 				mDelivered.Inc(m.Kind.String())
+				if !m.Kind.Gossip() {
+					t.flight.get().Record(flightRecv, m.To, m.From, m.Kind.String())
+				}
 			default:
 				mDropped.Inc(reasonInboxFull)
+				t.flight.get().Record(flightDrop, m.From, m.To, m.Kind.String()+" "+reasonInboxFull)
 			}
 			continue
 		}
 		select {
 		case ep.inbox <- m:
 			mDelivered.Inc(m.Kind.String())
+			t.flight.get().Record(flightRecv, m.To, m.From, m.Kind.String())
 		case <-ep.gone:
 			mDropped.Inc(reasonUnknownPeer)
+			t.flight.get().Record(flightDrop, m.From, m.To, m.Kind.String()+" "+reasonUnknownPeer)
 		case <-t.closed:
 			return
 		}
@@ -540,42 +615,78 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 }
 
 // encodeFrame renders m as one self-contained wire frame: a 4-byte
-// big-endian length followed by a gob-encoded Message. Each frame
-// carries its own type information, so a stream survives reconnects and
-// frames can be decoded in isolation.
+// big-endian body length, a 1-byte wire version, a 1-byte payload tag,
+// then the gob-encoded payload. Each frame carries its own type
+// information, so a stream survives reconnects and frames can be
+// decoded in isolation; the tag keeps the trace structs' type
+// descriptors off untraced frames entirely (see frameLean).
 func encodeFrame(m Message) ([]byte, error) {
 	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(m); err != nil {
+	tag := byte(frameLean)
+	var err error
+	if m.Trace != nil || m.Event != nil {
+		tag = frameTraced
+		err = gob.NewEncoder(&body).Encode(m)
+	} else {
+		err = gob.NewEncoder(&body).Encode(wireMessage{
+			Kind: m.Kind, From: m.From, To: m.To,
+			Nodes: m.Nodes, CRT: m.CRT,
+			Query: m.Query, NodeQuery: m.NodeQuery,
+			Result: m.Result, NodeResult: m.NodeResult,
+		})
+	}
+	if err != nil {
 		return nil, fmt.Errorf("transport: encode frame: %w", err)
 	}
 	if body.Len() > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", body.Len(), maxFrame)
 	}
-	frame := make([]byte, 4+body.Len())
+	frame := make([]byte, 6+body.Len())
 	binary.BigEndian.PutUint32(frame, uint32(body.Len()))
-	copy(frame[4:], body.Bytes())
+	frame[4] = wireVersion
+	frame[5] = tag
+	copy(frame[6:], body.Bytes())
 	return frame, nil
 }
 
-// readFrame reads and decodes one frame from r.
+// readFrame reads and decodes one frame from r, rejecting frames whose
+// header declares a version or payload tag this build does not speak.
 func readFrame(r io.Reader) (Message, error) {
-	var hdr [4]byte
+	var hdr [6]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > maxFrame {
 		return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	if hdr[4] != wireVersion {
+		return Message{}, fmt.Errorf("transport: unsupported wire version %d (this build speaks %d)", hdr[4], wireVersion)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return Message{}, err
 	}
-	var m Message
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
-		return Message{}, fmt.Errorf("transport: decode frame: %w", err)
+	switch hdr[5] {
+	case frameLean:
+		var w wireMessage
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&w); err != nil {
+			return Message{}, fmt.Errorf("transport: decode frame: %w", err)
+		}
+		return Message{
+			Kind: w.Kind, From: w.From, To: w.To,
+			Nodes: w.Nodes, CRT: w.CRT,
+			Query: w.Query, NodeQuery: w.NodeQuery,
+			Result: w.Result, NodeResult: w.NodeResult,
+		}, nil
+	case frameTraced:
+		var m Message
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
+			return Message{}, fmt.Errorf("transport: decode frame: %w", err)
+		}
+		return m, nil
 	}
-	return m, nil
+	return Message{}, fmt.Errorf("transport: unsupported frame payload tag %d", hdr[5])
 }
 
 // Close shuts the transport down: the listener stops accepting, every

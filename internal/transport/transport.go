@@ -57,12 +57,24 @@ const (
 	KindResult
 	// KindNodeResult is a node search answer routed back to its origin.
 	KindNodeResult
+	// KindTrace is a span-event report: a traced hop telling the trace's
+	// origin what happened on a remote peer. Fire-and-forget; a dropped
+	// report shows up as an explicit gap in the reassembled trace tree.
+	KindTrace
 )
 
 // Gossip reports whether k is one of the periodic, idempotent gossip
 // kinds. Transports may treat gossip as droppable: the runtime re-sends
 // it every tick, so loss only delays convergence.
 func (k Kind) Gossip() bool { return k == KindNodeInfo || k == KindCRT }
+
+// BestEffort reports whether dropping k is harmless to protocol
+// correctness: the gossip kinds (re-sent every tick) and trace reports
+// (a loss becomes a visible gap, never a wrong answer). Transports use
+// this to decide what may be shed under backpressure, and FaultTransport
+// uses it as the GossipOnly fault scope — queries and results are the
+// only kinds whose loss changes an answer.
+func (k Kind) BestEffort() bool { return k.Gossip() || k == KindTrace }
 
 // String returns the telemetry label for the kind.
 func (k Kind) String() string {
@@ -79,6 +91,8 @@ func (k Kind) String() string {
 		return "result"
 	case KindNodeResult:
 		return "noderesult"
+	case KindTrace:
+		return "trace"
 	}
 	return "unknown"
 }
@@ -106,6 +120,62 @@ type Message struct {
 	Result *Result
 	// NodeResult is the KindNodeResult payload.
 	NodeResult *NodeResult
+	// Trace is the distributed trace context riding on a query or
+	// node-query message (nil when the operation is untraced). Results
+	// carry it back so the origin can time the return leg.
+	Trace *TraceContext
+	// Event is the KindTrace payload: one hop's span report.
+	Event *TraceEvent
+}
+
+// TraceContext is the compact trace context propagated on the message
+// envelope: enough for the receiving hop to mint its own span event and
+// report it to the trace's origin. Nil context means tracing is off and
+// costs one pointer comparison per hop.
+type TraceContext struct {
+	// TraceID identifies the distributed operation (the origin's query
+	// id, unique per origin runtime).
+	TraceID uint64
+	// ParentSpan is the span id of the hop (or origin root span) that
+	// sent this message.
+	ParentSpan uint64
+	// Hop counts trace hops so far, 0 at the origin.
+	Hop int
+	// Origin is the peer whose runtime collects this trace's events.
+	Origin int
+	// SentUnixNano is the send time on the sender's clock; the receiver
+	// derives queue/wire wait from it (clock skew applies across
+	// machines, so treat cross-host waits as approximate).
+	SentUnixNano int64
+}
+
+// TraceEvent is one hop's span report on the wire: the executing host
+// tells the trace origin what it did. It mirrors telemetry.SpanEvent —
+// transport owns the wire schema and telemetry cannot depend on it, so
+// the runtime converts between the two at the collector boundary.
+type TraceEvent struct {
+	// TraceID identifies the distributed operation.
+	TraceID uint64
+	// SpanID uniquely identifies this hop across all hosts.
+	SpanID uint64
+	// ParentSpan is the span that caused this hop.
+	ParentSpan uint64
+	// Host executed the hop.
+	Host int
+	// Peer is the hop's counterparty (-1 at the first hop).
+	Peer int
+	// Hop is the hop index along the path, 0-based.
+	Hop int
+	// Kind labels the work ("query", "nodequery", ...).
+	Kind string
+	// StartUnixNano is the hop start on the executing host's clock.
+	StartUnixNano int64
+	// DurationNs is the hop's processing time.
+	DurationNs int64
+	// QueueNs is the triggering message's send-to-handle wait.
+	QueueNs int64
+	// Note records the hop's outcome ("answered", "forward", ...).
+	Note string
 }
 
 // Query is an Algorithm 4 cluster query in flight.
@@ -241,6 +311,14 @@ func (m Message) clone() Message {
 	if m.NodeResult != nil {
 		r := *m.NodeResult
 		c.NodeResult = &r
+	}
+	if m.Trace != nil {
+		tc := *m.Trace
+		c.Trace = &tc
+	}
+	if m.Event != nil {
+		ev := *m.Event
+		c.Event = &ev
 	}
 	return c
 }

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"bwcluster/internal/telemetry"
 )
 
 // recvOne receives one message from ch or fails the test after d.
@@ -331,6 +333,10 @@ func TestTCPRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer b.Close()
+	// Feed the process recorder so a failure leaves a black box for
+	// TestMain's BWC_FLIGHT_DUMP artifact.
+	a.SetFlight(telemetry.FlightDefault())
+	b.SetFlight(telemetry.FlightDefault())
 	recv1, err := a.Register(1)
 	if err != nil {
 		t.Fatal(err)
@@ -393,6 +399,7 @@ func TestTCPReconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer a.Close()
+	a.SetFlight(telemetry.FlightDefault())
 	b1, err := NewTCP(TCPConfig{Listen: "127.0.0.1:0", JitterSeed: 2})
 	if err != nil {
 		t.Fatal(err)

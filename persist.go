@@ -97,7 +97,8 @@ func Load(r io.Reader) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: load system: %w", err)
 	}
-	net, err := overlay.NewNetwork(snap.Forest, overlay.Config{NCut: snap.NCut, Classes: distClasses})
+	ovCfg := overlay.Config{NCut: snap.NCut, Classes: distClasses}
+	net, err := overlay.NewNetwork(snap.Forest, ovCfg)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: load system: %w", err)
 	}
@@ -107,7 +108,7 @@ func Load(r io.Reader) (*System, error) {
 	return &System{
 		c: snap.C, nCut: snap.NCut, workers: workers, bw: snap.BW,
 		forest: snap.Forest, pred: pred, treeIdx: treeIdx, net: net,
-		classes: snap.Classes,
+		ovCfg: ovCfg, classes: snap.Classes,
 	}, nil
 }
 

@@ -2,14 +2,38 @@
 // from stdin) into a machine-readable JSON report, so CI can archive
 // benchmark results and diff them across commits.
 //
-//	go test -bench=. -benchmem ./... | bwc-benchjson > BENCH_results.json
+//	go test -bench=. -benchmem ./... | bwc-benchjson > BENCH_raw.json
+//
+// With -matrix, the input is expected to come from a multi-iteration,
+// multi-GOMAXPROCS run (`go test -bench ... -count 10 -cpu 1,2,4,8`):
+// repeated samples of the same benchmark are aggregated into per-
+// (benchmark, GOMAXPROCS) cells with mean/stddev/min, and paired
+// sequential/parallel sub-benchmarks additionally produce a
+// speedup-vs-GOMAXPROCS curve:
+//
+//	go test -run '^$' -bench ... -benchmem -count 10 -cpu 1,2,4,8 ./... |
+//	    bwc-benchjson -matrix > BENCH_results.json
+//
+// With -gate FILE, no input is read; instead the matrix report in FILE
+// is checked against the repo's performance invariants (DESIGN.md §8g):
+// parallel variants must not be slower than their sequential siblings
+// beyond noise (mean + 2·stddev of the difference, with a 5% relative
+// floor, confirmed by the min-of-samples — see slowerBeyondNoise) at the
+// host's hardware concurrency, and the tracing-off query path must not
+// be slower than tracing-on beyond the same noise bound.
+// An optional -baseline FILE diffs cell means against a committed
+// report and WARNS (never fails) on >20% regressions, so drift is
+// visible in CI logs without making the gate flaky across runner
+// generations.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -28,25 +52,77 @@ type Benchmark struct {
 	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
 }
 
-// Report is the full JSON document written to stdout.
+// MatrixCell aggregates the repeated samples (-count) of one benchmark
+// at one GOMAXPROCS level (-cpu).
+type MatrixCell struct {
+	Name          string  `json:"name"` // without the -N procs suffix
+	Pkg           string  `json:"pkg,omitempty"`
+	Procs         int     `json:"procs"`
+	Samples       int     `json:"samples"`
+	MeanNsPerOp   float64 `json:"meanNsPerOp"`
+	StddevNsPerOp float64 `json:"stddevNsPerOp"`
+	MinNsPerOp    float64 `json:"minNsPerOp"`
+	BytesPerOp    int64   `json:"bytesPerOp,omitempty"`  // mean across samples
+	AllocsPerOp   int64   `json:"allocsPerOp,omitempty"` // mean across samples
+}
+
+// SpeedupPoint is one point of the sequential-vs-parallel speedup curve:
+// a benchmark with paired .../sequential and .../parallel sub-benchmarks
+// compared at one GOMAXPROCS level.
+type SpeedupPoint struct {
+	Name               string  `json:"name"` // parent benchmark name
+	Pkg                string  `json:"pkg,omitempty"`
+	Procs              int     `json:"procs"`
+	SequentialNsPerOp  float64 `json:"sequentialNsPerOp"`
+	ParallelNsPerOp    float64 `json:"parallelNsPerOp"`
+	Speedup            float64 `json:"speedup"` // sequential / parallel
+	SequentialStddevNs float64 `json:"sequentialStddevNs"`
+	ParallelStddevNs   float64 `json:"parallelStddevNs"`
+	SequentialMinNs    float64 `json:"sequentialMinNs"`
+	ParallelMinNs      float64 `json:"parallelMinNs"`
+}
+
+// Report is the full JSON document written to stdout. Raw parsed lines
+// land in Benchmarks; -matrix mode fills Matrix and Speedups instead
+// (the raw lines would repeat count × procs times).
 type Report struct {
-	GoVersion  string      `json:"goVersion"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	CPUs       int         `json:"cpus"`
-	CPU        string      `json:"cpu,omitempty"`
-	Build      string      `json:"build"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	GoVersion  string         `json:"goVersion"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	CPUs       int            `json:"cpus"`
+	CPU        string         `json:"cpu,omitempty"`
+	Build      string         `json:"build"`
+	Benchmarks []Benchmark    `json:"benchmarks"`
+	Matrix     []MatrixCell   `json:"matrix,omitempty"`
+	Speedups   []SpeedupPoint `json:"speedups,omitempty"`
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "bwc-benchjson:", err)
-		os.Exit(1)
+	matrix := flag.Bool("matrix", false, "aggregate a -count/-cpu matrix run into mean/stddev cells and speedup curves")
+	gate := flag.String("gate", "", "check the matrix report in `file` against the performance gate instead of reading stdin")
+	baseline := flag.String("baseline", "", "committed matrix report to diff against in -gate mode (regressions warn, never fail)")
+	flag.Parse()
+	switch {
+	case *gate != "":
+		if err := runGate(*gate, *baseline, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bwc-benchjson: gate FAILED:", err)
+			os.Exit(1)
+		}
+	case *matrix:
+		if err := runMatrix(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bwc-benchjson:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := run(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bwc-benchjson:", err)
+			os.Exit(1)
+		}
 	}
 }
 
-func run(in io.Reader, out io.Writer) error {
+// parse reads `go test -bench` output into a Report with raw Benchmarks.
+func parse(in io.Reader) (Report, error) {
 	rep := Report{
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -75,11 +151,339 @@ func run(in io.Reader, out io.Writer) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("read: %w", err)
+		return rep, fmt.Errorf("read: %w", err)
 	}
+	return rep, nil
+}
+
+func writeJSON(out io.Writer, rep Report) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+func run(in io.Reader, out io.Writer) error {
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	return writeJSON(out, rep)
+}
+
+func runMatrix(in io.Reader, out io.Writer) error {
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	rep.Matrix = aggregate(rep.Benchmarks)
+	rep.Speedups = speedups(rep.Matrix)
+	rep.Benchmarks = []Benchmark{} // cells supersede the repeated raw lines
+	return writeJSON(out, rep)
+}
+
+// splitProcs strips the trailing -N GOMAXPROCS suffix `go test` appends
+// to benchmark names (absent at GOMAXPROCS=1).
+func splitProcs(name string) (base string, procs int) {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			return name[:i], n
+		}
+	}
+	return name, 1
+}
+
+// aggregate folds repeated benchmark lines into per-(name, procs) cells,
+// preserving first-appearance order.
+func aggregate(benches []Benchmark) []MatrixCell {
+	type key struct {
+		pkg, name string
+		procs     int
+	}
+	type acc struct {
+		ns             []float64
+		bytes, allocs  int64
+		hasBytes       bool
+		hasAllocsTotal bool
+	}
+	order := []key{}
+	cells := map[key]*acc{}
+	for _, b := range benches {
+		base, procs := splitProcs(b.Name)
+		k := key{pkg: b.Pkg, name: base, procs: procs}
+		a, ok := cells[k]
+		if !ok {
+			a = &acc{}
+			cells[k] = a
+			order = append(order, k)
+		}
+		a.ns = append(a.ns, b.NsPerOp)
+		a.bytes += b.BytesPerOp
+		a.allocs += b.AllocsPerOp
+		a.hasBytes = a.hasBytes || b.BytesPerOp > 0
+		a.hasAllocsTotal = a.hasAllocsTotal || b.AllocsPerOp > 0
+	}
+	out := make([]MatrixCell, 0, len(order))
+	for _, k := range order {
+		a := cells[k]
+		mean, sd, min := stats(a.ns)
+		c := MatrixCell{
+			Name:          k.name,
+			Pkg:           k.pkg,
+			Procs:         k.procs,
+			Samples:       len(a.ns),
+			MeanNsPerOp:   mean,
+			StddevNsPerOp: sd,
+			MinNsPerOp:    min,
+		}
+		if a.hasBytes {
+			c.BytesPerOp = a.bytes / int64(len(a.ns))
+		}
+		if a.hasAllocsTotal {
+			c.AllocsPerOp = a.allocs / int64(len(a.ns))
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// stats returns the mean, sample standard deviation and minimum of xs.
+func stats(xs []float64) (mean, stddev, min float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	min = xs[0]
+	for _, x := range xs {
+		mean += x
+		if x < min {
+			min = x
+		}
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0, min
+	}
+	for _, x := range xs {
+		stddev += (x - mean) * (x - mean)
+	}
+	stddev = math.Sqrt(stddev / float64(len(xs)-1))
+	return mean, stddev, min
+}
+
+// speedups pairs .../sequential and .../parallel cells of the same parent
+// benchmark at the same GOMAXPROCS level into a speedup curve.
+func speedups(cells []MatrixCell) []SpeedupPoint {
+	type key struct {
+		pkg, parent string
+		procs       int
+	}
+	seq := map[key]MatrixCell{}
+	for _, c := range cells {
+		if parent, ok := strings.CutSuffix(c.Name, "/sequential"); ok {
+			seq[key{pkg: c.Pkg, parent: parent, procs: c.Procs}] = c
+		}
+	}
+	var out []SpeedupPoint
+	for _, c := range cells {
+		parent, ok := strings.CutSuffix(c.Name, "/parallel")
+		if !ok {
+			continue
+		}
+		k := key{pkg: c.Pkg, parent: parent, procs: c.Procs}
+		s, ok := seq[k]
+		if !ok || c.MeanNsPerOp <= 0 {
+			continue
+		}
+		out = append(out, SpeedupPoint{
+			Name:               parent,
+			Pkg:                c.Pkg,
+			Procs:              c.Procs,
+			SequentialNsPerOp:  s.MeanNsPerOp,
+			ParallelNsPerOp:    c.MeanNsPerOp,
+			Speedup:            s.MeanNsPerOp / c.MeanNsPerOp,
+			SequentialStddevNs: s.StddevNsPerOp,
+			ParallelStddevNs:   c.StddevNsPerOp,
+			SequentialMinNs:    s.MinNsPerOp,
+			ParallelMinNs:      c.MinNsPerOp,
+		})
+	}
+	return out
+}
+
+// noiseBound returns the slack allowed before "a slower than b" counts as
+// a real regression: two standard deviations of the difference of the
+// means (the stddevs are independent, so they add in quadrature), with a
+// 5% relative floor so single-digit-nanosecond cells and near-identical
+// times cannot flake the gate.
+func noiseBound(refMean, sdA, sdB float64) float64 {
+	noise := 2 * math.Sqrt(sdA*sdA+sdB*sdB)
+	if floor := 0.05 * refMean; noise < floor {
+		noise = floor
+	}
+	return noise
+}
+
+// slowerBeyondNoise reports whether candidate is slower than reference
+// beyond noise. The primary test is on means (candidate mean above the
+// reference mean + 2·stddev bound); it must be CONFIRMED by the
+// min-of-samples exceeding the reference min by >10%, because on a
+// shared/1-CPU host background load inflates means and stddevs of
+// microsecond-scale cells in whichever sub-benchmark it happens to land
+// on, while the min of 10 samples is robust to such spikes — a real
+// slowdown (code doing more work) shifts the min too.
+func slowerBeyondNoise(candMean, candSd, candMin, refMean, refSd, refMin float64) bool {
+	if candMean <= refMean+noiseBound(refMean, refSd, candSd) {
+		return false
+	}
+	return candMin > refMin*1.10
+}
+
+// gateProcs picks the GOMAXPROCS level at which the parallel-vs-
+// sequential invariant is enforced: the largest matrix level that does
+// not exceed the measuring host's hardware concurrency. On a 4-vCPU CI
+// runner that is the 4-proc column; on a 1-CPU dev container it is the
+// 1-proc column, where the parallel entry points degrade to the
+// sequential path and the invariant trivially holds — oversubscribed
+// columns (procs > hardware CPUs) measure scheduler thrash, not the
+// algorithm, and are reported but not gated.
+func gateProcs(levels []int, hostCPUs int) int {
+	best := 0
+	for _, l := range levels {
+		if l <= hostCPUs && l > best {
+			best = l
+		}
+	}
+	if best == 0 { // every level oversubscribes; gate the smallest
+		for _, l := range levels {
+			if best == 0 || l < best {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// runGate enforces the performance invariants on a -matrix report.
+func runGate(resultsPath, baselinePath string, out io.Writer) error {
+	rep, err := loadReport(resultsPath)
+	if err != nil {
+		return err
+	}
+	if len(rep.Matrix) == 0 {
+		return fmt.Errorf("%s has no matrix cells (generate it with bwc-benchjson -matrix)", resultsPath)
+	}
+	var failures []string
+
+	// Invariant 1: parallel must not be slower than sequential beyond
+	// noise at the host's hardware concurrency.
+	levels := map[int]bool{}
+	for _, s := range rep.Speedups {
+		levels[s.Procs] = true
+	}
+	var lvls []int
+	for l := range levels {
+		lvls = append(lvls, l)
+	}
+	gp := gateProcs(lvls, rep.CPUs)
+	fmt.Fprintf(out, "gate: host has %d CPUs; enforcing parallel-vs-sequential at GOMAXPROCS=%d\n", rep.CPUs, gp)
+	for _, s := range rep.Speedups {
+		status := "ok"
+		if s.Procs == gp {
+			if slowerBeyondNoise(s.ParallelNsPerOp, s.ParallelStddevNs, s.ParallelMinNs,
+				s.SequentialNsPerOp, s.SequentialStddevNs, s.SequentialMinNs) {
+				failures = append(failures, fmt.Sprintf(
+					"%s [%s] at %d procs: parallel %.0fns/op (min %.0f) slower than sequential %.0fns/op (min %.0f) beyond noise",
+					s.Name, s.Pkg, s.Procs, s.ParallelNsPerOp, s.ParallelMinNs, s.SequentialNsPerOp, s.SequentialMinNs))
+				status = "FAIL"
+			} else {
+				status = "gated ok"
+			}
+		}
+		fmt.Fprintf(out, "  %-50s procs=%d speedup=%.2fx (seq %.3gms, par %.3gms) %s\n",
+			s.Name, s.Procs, s.Speedup, s.SequentialNsPerOp/1e6, s.ParallelNsPerOp/1e6, status)
+	}
+
+	// Invariant 2: the tracing-off query path must not be slower than
+	// tracing-on beyond noise, at any procs level (a nil span check must
+	// never cost more than live tracing; see internal/runtime bench docs).
+	cellAt := func(suffix string, procs int) *MatrixCell {
+		for i := range rep.Matrix {
+			if strings.HasSuffix(rep.Matrix[i].Name, suffix) && rep.Matrix[i].Procs == procs {
+				return &rep.Matrix[i]
+			}
+		}
+		return nil
+	}
+	tracingSeen := false
+	for _, c := range rep.Matrix {
+		if !strings.HasSuffix(c.Name, "QueryTracingOff") {
+			continue
+		}
+		on := cellAt("QueryTracingOn", c.Procs)
+		if on == nil {
+			continue
+		}
+		tracingSeen = true
+		if slowerBeyondNoise(c.MeanNsPerOp, c.StddevNsPerOp, c.MinNsPerOp,
+			on.MeanNsPerOp, on.StddevNsPerOp, on.MinNsPerOp) {
+			failures = append(failures, fmt.Sprintf(
+				"%s at %d procs: tracing-off %.0fns/op slower than tracing-on %.0fns/op beyond noise",
+				c.Name, c.Procs, c.MeanNsPerOp, on.MeanNsPerOp))
+		} else {
+			fmt.Fprintf(out, "  %-50s procs=%d off %.3gms <= on %.3gms (+noise) ok\n",
+				c.Name, c.Procs, c.MeanNsPerOp/1e6, on.MeanNsPerOp/1e6)
+		}
+	}
+	if !tracingSeen {
+		fmt.Fprintln(out, "  (no QueryTracingOff/On pair in matrix; tracing invariant skipped)")
+	}
+
+	// Baseline diff: warn-only, so hardware drift between runner
+	// generations cannot fail the gate, but regressions stay visible.
+	if baselinePath != "" {
+		base, err := loadReport(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		type key struct {
+			pkg, name string
+			procs     int
+		}
+		baseCells := map[key]MatrixCell{}
+		for _, c := range base.Matrix {
+			baseCells[key{c.Pkg, c.Name, c.Procs}] = c
+		}
+		warned := 0
+		for _, c := range rep.Matrix {
+			b, ok := baseCells[key{c.Pkg, c.Name, c.Procs}]
+			if !ok || b.MeanNsPerOp <= 0 {
+				continue
+			}
+			if ratio := c.MeanNsPerOp / b.MeanNsPerOp; ratio > 1.20 {
+				warned++
+				fmt.Fprintf(os.Stderr, "bwc-benchjson: WARNING: %s [%s] procs=%d regressed %.0f%% vs baseline (%.3gms -> %.3gms)\n",
+					c.Name, c.Pkg, c.Procs, (ratio-1)*100, b.MeanNsPerOp/1e6, c.MeanNsPerOp/1e6)
+			}
+		}
+		fmt.Fprintf(out, "gate: baseline diff vs %s: %d cell(s) regressed >20%% (warn-only)\n", baselinePath, warned)
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("%d invariant violation(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintln(out, "gate: PASS")
+	return nil
 }
 
 // parseBenchLine parses one result line of the form

@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// matrixBenchOutput is what `go test -bench -count 2 -cpu 1,4` emits:
+// every benchmark repeats per count, and per -cpu level with a -N name
+// suffix (absent at GOMAXPROCS=1).
+const matrixBenchOutput = `goos: linux
+goarch: amd64
+pkg: bwcluster/internal/cluster
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkFindClusterParallel/sequential         	     100	   1000000 ns/op	 100 B/op	 10 allocs/op
+BenchmarkFindClusterParallel/parallel           	     100	   1050000 ns/op	 120 B/op	 12 allocs/op
+BenchmarkFindClusterParallel/sequential         	     100	   1020000 ns/op	 100 B/op	 10 allocs/op
+BenchmarkFindClusterParallel/parallel           	     100	   1070000 ns/op	 120 B/op	 12 allocs/op
+BenchmarkFindClusterParallel/sequential-4       	     100	   1010000 ns/op	 100 B/op	 10 allocs/op
+BenchmarkFindClusterParallel/parallel-4         	     100	    400000 ns/op	 150 B/op	 15 allocs/op
+BenchmarkFindClusterParallel/sequential-4       	     100	   1030000 ns/op	 100 B/op	 10 allocs/op
+BenchmarkFindClusterParallel/parallel-4         	     100	    420000 ns/op	 150 B/op	 15 allocs/op
+PASS
+pkg: bwcluster/internal/runtime
+BenchmarkQueryTracingOff-4                      	    1000	    500000 ns/op
+BenchmarkQueryTracingOn-4                       	    1000	    600000 ns/op
+BenchmarkQueryTracingOff-4                      	    1000	    510000 ns/op
+BenchmarkQueryTracingOn-4                       	    1000	    590000 ns/op
+PASS
+`
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		base  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo/sequential-4", "BenchmarkFoo/sequential", 4},
+		{"BenchmarkFoo/sub-case", "BenchmarkFoo/sub-case", 1},
+	} {
+		base, procs := splitProcs(tc.in)
+		if base != tc.base || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = (%q, %d), want (%q, %d)", tc.in, base, procs, tc.base, tc.procs)
+		}
+	}
+}
+
+func TestRunMatrixAggregates(t *testing.T) {
+	var out bytes.Buffer
+	if err := runMatrix(strings.NewReader(matrixBenchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Errorf("matrix mode should drop raw lines, kept %d", len(rep.Benchmarks))
+	}
+	// 4 cluster cells (seq/par x procs 1/4) + 2 tracing cells.
+	if len(rep.Matrix) != 6 {
+		t.Fatalf("got %d matrix cells, want 6: %+v", len(rep.Matrix), rep.Matrix)
+	}
+	c := rep.Matrix[0]
+	if c.Name != "BenchmarkFindClusterParallel/sequential" || c.Procs != 1 || c.Samples != 2 {
+		t.Errorf("cell 0 = %+v", c)
+	}
+	if math.Abs(c.MeanNsPerOp-1010000) > 1 {
+		t.Errorf("mean = %v, want 1010000", c.MeanNsPerOp)
+	}
+	// stddev of {1000000, 1020000} = 20000/sqrt(2) * sqrt(2) = 14142.1...
+	if math.Abs(c.StddevNsPerOp-14142.135) > 1 {
+		t.Errorf("stddev = %v, want ~14142", c.StddevNsPerOp)
+	}
+	if c.MinNsPerOp != 1000000 || c.AllocsPerOp != 10 || c.BytesPerOp != 100 {
+		t.Errorf("cell 0 aux stats = %+v", c)
+	}
+
+	// Speedup curve: 2 points (procs 1 and 4) for the paired benchmark.
+	if len(rep.Speedups) != 2 {
+		t.Fatalf("got %d speedup points, want 2: %+v", len(rep.Speedups), rep.Speedups)
+	}
+	for _, s := range rep.Speedups {
+		if s.Name != "BenchmarkFindClusterParallel" {
+			t.Errorf("speedup name = %q", s.Name)
+		}
+		switch s.Procs {
+		case 1:
+			if s.Speedup > 1 {
+				t.Errorf("procs=1 speedup = %v, want < 1 (overhead)", s.Speedup)
+			}
+		case 4:
+			if s.Speedup < 2 {
+				t.Errorf("procs=4 speedup = %v, want > 2", s.Speedup)
+			}
+		default:
+			t.Errorf("unexpected procs level %d", s.Procs)
+		}
+	}
+}
+
+// writeReport marshals a report to a temp file for gate tests.
+func writeReport(t *testing.T, rep Report) string {
+	t.Helper()
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "results.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func matrixReport(t *testing.T) Report {
+	var out bytes.Buffer
+	if err := runMatrix(strings.NewReader(matrixBenchOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestGatePassesOnHealthyMatrix(t *testing.T) {
+	rep := matrixReport(t)
+	rep.CPUs = 4 // pretend a 4-CPU runner measured this
+	var out bytes.Buffer
+	if err := runGate(writeReport(t, rep), "", &out); err != nil {
+		t.Fatalf("gate failed on healthy matrix: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "GOMAXPROCS=4") {
+		t.Errorf("gate should enforce at 4 procs on a 4-CPU host:\n%s", out.String())
+	}
+}
+
+func TestGateFailsWhenParallelSlowBeyondNoise(t *testing.T) {
+	rep := matrixReport(t)
+	rep.CPUs = 4
+	for i := range rep.Speedups {
+		if rep.Speedups[i].Procs == 4 {
+			// Parallel 2x slower than sequential, far beyond noise, and
+			// the min shifted with it (a real slowdown, not a load spike).
+			rep.Speedups[i].ParallelNsPerOp = 2 * rep.Speedups[i].SequentialNsPerOp
+			rep.Speedups[i].ParallelMinNs = 2 * rep.Speedups[i].SequentialMinNs
+		}
+	}
+	var out bytes.Buffer
+	err := runGate(writeReport(t, rep), "", &out)
+	if err == nil || !strings.Contains(err.Error(), "slower than sequential") {
+		t.Fatalf("gate should fail on parallel regression, got err=%v", err)
+	}
+}
+
+func TestGateFailsWhenTracingOffSlowerThanOn(t *testing.T) {
+	rep := matrixReport(t)
+	rep.CPUs = 4
+	for i := range rep.Matrix {
+		if strings.HasSuffix(rep.Matrix[i].Name, "QueryTracingOff") {
+			rep.Matrix[i].MeanNsPerOp = 2e6 // way above tracing-on's ~595µs
+			rep.Matrix[i].MinNsPerOp = 2e6
+		}
+	}
+	var out bytes.Buffer
+	err := runGate(writeReport(t, rep), "", &out)
+	if err == nil || !strings.Contains(err.Error(), "tracing") {
+		t.Fatalf("gate should fail when tracing-off is slower, got err=%v", err)
+	}
+}
+
+func TestGateToleratesLoadSpikeOnMean(t *testing.T) {
+	rep := matrixReport(t)
+	rep.CPUs = 4
+	for i := range rep.Speedups {
+		if rep.Speedups[i].Procs == 4 {
+			// Background load landed on the parallel sub-benchmark: the
+			// mean blew past the noise bound but the min is untouched.
+			// The gate must not flake on this.
+			rep.Speedups[i].ParallelNsPerOp = 3 * rep.Speedups[i].SequentialNsPerOp
+		}
+	}
+	var out bytes.Buffer
+	if err := runGate(writeReport(t, rep), "", &out); err != nil {
+		t.Fatalf("gate must be robust to mean-only spikes: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateOnOneCPUHostGatesAtProcsOne(t *testing.T) {
+	rep := matrixReport(t)
+	rep.CPUs = 1
+	// Wreck the 4-proc column: oversubscribed columns are reported, not
+	// gated, so this must still pass on a 1-CPU host.
+	for i := range rep.Speedups {
+		if rep.Speedups[i].Procs == 4 {
+			rep.Speedups[i].ParallelNsPerOp = 10 * rep.Speedups[i].SequentialNsPerOp
+		}
+	}
+	var out bytes.Buffer
+	if err := runGate(writeReport(t, rep), "", &out); err != nil {
+		t.Fatalf("1-CPU gate should only enforce procs=1: %v\n%s", err, out.String())
+	}
+}
+
+func TestGateBaselineRegressionWarnsNotFails(t *testing.T) {
+	rep := matrixReport(t)
+	rep.CPUs = 4
+	base := matrixReport(t)
+	for i := range base.Matrix {
+		base.Matrix[i].MeanNsPerOp /= 2 // current run looks 2x slower than baseline
+	}
+	var out bytes.Buffer
+	if err := runGate(writeReport(t, rep), writeReport(t, base), &out); err != nil {
+		t.Fatalf("baseline regressions must warn, not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "regressed >20%") {
+		t.Errorf("gate output should summarize baseline warnings:\n%s", out.String())
+	}
+}
+
+func TestNoiseBoundFloor(t *testing.T) {
+	// Tiny stddevs: the 5% relative floor dominates.
+	if got := noiseBound(1000, 1, 1); math.Abs(got-50) > 1e-9 {
+		t.Errorf("floored noise = %v, want 50", got)
+	}
+	// Large stddevs add in quadrature.
+	if got := noiseBound(1000, 300, 400); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("noise = %v, want 2*sqrt(300^2+400^2) = 1000", got)
+	}
+}

@@ -74,6 +74,11 @@ type Config struct {
 	// APIPathSubstring scopes the api hygiene check: packages whose
 	// import path contains this substring are checked. Empty checks all.
 	APIPathSubstring string
+
+	// FlatPackages are the import paths whose hot paths use flat arena
+	// representations (DESIGN.md §8g); the arenahygiene check bans
+	// pointer-linked node webs and integer-keyed map state there.
+	FlatPackages []string
 }
 
 // DefaultConfig returns the repository's canonical configuration: all
@@ -106,6 +111,10 @@ func DefaultConfig() *Config {
 		InstrumentedPackages: instrumented,
 		TelemetryPath:        mod + "/internal/telemetry",
 		APIPathSubstring:     "/internal/",
+		FlatPackages: []string{
+			mod + "/internal/cluster",
+			mod + "/internal/predtree",
+		},
 	}
 }
 
@@ -186,6 +195,20 @@ func (c *Config) flightScope(pkg *Package) bool {
 	return false
 }
 
+// arenaScope reports whether pkg is subject to flat-arena hygiene (the
+// flat hot-path packages; only the matching fixture).
+func (c *Config) arenaScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "arenahygiene"
+	}
+	for _, p := range c.FlatPackages {
+		if pkg.Path == p {
+			return true
+		}
+	}
+	return false
+}
+
 // apiScope reports whether pkg gets the API hygiene check.
 func (c *Config) apiScope(pkg *Package) bool {
 	if base, ok := fixtureBase(pkg); ok {
@@ -211,6 +234,7 @@ var Checks = []*Check{
 	{Name: "telemetry", Doc: "spans and metrics only via the nil-safe telemetry constructors", Run: runTelemetry},
 	{Name: "flight", Doc: "flight recorders explicitly plumbed; event kinds are compile-time constants", Run: runFlight},
 	{Name: "apihygiene", Doc: "exported identifiers documented; context.Context first", Run: runAPIHygiene},
+	{Name: "arenahygiene", Doc: "flat hot-path packages: no pointer-linked node webs or integer-keyed map fields", Run: runArenaHygiene},
 }
 
 // CheckNames returns the known check names in run order.

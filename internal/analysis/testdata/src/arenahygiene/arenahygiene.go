@@ -1,0 +1,71 @@
+// Package arenahygiene is a bwc-vet fixture: flat hot-path packages keep
+// node state in index-addressed arenas, not pointer-linked node webs or
+// integer-keyed maps.
+package arenahygiene
+
+// treeNode is the classic pointer-linked node: parent and children
+// pointers close a cycle through the type itself.
+type treeNode struct {
+	host     int
+	parent   *treeNode   // want `pointer-connected node web`
+	children []*treeNode // want `pointer-connected node web`
+}
+
+// edgeRec and vertexRec form a mutually recursive web: neither points at
+// itself, but together they do.
+type edgeRec struct {
+	to *vertexRec // want `pointer-connected node web`
+	w  float64
+}
+
+// vertexRec holds its outgoing edges by pointer.
+type vertexRec struct {
+	out []*edgeRec // want `pointer-connected node web`
+}
+
+// hostIndex keeps per-host state in integer-keyed maps: host IDs are
+// small and dense, so these must be slices.
+type hostIndex struct {
+	leaf map[int]int      // want `dense slice`
+	tv   map[int32]string // want `dense slice`
+}
+
+// flatTree is the arena shape the check wants: dense slices indexed by
+// int32 node IDs. No findings here.
+type flatTree struct {
+	verts  []int32
+	offset []float64
+	names  []string
+}
+
+// build allocates one heap object per node — the pattern the arenas
+// replace.
+func build(n int) *treeNode {
+	root := &treeNode{host: 0} // want `allocates treeNode`
+	for i := 1; i < n; i++ {
+		child := new(treeNode) // want `allocates treeNode`
+		child.parent = root
+		child.host = i
+		root.children = append(root.children, child)
+	}
+	return root
+}
+
+// nameTable uses a transient integer-keyed map as a local: fine — only
+// persistent (struct field) state is constrained.
+func nameTable(t *flatTree) map[int32]string {
+	out := make(map[int32]string, len(t.verts))
+	for i, v := range t.verts {
+		out[v] = t.names[i]
+	}
+	return out
+}
+
+var (
+	_ = build
+	_ = nameTable
+	_ = hostIndex{}
+	_ = flatTree{}
+	_ = edgeRec{}
+	_ = vertexRec{}
+)

@@ -39,9 +39,10 @@ func FindCluster(s metric.Space, k int, l float64) ([]int, error) {
 			if s.Dist(p, q) > l {
 				continue
 			}
-			members := Members(s, p, q)
-			if len(members) >= k {
-				return members[:k], nil
+			// Size the candidate set without materializing it: the scan
+			// visits O(n^2) pairs and allocates only for the one answer.
+			if countMembers(s, p, q) >= k {
+				return Members(s, p, q)[:k], nil
 			}
 		}
 	}
@@ -74,6 +75,20 @@ func Members(s metric.Space, p, q int) []int {
 	return members
 }
 
+// countMembers returns |S*pq| without materializing the member slice —
+// the allocation-free form every O(n^3) scan uses, reserving Members for
+// the single qualifying pair that answers a query.
+func countMembers(s metric.Space, p, q int) int {
+	dpq := s.Dist(p, q)
+	count := 0
+	for x, n := 0, s.N(); x < n; x++ {
+		if s.Dist(x, p) <= dpq && s.Dist(x, q) <= dpq {
+			count++
+		}
+	}
+	return count
+}
+
 // MaxClusterSize returns the largest k for which FindCluster(s, k, l)
 // succeeds, together with a witness cluster of that size. Spaces where no
 // pair satisfies d(p,q) <= l yield min(N,1) with a singleton (or nil)
@@ -83,22 +98,21 @@ func MaxClusterSize(s metric.Space, l float64) (int, []int) {
 	if s == nil || s.N() == 0 {
 		return 0, nil
 	}
-	best, witness := 0, []int(nil)
+	best, bp, bq := 0, -1, -1
 	for p := 0; p < s.N(); p++ {
 		for q := p + 1; q < s.N(); q++ {
 			if s.Dist(p, q) > l {
 				continue
 			}
-			members := Members(s, p, q)
-			if len(members) > best {
-				best, witness = len(members), members
+			if c := countMembers(s, p, q); c > best {
+				best, bp, bq = c, p, q
 			}
 		}
 	}
 	if best == 0 {
 		return 1, []int{0}
 	}
-	return best, witness
+	return best, Members(s, bp, bq)
 }
 
 // MaxClusterSizeBinary computes the same maximum via binary search over k
@@ -148,9 +162,8 @@ func MinDiameter(s metric.Space, k int) ([]int, float64, error) {
 		return nil, 0, nil
 	}
 	for _, pr := range sortedPairs(s) {
-		members := Members(s, pr.p, pr.q)
-		if len(members) >= k {
-			return members[:k], pr.d, nil
+		if countMembers(s, int(pr.p), int(pr.q)) >= k {
+			return Members(s, int(pr.p), int(pr.q))[:k], pr.d, nil
 		}
 	}
 	return nil, 0, nil
@@ -211,9 +224,12 @@ func BruteForce(s metric.Space, k int, l float64) ([]int, error) {
 	return rec(0), nil
 }
 
+// pair is one (p, q) candidate with its distance. Node IDs are int32
+// indices into the space — the index never stores pointers, so the whole
+// pair table is one contiguous allocation the GC scans in O(1).
 type pair struct {
-	p, q int
 	d    float64
+	p, q int32
 }
 
 func sortedPairs(s metric.Space) []pair {
@@ -221,7 +237,7 @@ func sortedPairs(s metric.Space) []pair {
 	pairs := make([]pair, 0, n*(n-1)/2)
 	for p := 0; p < n; p++ {
 		for q := p + 1; q < n; q++ {
-			pairs = append(pairs, pair{p: p, q: q, d: s.Dist(p, q)})
+			pairs = append(pairs, pair{p: int32(p), q: int32(q), d: s.Dist(p, q)})
 		}
 	}
 	sort.Slice(pairs, func(i, j int) bool {
@@ -247,10 +263,9 @@ func sortedPairs(s metric.Space) []pair {
 type Index struct {
 	space     metric.Space
 	n         int
-	lexSizes  []int  // |S*pq| indexed p*n+q (p < q)
-	pairs     []pair // sorted ascending by distance, for MaxSize
-	sizes     []int  // |S*pq| aligned with pairs
-	prefixMax []int  // prefixMax[i] = max sizes[0..i]
+	lexSizes  []int32 // |S*pq| indexed p*n+q (p < q); n < 2^31 always holds
+	pairs     []pair  // sorted ascending by distance, for MaxSize
+	prefixMax []int32 // prefixMax[i] = max |S*pq| over pairs[0..i]
 
 	// Memoized (k, l) -> members answers; repeated queries — the serving
 	// pattern, where clients retry the same few (k, b) combinations — are
@@ -272,10 +287,10 @@ func NewIndex(s metric.Space) (*Index, error) {
 		return nil, errNilSpace()
 	}
 	n := s.N()
-	lexSizes := make([]int, n*n)
+	lexSizes := make([]int32, n*n)
 	for p := 0; p < n; p++ {
 		for q := p + 1; q < n; q++ {
-			lexSizes[p*n+q] = len(Members(s, p, q))
+			lexSizes[p*n+q] = int32(countMembers(s, p, q))
 		}
 	}
 	return finishIndex(s, n, lexSizes), nil
@@ -283,20 +298,18 @@ func NewIndex(s metric.Space) (*Index, error) {
 
 // finishIndex derives the sorted-pair tables from the precomputed
 // |S*pq| sizes and assembles the index.
-func finishIndex(s metric.Space, n int, lexSizes []int) *Index {
+func finishIndex(s metric.Space, n int, lexSizes []int32) *Index {
 	pairs := sortedPairs(s)
-	sizes := make([]int, len(pairs))
-	prefixMax := make([]int, len(pairs))
-	running := 0
+	prefixMax := make([]int32, len(pairs))
+	running := int32(0)
 	for i, pr := range pairs {
-		sizes[i] = lexSizes[pr.p*n+pr.q]
-		if sizes[i] > running {
-			running = sizes[i]
+		if sz := lexSizes[int(pr.p)*n+int(pr.q)]; sz > running {
+			running = sz
 		}
 		prefixMax[i] = running
 	}
 	return &Index{
-		space: s, n: n, lexSizes: lexSizes, pairs: pairs, sizes: sizes,
+		space: s, n: n, lexSizes: lexSizes, pairs: pairs,
 		prefixMax: prefixMax, cache: make(map[queryKey][]int),
 	}
 }
@@ -351,7 +364,7 @@ func (ix *Index) MaxSize(l float64) int {
 		}
 		return 1
 	}
-	return ix.prefixMax[last]
+	return int(ix.prefixMax[last])
 }
 
 // Find answers a (k, l) query, returning the same cluster FindCluster
@@ -366,7 +379,7 @@ func (ix *Index) Find(k int, l float64) ([]int, error) {
 	}
 	var members []int
 	last := ix.lastWithin(l)
-	if last >= 0 && ix.prefixMax[last] >= k {
+	if last >= 0 && int(ix.prefixMax[last]) >= k {
 		members = ix.scanFrom(0, k, l)
 	}
 	ix.store(k, l, members)
@@ -379,7 +392,7 @@ func (ix *Index) scanFrom(p0, k int, l float64) []int {
 	for p := p0; p < ix.n; p++ {
 		mScanRows.Inc()
 		for q := p + 1; q < ix.n; q++ {
-			if ix.lexSizes[p*ix.n+q] >= k && ix.space.Dist(p, q) <= l {
+			if int(ix.lexSizes[p*ix.n+q]) >= k && ix.space.Dist(p, q) <= l {
 				return Members(ix.space, p, q)[:k]
 			}
 		}

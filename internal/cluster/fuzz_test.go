@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"bwcluster/internal/testutil"
+)
+
+// FuzzFindClusterRepresentations builds every representation of the
+// Algorithm 1 scan from the same fuzzed metric space — the direct
+// sequential scan, the flat precomputed Index, and both work-stealing
+// parallel variants — and asserts they give identical answers. This is
+// the equivalence backstop for the flat-memory refactor (DESIGN.md §8g):
+// the determinism contract says the FIRST qualifying pair in
+// lexicographic order answers, so the answers must match element for
+// element, not just set-wise.
+func FuzzFindClusterRepresentations(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(64))
+	f.Add(int64(42), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(-7), uint8(255), uint8(128), uint8(200))
+	// Seed 15 draws n = 69 >= minParallelN, so the corpus exercises the
+	// real work-stealing path, not just the small-n sequential fallback.
+	f.Add(int64(15), uint8(7), uint8(50), uint8(100))
+	f.Fuzz(func(t *testing.T, seed int64, kRaw, lPick, noiseRaw uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(70)
+		noise := float64(noiseRaw) / 255 * 0.5
+		m := testutil.NoisyTreeMetric(n, noise, rng)
+		k := 2 + int(kRaw)%(n-1)
+		vals := m.Values()
+		l := vals[int(lPick)%len(vals)]
+
+		direct, err := FindCluster(m, k, l)
+		if err != nil {
+			t.Fatalf("FindCluster: %v", err)
+		}
+		ix, err := NewIndex(m)
+		if err != nil {
+			t.Fatalf("NewIndex: %v", err)
+		}
+		ixPar, err := NewIndexParallel(m, 3)
+		if err != nil {
+			t.Fatalf("NewIndexParallel: %v", err)
+		}
+		check := func(name string, got []int, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if (direct == nil) != (got == nil) || len(direct) != len(got) {
+				t.Fatalf("%s answer %v, direct scan answered %v", name, got, direct)
+			}
+			for i := range direct {
+				if direct[i] != got[i] {
+					t.Fatalf("%s answer %v, direct scan answered %v", name, got, direct)
+				}
+			}
+		}
+		indexed, err := ix.Find(k, l)
+		check("Index.Find", indexed, err)
+		par, err := FindClusterParallel(m, k, l, 3)
+		check("FindClusterParallel", par, err)
+		ixp, err := ixPar.FindParallel(k, l, 3)
+		check("Index.FindParallel (parallel-built index)", ixp, err)
+
+		// The sized-pair tables of both index builds must agree too.
+		if ix.MaxSize(l) != ixPar.MaxSize(l) {
+			t.Fatalf("MaxSize mismatch: sequential index %d, parallel index %d",
+				ix.MaxSize(l), ixPar.MaxSize(l))
+		}
+		sz, _ := MaxClusterSize(m, l)
+		szPar, _ := MaxClusterSizeParallel(m, l, 3)
+		if sz != szPar || sz != ix.MaxSize(l) {
+			t.Fatalf("MaxClusterSize mismatch: direct %d, parallel %d, index %d",
+				sz, szPar, ix.MaxSize(l))
+		}
+	})
+}

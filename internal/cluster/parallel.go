@@ -26,11 +26,43 @@ import (
 // sequential code.
 const minParallelN = 64
 
+// chunkTargetOps sizes the work-stealing chunks: a worker claims enough
+// rows per atomic fetch that the chunk costs roughly this many distance
+// evaluations — about 100µs of work — so the claim counter is touched a
+// few thousand times per second at most, while chunks stay small enough
+// that the triangular scan's shrinking rows cannot strand one worker
+// with a disproportionate tail.
+const chunkTargetOps = 1 << 16
+
+// chunkRows returns how many rows of an n-row triangular pair scan a
+// worker claims per fetch. The average row costs ~n²/2 evaluations
+// (each of the ~n/2 pairs in a row sizes an S*pq in O(n)); the chunk is
+// additionally capped at a fraction of the per-worker share so there are
+// always enough chunks left to steal.
+func chunkRows(n, workers int) int {
+	if n <= 0 || workers <= 0 {
+		return 1
+	}
+	perRow := n * n / 2
+	if perRow < 1 {
+		perRow = 1
+	}
+	chunk := chunkTargetOps / perRow
+	if maxChunk := n / (4 * workers); chunk > maxChunk {
+		chunk = maxChunk
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	return chunk
+}
+
 // Workers normalizes a worker-count knob: values < 1 mean "one worker per
-// CPU", and the count never exceeds n (no point idling goroutines).
+// usable CPU" (GOMAXPROCS, so `go test -cpu` and container CPU limits are
+// respected), and the count never exceeds n (no point idling goroutines).
 func Workers(workers, n int) int {
 	if workers < 1 {
-		workers = runtime.NumCPU()
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if n > 0 && workers > n {
 		workers = n
@@ -45,6 +77,7 @@ func Workers(workers, n int) int {
 // poll abort() in its inner loop: abort reports that a strictly smaller
 // row already hit, making the current row's outcome irrelevant.
 func scanRowsParallel(n, workers int, scan func(p int, abort func() bool) []int) []int {
+	chunk := int64(chunkRows(n, workers))
 	var next atomic.Int64
 	var best atomic.Int64
 	best.Store(int64(n))
@@ -55,31 +88,41 @@ func scanRowsParallel(n, workers int, scan func(p int, abort func() bool) []int)
 		go func() {
 			defer wg.Done()
 			for {
-				p := int(next.Add(1) - 1)
-				if p >= n {
+				lo := next.Add(chunk) - chunk
+				if lo >= int64(n) {
 					return
 				}
-				if int64(p) > best.Load() {
+				hi := lo + chunk
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				if lo > best.Load() {
 					mScanAborts.Inc()
 					return
 				}
-				abort := func() bool { return best.Load() < int64(p) }
-				mScanRows.Inc()
-				out := scan(p, abort)
-				if out == nil && abort() {
-					mScanAborts.Inc()
-				}
-				if out != nil {
-					results[p] = out
-					for {
-						cur := best.Load()
-						if int64(p) >= cur || best.CompareAndSwap(cur, int64(p)) {
-							break
-						}
+				for p := int(lo); p < int(hi); p++ {
+					abort := func() bool { return best.Load() < int64(p) }
+					if abort() {
+						mScanAborts.Inc()
+						return
 					}
-					// Any row this worker could still claim is larger
-					// than p, hence can never win.
-					return
+					mScanRows.Inc()
+					out := scan(p, abort)
+					if out == nil && abort() {
+						mScanAborts.Inc()
+					}
+					if out != nil {
+						results[p] = out
+						for {
+							cur := best.Load()
+							if int64(p) >= cur || best.CompareAndSwap(cur, int64(p)) {
+								break
+							}
+						}
+						// Any row this worker could still claim is larger
+						// than p, hence can never win.
+						return
+					}
 				}
 			}
 		}()
@@ -93,7 +136,10 @@ func scanRowsParallel(n, workers int, scan func(p int, abort func() bool) []int)
 
 // forRowsParallel runs fn(p) for every row p in [0, n) across workers,
 // with no early exit (for work that must cover all rows, like index
-// builds). fn must be safe for concurrent calls on distinct rows.
+// builds). Workers claim chunkRows-sized row ranges from an atomic
+// counter — work stealing at ~100µs granularity — so shards partition
+// the row space dynamically instead of by fixed split. fn must be safe
+// for concurrent calls on distinct rows.
 func forRowsParallel(n, workers int, fn func(p int)) {
 	if workers <= 1 {
 		for p := 0; p < n; p++ {
@@ -101,6 +147,7 @@ func forRowsParallel(n, workers int, fn func(p int)) {
 		}
 		return
 	}
+	chunk := int64(chunkRows(n, workers))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -108,11 +155,17 @@ func forRowsParallel(n, workers int, fn func(p int)) {
 		go func() {
 			defer wg.Done()
 			for {
-				p := int(next.Add(1) - 1)
-				if p >= n {
+				lo := next.Add(chunk) - chunk
+				if lo >= int64(n) {
 					return
 				}
-				fn(p)
+				hi := lo + chunk
+				if hi > int64(n) {
+					hi = int64(n)
+				}
+				for p := int(lo); p < int(hi); p++ {
+					fn(p)
+				}
 			}
 		}()
 	}
@@ -141,8 +194,8 @@ func FindClusterParallel(s metric.Space, k int, l float64, workers int) ([]int, 
 			if s.Dist(p, q) > l {
 				continue
 			}
-			if members := Members(s, p, q); len(members) >= k {
-				return members[:k]
+			if countMembers(s, p, q) >= k {
+				return Members(s, p, q)[:k]
 			}
 		}
 		return nil
@@ -162,31 +215,35 @@ func MaxClusterSizeParallel(s metric.Space, l float64, workers int) (int, []int)
 	if workers == 1 || n < minParallelN {
 		return MaxClusterSize(s, l)
 	}
+	// Per-row winners are (size, q) pairs — flat value types, no member
+	// slices — and only the global winner is materialized at the end.
 	type rowBest struct {
-		size    int
-		members []int
+		size int32
+		q    int32
 	}
 	rows := make([]rowBest, n)
 	forRowsParallel(n, workers, func(p int) {
+		best := rowBest{size: 0, q: -1}
 		for q := p + 1; q < n; q++ {
 			if s.Dist(p, q) > l {
 				continue
 			}
-			if members := Members(s, p, q); len(members) > rows[p].size {
-				rows[p] = rowBest{size: len(members), members: members}
+			if c := int32(countMembers(s, p, q)); c > best.size {
+				best = rowBest{size: c, q: int32(q)}
 			}
 		}
+		rows[p] = best
 	})
-	best, witness := 0, []int(nil)
+	best, bp := rowBest{size: 0, q: -1}, -1
 	for p := 0; p < n; p++ {
-		if rows[p].size > best {
-			best, witness = rows[p].size, rows[p].members
+		if rows[p].size > best.size {
+			best, bp = rows[p], p
 		}
 	}
-	if best == 0 {
+	if best.size == 0 {
 		return 1, []int{0}
 	}
-	return best, witness
+	return int(best.size), Members(s, bp, int(best.q))
 }
 
 // NewIndexParallel builds the same index NewIndex builds, sharding the
@@ -201,10 +258,10 @@ func NewIndexParallel(s metric.Space, workers int) (*Index, error) {
 	if workers == 1 || n < minParallelN {
 		return NewIndex(s)
 	}
-	lexSizes := make([]int, n*n)
+	lexSizes := make([]int32, n*n)
 	forRowsParallel(n, workers, func(p int) {
 		for q := p + 1; q < n; q++ {
-			lexSizes[p*n+q] = len(Members(s, p, q))
+			lexSizes[p*n+q] = int32(countMembers(s, p, q))
 		}
 	})
 	return finishIndex(s, n, lexSizes), nil
@@ -222,7 +279,7 @@ func (ix *Index) FindParallel(k int, l float64, workers int) ([]int, error) {
 		return members, nil
 	}
 	last := ix.lastWithin(l)
-	if last < 0 || ix.prefixMax[last] < k {
+	if last < 0 || int(ix.prefixMax[last]) < k {
 		ix.store(k, l, nil)
 		return nil, nil
 	}
@@ -236,7 +293,7 @@ func (ix *Index) FindParallel(k int, l float64, workers int) ([]int, error) {
 				if abort() {
 					return nil
 				}
-				if ix.lexSizes[p*ix.n+q] >= k && ix.space.Dist(p, q) <= l {
+				if int(ix.lexSizes[p*ix.n+q]) >= k && ix.space.Dist(p, q) <= l {
 					return Members(ix.space, p, q)[:k]
 				}
 			}

@@ -13,9 +13,11 @@ import (
 // embedded its measurements (compare the paper's Fig. 1).
 func (t *Tree) WritePredictionDOT(w io.Writer) error {
 	// Invert tVert for inner-node labels.
-	innerName := make(map[int]string, len(t.tVert))
+	innerName := make(map[int32]string, len(t.tVert))
 	for host, v := range t.tVert {
-		innerName[v] = fmt.Sprintf("t%d", host)
+		if v >= 0 {
+			innerName[v] = fmt.Sprintf("t%d", host)
+		}
 	}
 	var b []byte
 	b = append(b, "graph prediction {\n  node [fontsize=10];\n"...)
@@ -24,18 +26,18 @@ func (t *Tree) WritePredictionDOT(w io.Writer) error {
 			b = append(b, fmt.Sprintf("  v%d [label=\"%d\", shape=box];\n", idx, vert.host)...)
 			continue
 		}
-		name := innerName[idx]
+		name := innerName[int32(idx)]
 		if name == "" {
 			name = fmt.Sprintf("i%d", idx)
 		}
 		b = append(b, fmt.Sprintf("  v%d [label=\"%s\", shape=circle, width=0.2];\n", idx, name)...)
 	}
 	for idx, vert := range t.verts {
-		for _, e := range vert.adj {
-			if e.to < idx {
+		for e := vert.firstEdge; e >= 0; e = t.edges[e].next {
+			if int(t.edges[e].to) < idx {
 				continue // emit each undirected edge once
 			}
-			b = append(b, fmt.Sprintf("  v%d -- v%d [label=\"%.3g\"];\n", idx, e.to, e.w)...)
+			b = append(b, fmt.Sprintf("  v%d -- v%d [label=\"%.3g\"];\n", idx, t.edges[e].to, t.edges[e].w)...)
 		}
 	}
 	b = append(b, "}\n"...)

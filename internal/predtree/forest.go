@@ -11,8 +11,9 @@ import (
 	"bwcluster/internal/metric"
 )
 
-// defaultWorkers is the pool size when the caller does not pin one.
-func defaultWorkers() int { return runtime.NumCPU() }
+// defaultWorkers is the pool size when the caller does not pin one:
+// GOMAXPROCS, so `go test -cpu` and container CPU limits are respected.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Forest is a set of prediction trees over the same hosts, built with
 // different (random) insertion orders, predicting with the median of the
@@ -167,9 +168,9 @@ func (f *Forest) Measurements() int {
 func (f *Forest) DistinctMeasurements() int {
 	union := make(map[int64]struct{})
 	for _, t := range f.trees {
-		for pair := range t.measured {
-			union[pair] = struct{}{}
-		}
+		t.eachMeasuredPair(func(lo, hi int) {
+			union[int64(lo)<<32|int64(hi)] = struct{}{}
+		})
 	}
 	return len(union)
 }

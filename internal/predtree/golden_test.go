@@ -1,0 +1,179 @@
+package predtree
+
+import (
+	"bytes"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bwcluster/internal/testutil"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden wire-format files")
+
+// The golden files under testdata/golden were generated from the
+// pre-arena representation (maps and per-vertex adjacency slices) and pin
+// the gob wire format bit for bit. The arena-backed build must encode
+// byte-identically: the flat representation is an in-memory layout
+// change, never a wire or semantics change (DESIGN.md §8g).
+
+type goldenTreeCase struct {
+	name  string
+	n     int
+	seed  int64
+	noise float64
+	mode  SearchMode
+}
+
+var goldenTreeCases = []goldenTreeCase{
+	{name: "tree_full_n40_seed1", n: 40, seed: 1, noise: 0.2, mode: SearchFull},
+	{name: "tree_anchor_n40_seed2", n: 40, seed: 2, noise: 0.2, mode: SearchAnchor},
+	{name: "tree_anchor_exact_n24_seed5", n: 24, seed: 5, noise: 0, mode: SearchAnchor},
+}
+
+func buildGoldenTree(t *testing.T, tc goldenTreeCase) *Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(tc.seed))
+	o := testutil.NoisyTreeMetric(tc.n, tc.noise, rng)
+	tr, err := Build(o, 100, tc.mode, rng.Perm(tc.n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".gob")
+}
+
+// checkGolden compares blob against the committed golden (or rewrites it
+// under -update-golden).
+func checkGolden(t *testing.T, name string, blob []byte) {
+	t.Helper()
+	path := goldenPath(name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with -update-golden): %v", path, err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("%s: encoding diverged from golden (%d vs %d bytes); the wire format or the deterministic build changed",
+			name, len(blob), len(want))
+	}
+}
+
+// TestGoldenTreeEncoding pins the tree wire bytes for both search modes.
+func TestGoldenTreeEncoding(t *testing.T) {
+	for _, tc := range goldenTreeCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := buildGoldenTree(t, tc)
+			blob, err := tr.GobEncode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.name, blob)
+		})
+	}
+}
+
+// TestGoldenForestEncoding pins the forest wire bytes (three trees built
+// from one split random stream, the BuildForestParallel determinism
+// contract).
+func TestGoldenForestEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	o := testutil.NoisyTreeMetric(32, 0.15, rng)
+	f, err := BuildForest(o, 100, SearchAnchor, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := f.GobEncode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "forest_anchor_n32_seed3", blob)
+}
+
+// TestGoldenRoundTrip decodes every committed golden and re-encodes it:
+// the bytes must survive unchanged, proving the decode path reconstructs
+// every field the encode path reads.
+func TestGoldenRoundTrip(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens being rewritten")
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatalf("read golden dir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no golden files committed")
+	}
+	for _, e := range entries {
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			blob, err := os.ReadFile(filepath.Join("testdata", "golden", name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var re []byte
+			if name == "forest_anchor_n32_seed3.gob" {
+				var f Forest
+				if err := f.GobDecode(blob); err != nil {
+					t.Fatal(err)
+				}
+				if re, err = f.GobEncode(); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				var tr Tree
+				if err := tr.GobDecode(blob); err != nil {
+					t.Fatal(err)
+				}
+				if re, err = tr.GobEncode(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !bytes.Equal(re, blob) {
+				t.Fatalf("%s: re-encode after decode changed the bytes (%d vs %d)", name, len(re), len(blob))
+			}
+		})
+	}
+}
+
+// TestGoldenDecodedSemantics decodes a golden tree and spot-checks that
+// predicted distances agree with a fresh deterministic build — the golden
+// is not just stable bytes but the same embedded geometry.
+func TestGoldenDecodedSemantics(t *testing.T) {
+	if *updateGolden {
+		t.Skip("goldens being rewritten")
+	}
+	tc := goldenTreeCases[1]
+	blob, err := os.ReadFile(goldenPath(tc.name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Tree
+	if err := dec.GobDecode(blob); err != nil {
+		t.Fatal(err)
+	}
+	fresh := buildGoldenTree(t, tc)
+	if dec.Len() != fresh.Len() {
+		t.Fatalf("host count %d vs %d", dec.Len(), fresh.Len())
+	}
+	for u := 0; u < tc.n; u++ {
+		for v := u + 1; v < tc.n; v++ {
+			if d1, d2 := dec.Dist(u, v), fresh.Dist(u, v); d1 != d2 {
+				t.Fatalf("Dist(%d,%d) %v vs %v", u, v, d1, d2)
+			}
+		}
+	}
+}

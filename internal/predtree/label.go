@@ -62,7 +62,7 @@ func (t *Tree) Label(h int) (Label, error) {
 		return Label{}, fmt.Errorf("predtree: host %d not in tree", h)
 	}
 	var chain []LabelEntry
-	for cur := h; cur >= 0; cur = t.anchorParent[cur] {
+	for cur := h; cur >= 0; cur = int(t.anchorParent[cur]) {
 		chain = append(chain, LabelEntry{Host: cur, Offset: t.offset[cur], Pendant: t.pendant[cur]})
 	}
 	// Reverse to root-first order.

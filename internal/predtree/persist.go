@@ -4,17 +4,20 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"sort"
 )
 
 // Wire formats. Everything needed to reconstruct a Tree is flattened into
 // exported fields; the in-memory structure is rebuilt on decode.
 //
-// Maps are persisted as key-sorted entry slices, never as raw Go maps:
-// gob writes maps in iteration order, which Go randomizes, and the
+// Per-host state is persisted as key-sorted entry slices, never as raw Go
+// maps: gob writes maps in iteration order, which Go randomizes, and the
 // repo's determinism invariant (DESIGN.md §8d) requires that identical
 // trees always serialize to identical bytes — snapshots are diffed and
-// content-addressed by the figure pipeline.
+// content-addressed by the figure pipeline. The flat arena representation
+// (DESIGN.md §8g) emits the same entry slices the earlier map-backed
+// representation did — an entry per present host, keys ascending — so
+// snapshots are byte-stable across the refactor (pinned by the golden
+// tests).
 type (
 	edgeWire struct {
 		To      int
@@ -56,89 +59,58 @@ type (
 	}
 )
 
-func sortedIntEntries(m map[int]int) []intEntryWire {
-	out := make([]intEntryWire, 0, len(m))
-	for k, v := range m {
-		out = append(out, intEntryWire{K: k, V: v})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
-	return out
-}
-
-func sortedFloatEntries(m map[int]float64) []floatEntryWire {
-	out := make([]floatEntryWire, 0, len(m))
-	for k, v := range m {
-		out = append(out, floatEntryWire{K: k, V: v})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
-	return out
-}
-
-func sortedIntsEntries(m map[int][]int) []intsEntryWire {
-	out := make([]intsEntryWire, 0, len(m))
-	for k, v := range m {
-		out = append(out, intsEntryWire{K: k, V: v})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
-	return out
-}
-
-func intEntryMap(entries []intEntryWire) map[int]int {
-	m := make(map[int]int, len(entries))
-	for _, e := range entries {
-		m[e.K] = e.V
-	}
-	return m
-}
-
-func floatEntryMap(entries []floatEntryWire) map[int]float64 {
-	m := make(map[int]float64, len(entries))
-	for _, e := range entries {
-		m[e.K] = e.V
-	}
-	return m
-}
-
-func intsEntryMap(entries []intsEntryWire) map[int][]int {
-	m := make(map[int][]int, len(entries))
-	for _, e := range entries {
-		m[e.K] = e.V
-	}
-	return m
-}
-
 // GobEncode implements gob.GobEncoder, making prediction trees
 // persistable (e.g. to avoid re-measuring on restart). Identical trees
 // encode to identical bytes; see the wire-format comment above.
 func (t *Tree) GobEncode() ([]byte, error) {
 	w := treeWire{
-		C:              t.c,
-		Mode:           int(t.mode),
-		Verts:          make([]vertexWire, len(t.verts)),
-		LeafVert:       sortedIntEntries(t.leafVert),
-		TVert:          sortedIntEntries(t.tVert),
-		AnchorParent:   sortedIntEntries(t.anchorParent),
-		AnchorChildren: sortedIntsEntries(t.anchorChildren),
-		Offset:         sortedFloatEntries(t.offset),
-		Pendant:        sortedFloatEntries(t.pendant),
-		Root:           t.root,
-		Order:          t.order,
-		Measurements:   t.measurements,
-		Measured:       make([]int64, 0, len(t.measured)),
+		C:            t.c,
+		Mode:         int(t.mode),
+		Verts:        make([]vertexWire, len(t.verts)),
+		Root:         t.root,
+		Order:        t.order,
+		Measurements: t.measurements,
+		Measured:     make([]int64, 0, t.measuredCount),
 	}
-	for pair := range t.measured {
-		w.Measured = append(w.Measured, pair)
-	}
-	// Sort so identical trees gob-encode to identical bytes; without this
-	// the map iteration order would make snapshots nondeterministic.
-	sort.Slice(w.Measured, func(i, j int) bool { return w.Measured[i] < w.Measured[j] })
 	for i, v := range t.verts {
-		adj := make([]edgeWire, len(v.adj))
-		for j, e := range v.adj {
-			adj[j] = edgeWire{To: e.to, W: e.w, Creator: e.creator}
+		var adj []edgeWire
+		for e := v.firstEdge; e >= 0; e = t.edges[e].next {
+			adj = append(adj, edgeWire{
+				To:      int(t.edges[e].to),
+				W:       t.edges[e].w,
+				Creator: int(t.edges[e].creator),
+			})
 		}
-		w.Verts[i] = vertexWire{Host: v.host, Adj: adj}
+		w.Verts[i] = vertexWire{Host: int(v.host), Adj: adj}
 	}
+	// Host-indexed arrays emit one entry per present host, keys naturally
+	// ascending (the order sorted map entries had). tVert is absent for
+	// the root (its insertion creates no inner node); anchorChildren is
+	// absent for childless hosts; anchorParent carries -1 for the root.
+	for h := 0; h < t.hostCap(); h++ {
+		if t.leafVert[h] < 0 {
+			continue
+		}
+		w.LeafVert = append(w.LeafVert, intEntryWire{K: h, V: int(t.leafVert[h])})
+		if t.tVert[h] >= 0 {
+			w.TVert = append(w.TVert, intEntryWire{K: h, V: int(t.tVert[h])})
+		}
+		w.AnchorParent = append(w.AnchorParent, intEntryWire{K: h, V: int(t.anchorParent[h])})
+		if t.firstChild[h] >= 0 {
+			kids := make([]int, 0, 4)
+			for c := t.firstChild[h]; c >= 0; c = t.nextSibling[c] {
+				kids = append(kids, int(c))
+			}
+			w.AnchorChildren = append(w.AnchorChildren, intsEntryWire{K: h, V: kids})
+		}
+		w.Offset = append(w.Offset, floatEntryWire{K: h, V: t.offset[h]})
+		w.Pendant = append(w.Pendant, floatEntryWire{K: h, V: t.pendant[h]})
+	}
+	// Bitset iteration yields pairs in ascending (lo, hi) order, which is
+	// ascending lo<<32|hi order — the sorted-key order the wire requires.
+	t.eachMeasuredPair(func(lo, hi int) {
+		w.Measured = append(w.Measured, int64(lo)<<32|int64(hi))
+	})
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
 		return nil, fmt.Errorf("predtree: encode tree: %w", err)
@@ -159,32 +131,67 @@ func (t *Tree) GobDecode(b []byte) error {
 	if mode != SearchFull && mode != SearchAnchor {
 		return fmt.Errorf("predtree: decode tree: invalid search mode %d", w.Mode)
 	}
-	verts := make([]vertex, len(w.Verts))
+	// Reset to an empty tree, then rebuild the arenas.
+	*t = Tree{c: w.C, mode: mode, root: w.Root, order: w.Order, measurements: w.Measurements}
+	t.verts = make([]vertex, len(w.Verts))
 	for i, vw := range w.Verts {
-		adj := make([]edge, len(vw.Adj))
-		for j, ew := range vw.Adj {
+		t.verts[i] = vertex{host: int32(vw.Host), firstEdge: nilIdx}
+	}
+	for i, vw := range w.Verts {
+		for _, ew := range vw.Adj {
 			if ew.To < 0 || ew.To >= len(w.Verts) {
 				return fmt.Errorf("predtree: decode tree: edge to %d out of range", ew.To)
 			}
-			adj[j] = edge{to: ew.To, w: ew.W, creator: ew.Creator}
+			t.addHalfEdge(int32(i), int32(ew.To), ew.W, int32(ew.Creator))
 		}
-		verts[i] = vertex{host: vw.Host, adj: adj}
 	}
-	t.c = w.C
-	t.mode = mode
-	t.verts = verts
-	t.leafVert = intEntryMap(w.LeafVert)
-	t.tVert = intEntryMap(w.TVert)
-	t.anchorParent = intEntryMap(w.AnchorParent)
-	t.anchorChildren = intsEntryMap(w.AnchorChildren)
-	t.offset = floatEntryMap(w.Offset)
-	t.pendant = floatEntryMap(w.Pendant)
-	t.root = w.Root
-	t.order = w.Order
-	t.measurements = w.Measurements
-	t.measured = make(map[int64]struct{}, len(w.Measured))
+	maxHost := -1
+	for _, e := range w.LeafVert {
+		if e.K > maxHost {
+			maxHost = e.K
+		}
+	}
 	for _, pair := range w.Measured {
-		t.measured[pair] = struct{}{}
+		if hi := int(pair & 0xffffffff); hi > maxHost {
+			maxHost = hi
+		}
+	}
+	t.ensureHostCap(maxHost + 1)
+	for _, e := range w.LeafVert {
+		if e.K < 0 || e.V < 0 || e.V >= len(t.verts) {
+			return fmt.Errorf("predtree: decode tree: leaf vertex entry (%d,%d) out of range", e.K, e.V)
+		}
+		t.leafVert[e.K] = int32(e.V)
+	}
+	for _, e := range w.TVert {
+		t.tVert[e.K] = int32(e.V)
+	}
+	for _, e := range w.AnchorParent {
+		t.anchorParent[e.K] = int32(e.V)
+	}
+	for _, e := range w.AnchorChildren {
+		for _, c := range e.V {
+			if t.firstChild[e.K] < 0 {
+				t.firstChild[e.K] = int32(c)
+			} else {
+				t.nextSibling[t.lastChild[e.K]] = int32(c)
+			}
+			t.lastChild[e.K] = int32(c)
+		}
+	}
+	for _, e := range w.Offset {
+		t.offset[e.K] = e.V
+	}
+	for _, e := range w.Pendant {
+		t.pendant[e.K] = e.V
+	}
+	for _, pair := range w.Measured {
+		lo, hi := int(pair>>32), int(pair&0xffffffff)
+		bit := lo*t.mstride + hi
+		if t.measured[bit>>6]&(1<<(bit&63)) == 0 {
+			t.measured[bit>>6] |= 1 << (bit & 63)
+			t.measuredCount++
+		}
 	}
 	return nil
 }

@@ -15,6 +15,12 @@
 // creating x's inner node t_x on the tree path z~y at distance (x|y)_z
 // from z, and hanging x off t_x with edge weight (y|z)_x. The host whose
 // insertion created the edge t_x lands on becomes x's *anchor*.
+//
+// Storage is flat (DESIGN.md §8g): vertices and half-edges live in
+// contiguous arenas cross-referenced by int32 indices, per-host state
+// lives in dense host-indexed arrays, and tree walks borrow a pooled
+// scratch arena instead of allocating. The garbage collector sees a
+// handful of slices per tree, never a pointer web.
 package predtree
 
 import (
@@ -49,35 +55,61 @@ type Oracle interface {
 	Dist(i, j int) float64
 }
 
-type edge struct {
-	to      int
+// halfEdge is one direction of an undirected prediction-tree edge. Both
+// directions live in the tree's edge arena; next chains the out-edges of
+// one vertex in insertion order (the order the old per-vertex adjacency
+// slices kept, which the gob wire format exposes).
+type halfEdge struct {
+	to      int32 // destination vertex index
+	next    int32 // next half-edge out of the same vertex, -1 ends the list
+	creator int32 // host whose insertion created this edge
 	w       float64
-	creator int // host whose insertion created this edge
 }
 
+// vertex is one prediction-tree vertex: a leaf (host >= 0) or an inner
+// node (host == -1), with its adjacency list threaded through the edge
+// arena.
 type vertex struct {
-	host int // >= 0 for a leaf vertex, -1 for an inner node
-	adj  []edge
+	host      int32 // >= 0 for a leaf vertex, -1 for an inner node
+	firstEdge int32 // head of the adjacency list, -1 when isolated
 }
+
+// nilIdx is the null value of every int32 index field.
+const nilIdx = int32(-1)
 
 // Tree is a prediction tree plus its anchor tree. The zero value is not
-// usable; construct with New.
+// usable; construct with New. A fully built tree is safe for concurrent
+// read-only use (Dist, Label, DistMatrix, the anchor accessors); Add
+// mutates and must not race with anything.
 type Tree struct {
-	c        float64 // rational-transform constant
-	mode     SearchMode
-	verts    []vertex
-	leafVert map[int]int // host -> vertex index
-	tVert    map[int]int // host -> vertex index of its inner node t_host
+	c    float64 // rational-transform constant
+	mode SearchMode
 
-	anchorParent   map[int]int   // host -> anchor host (root maps to -1)
-	anchorChildren map[int][]int // host -> anchored children, in join order
-	offset         map[int]float64
-	pendant        map[int]float64
-	root           int // first host, -1 while empty
+	verts []vertex   // vertex arena
+	edges []halfEdge // half-edge arena, two per undirected edge
 
-	order        []int              // hosts in insertion order
-	measurements int                // oracle lookups performed during construction
-	measured     map[int64]struct{} // distinct host pairs measured
+	// Host-indexed state, all sized hostCap() and grown together. A host
+	// h is present iff leafVert[h] >= 0; tVert is nilIdx for the root
+	// (whose insertion creates no inner node) and absent hosts.
+	leafVert     []int32
+	tVert        []int32
+	anchorParent []int32 // anchor host, nilIdx for the root and absent hosts
+	firstChild   []int32 // anchored children as a linked list in join order
+	lastChild    []int32
+	nextSibling  []int32
+	offset       []float64
+	pendant      []float64
+
+	root         int   // first host, -1 while empty
+	order        []int // hosts in insertion order
+	measurements int   // oracle lookups performed during construction
+
+	// Distinct measured pairs as a bitset: pair (lo, hi), lo < hi, is bit
+	// lo*mstride+hi. The stride is pinned by the first oracle seen and
+	// regrown (rarely) if a later oracle covers more hosts.
+	measured      []uint64
+	mstride       int
+	measuredCount int
 }
 
 // New returns an empty prediction tree using rational-transform constant c
@@ -89,18 +121,7 @@ func New(c float64, mode SearchMode) (*Tree, error) {
 	if mode != SearchFull && mode != SearchAnchor {
 		return nil, fmt.Errorf("predtree: unknown search mode %d", mode)
 	}
-	return &Tree{
-		c:              c,
-		mode:           mode,
-		leafVert:       make(map[int]int),
-		tVert:          make(map[int]int),
-		anchorParent:   make(map[int]int),
-		anchorChildren: make(map[int][]int),
-		offset:         make(map[int]float64),
-		pendant:        make(map[int]float64),
-		root:           -1,
-		measured:       make(map[int64]struct{}),
-	}, nil
+	return &Tree{c: c, mode: mode, root: -1}, nil
 }
 
 // Build constructs a tree from the oracle by inserting hosts in the given
@@ -135,7 +156,7 @@ func (t *Tree) C() float64 { return t.c }
 func (t *Tree) Root() int { return t.root }
 
 // Len reports the number of hosts in the tree.
-func (t *Tree) Len() int { return len(t.leafVert) }
+func (t *Tree) Len() int { return len(t.order) }
 
 // Hosts returns the hosts in insertion order.
 func (t *Tree) Hosts() []int {
@@ -144,10 +165,12 @@ func (t *Tree) Hosts() []int {
 	return out
 }
 
+// hostCap returns the capacity of the host-indexed arrays.
+func (t *Tree) hostCap() int { return len(t.leafVert) }
+
 // Contains reports whether host h has been added.
 func (t *Tree) Contains(h int) bool {
-	_, ok := t.leafVert[h]
-	return ok
+	return h >= 0 && h < t.hostCap() && t.leafVert[h] >= 0
 }
 
 // Measurements reports how many oracle distance lookups construction has
@@ -158,16 +181,89 @@ func (t *Tree) Measurements() int { return t.measurements }
 // DistinctMeasurements reports how many distinct host pairs construction
 // measured — the real network cost when hosts cache measurement results
 // (out of n(n-1)/2 possible pairs).
-func (t *Tree) DistinctMeasurements() int { return len(t.measured) }
+func (t *Tree) DistinctMeasurements() int { return t.measuredCount }
+
+// ensureHostCap grows the host-indexed arrays (and the measured-pair
+// bitset stride) to cover hosts [0, n).
+func (t *Tree) ensureHostCap(n int) {
+	if n <= t.hostCap() {
+		return
+	}
+	old := t.hostCap()
+	grow32 := func(s []int32) []int32 {
+		out := append(s, make([]int32, n-old)...)
+		for i := old; i < n; i++ {
+			out[i] = nilIdx
+		}
+		return out
+	}
+	t.leafVert = grow32(t.leafVert)
+	t.tVert = grow32(t.tVert)
+	t.anchorParent = grow32(t.anchorParent)
+	t.firstChild = grow32(t.firstChild)
+	t.lastChild = grow32(t.lastChild)
+	t.nextSibling = grow32(t.nextSibling)
+	t.offset = append(t.offset, make([]float64, n-old)...)
+	t.pendant = append(t.pendant, make([]float64, n-old)...)
+	t.growMeasured(n)
+}
+
+// growMeasured re-strides the measured-pair bitset to cover hosts [0, n).
+func (t *Tree) growMeasured(n int) {
+	if n <= t.mstride {
+		return
+	}
+	fresh := make([]uint64, (n*n+63)/64)
+	if t.measuredCount > 0 {
+		for lo := 0; lo < t.mstride; lo++ {
+			for hi := lo + 1; hi < t.mstride; hi++ {
+				if t.pairSet(lo, hi) {
+					bit := lo*n + hi
+					fresh[bit>>6] |= 1 << (bit & 63)
+				}
+			}
+		}
+	}
+	t.measured = fresh
+	t.mstride = n
+}
+
+func (t *Tree) pairSet(lo, hi int) bool {
+	bit := lo*t.mstride + hi
+	return t.measured[bit>>6]&(1<<(bit&63)) != 0
+}
 
 func (t *Tree) measure(o Oracle, a, b int) float64 {
 	t.measurements++
-	lo, hi := int64(a), int64(b)
+	lo, hi := a, b
 	if lo > hi {
 		lo, hi = hi, lo
 	}
-	t.measured[lo<<32|hi] = struct{}{}
+	if hi >= t.mstride {
+		t.growMeasured(hi + 1)
+	}
+	bit := lo*t.mstride + hi
+	if t.measured[bit>>6]&(1<<(bit&63)) == 0 {
+		t.measured[bit>>6] |= 1 << (bit & 63)
+		t.measuredCount++
+	}
 	return o.Dist(a, b)
+}
+
+// eachMeasuredPair calls f for every distinct measured pair in ascending
+// (lo, hi) order — which is also ascending lo<<32|hi order, the order the
+// wire format requires.
+func (t *Tree) eachMeasuredPair(f func(lo, hi int)) {
+	if t.measuredCount == 0 {
+		return
+	}
+	for lo := 0; lo < t.mstride; lo++ {
+		for hi := lo + 1; hi < t.mstride; hi++ {
+			if t.pairSet(lo, hi) {
+				f(lo, hi)
+			}
+		}
+	}
 }
 
 // Add inserts host h using measured distances from o.
@@ -175,22 +271,26 @@ func (t *Tree) Add(h int, o Oracle) error {
 	if h < 0 || h >= o.N() {
 		return fmt.Errorf("predtree: host %d out of oracle range [0,%d)", h, o.N())
 	}
+	t.ensureHostCap(o.N())
 	if t.Contains(h) {
 		return fmt.Errorf("predtree: host %d already present", h)
 	}
 	if t.root == -1 {
-		t.verts = append(t.verts, vertex{host: h})
+		t.verts = append(t.verts, vertex{host: int32(h), firstEdge: nilIdx})
 		t.leafVert[h] = 0
 		t.root = h
-		t.anchorParent[h] = -1
+		t.anchorParent[h] = nilIdx
 		t.offset[h] = 0
 		t.pendant[h] = 0
 		t.order = append(t.order, h)
 		return nil
 	}
 
+	sc := getScratch(len(t.verts) + 2)
+	defer putScratch(sc)
+
 	z, dzx := t.findBase(h, o)
-	y, gp := t.findEndNode(h, z, dzx, o)
+	y, gp := t.findEndNode(h, z, dzx, o, sc)
 
 	// The inner node t_x lies on the geodesic from z to x, so geometry
 	// bounds the Gromov product by d(z,x) and fixes the pendant to
@@ -201,14 +301,14 @@ func (t *Tree) Add(h int, o Oracle) error {
 	if gp > dzx {
 		gp = dzx
 	}
-	tx, gActual := t.splitAt(z, y, gp, h)
+	tx, gActual := t.splitAt(z, y, gp, h, sc)
 	pend := dzx - gActual
 	if pend < 0 {
 		pend = 0
 	}
-	lx := len(t.verts)
-	t.verts = append(t.verts, vertex{host: h})
-	t.connect(lx, tx, pend, h)
+	lx := int32(len(t.verts))
+	t.verts = append(t.verts, vertex{host: int32(h), firstEdge: nilIdx})
+	t.connect(lx, tx, pend, int32(h))
 	t.leafVert[h] = lx
 	t.tVert[h] = tx
 	t.pendant[h] = pend
@@ -241,9 +341,9 @@ func (t *Tree) findBase(x int, o Oracle) (z int, dzx float64) {
 		cur, curD := t.root, t.measure(o, t.root, x)
 		for {
 			next, nextD := cur, curD
-			for _, child := range t.anchorChildren[cur] {
-				if d := t.measure(o, child, x); d < nextD {
-					next, nextD = child, d
+			for child := t.firstChild[cur]; child >= 0; child = t.nextSibling[child] {
+				if d := t.measure(o, int(child), x); d < nextD {
+					next, nextD = int(child), d
 				}
 			}
 			if next == cur {
@@ -256,7 +356,7 @@ func (t *Tree) findBase(x int, o Oracle) (z int, dzx float64) {
 
 // findEndNode picks the end node y maximizing (x|y)_z and returns it along
 // with the maximal Gromov product. dzx is the pre-measured d(z,x).
-func (t *Tree) findEndNode(x, z int, dzx float64, o Oracle) (y int, gp float64) {
+func (t *Tree) findEndNode(x, z int, dzx float64, o Oracle, sc *scratch) (y int, gp float64) {
 	grom := func(cand int) float64 {
 		if cand == z {
 			return 0
@@ -288,37 +388,52 @@ func (t *Tree) findEndNode(x, z int, dzx float64, o Oracle) (y int, gp float64) 
 		// coincide), hence the tolerance and the exploration of all
 		// neighbors that meet it. Exact on tree metrics; a heuristic
 		// (like the prior work's) on noisy data.
+		//
+		// d_T(z, ·) is needed for every hang point the walk reaches, so
+		// one BFS from z fills the scratch distance table up front —
+		// replacing the per-neighbor path walks the pointer version did
+		// (identical floats: a tree path is unique and both accumulate
+		// weights in root-to-leaf order).
 		const relTol = 1e-7
 		best, bestG := z, 0.0
 		type frame struct {
-			host, from int
+			host, from int32
 		}
-		stack := []frame{{host: z, from: -1}}
 		zv := t.leafVert[z]
+		t.distancesFrom(zv, sc)
+		stack := make([]frame, 0, 32)
+		stack = append(stack, frame{host: int32(z), from: nilIdx})
 		for len(stack) > 0 {
 			cur := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			for _, nb := range t.anchorNeighborsAll(cur.host) {
-				if nb == cur.from {
-					continue
-				}
-				g := grom(nb)
+			visit := func(nb int32) {
+				g := grom(int(nb))
 				if g > bestG {
-					best, bestG = nb, g
+					best, bestG = int(nb), g
 				}
 				hangHost := nb // descending: region hangs at t_nb
 				if nb == t.anchorParent[cur.host] {
 					hangHost = cur.host // climbing: region hangs at t_cur
 				}
-				hv, ok := t.tVert[hangHost]
-				if !ok {
+				hv := t.tVert[hangHost]
+				if hv < 0 {
 					// hangHost is the tree root (no inner node): its
 					// "pendant" is the root point itself.
 					hv = t.leafVert[hangHost]
 				}
-				reach := t.vertDist(zv, hv)
+				reach := sc.dist[hv]
 				if g >= reach-relTol*(1+math.Abs(reach)) {
 					stack = append(stack, frame{host: nb, from: cur.host})
+				}
+			}
+			// Parent first, then children in join order — the neighbor
+			// order AnchorNeighbors documents.
+			if p := t.anchorParent[cur.host]; p >= 0 && p != cur.from {
+				visit(p)
+			}
+			for c := t.firstChild[cur.host]; c >= 0; c = t.nextSibling[c] {
+				if c != cur.from {
+					visit(c)
 				}
 			}
 		}
@@ -333,17 +448,17 @@ func (t *Tree) findEndNode(x, z int, dzx float64, o Oracle) (y int, gp float64) 
 // z to leaf y at distance g from z (clamped to the path), records
 // newHost's anchor, and returns the vertex index of t_x together with the
 // actual placement distance from z after clamping.
-func (t *Tree) splitAt(z, y int, g float64, newHost int) (tx int, gActual float64) {
+func (t *Tree) splitAt(z, y int, g float64, newHost int, sc *scratch) (tx int32, gActual float64) {
 	zv := t.leafVert[z]
 	if y == z {
 		// Degenerate path: t_x coincides with z.
-		tx = len(t.verts)
-		t.verts = append(t.verts, vertex{host: -1})
-		t.connect(tx, zv, 0, newHost)
+		tx = int32(len(t.verts))
+		t.verts = append(t.verts, vertex{host: -1, firstEdge: nilIdx})
+		t.connect(tx, zv, 0, int32(newHost))
 		t.setAnchor(newHost, z, 0) // t_x coincides with z
 		return tx, 0
 	}
-	path, weights := t.path(zv, t.leafVert[y])
+	path, weights := t.path(zv, t.leafVert[y], sc)
 	total := 0.0
 	for _, w := range weights {
 		total += w
@@ -368,125 +483,185 @@ func (t *Tree) splitAt(z, y int, g float64, newHost int) (tx int, gActual float6
 			}
 			creator := t.edgeCreator(u, v)
 			tx = t.subdivide(u, v, offsetOnEdge)
-			t.setAnchor(newHost, creator, t.distToHost(tx, creator))
+			t.setAnchor(newHost, int(creator), t.distToHost(tx, int(creator), sc))
 			return tx, cum + offsetOnEdge
 		}
 		cum += weights[i]
 	}
 	// Unreachable: the loop always returns on the last edge.
-	return -1, 0
+	return nilIdx, 0
 }
 
 func (t *Tree) setAnchor(child, parent int, off float64) {
-	t.anchorParent[child] = parent
-	t.anchorChildren[parent] = append(t.anchorChildren[parent], child)
+	t.anchorParent[child] = int32(parent)
+	if t.firstChild[parent] < 0 {
+		t.firstChild[parent] = int32(child)
+	} else {
+		t.nextSibling[t.lastChild[parent]] = int32(child)
+	}
+	t.lastChild[parent] = int32(child)
 	t.offset[child] = off
 }
 
 // subdivide splits edge (u,v) at distance off from u with a fresh inner
 // vertex and returns its index. Both halves keep the original creator.
-func (t *Tree) subdivide(u, v int, off float64) int {
+func (t *Tree) subdivide(u, v int32, off float64) int32 {
 	w, creator, ok := t.removeEdge(u, v)
 	if !ok {
-		return -1
+		return nilIdx
 	}
-	tx := len(t.verts)
-	t.verts = append(t.verts, vertex{host: -1})
+	tx := int32(len(t.verts))
+	t.verts = append(t.verts, vertex{host: -1, firstEdge: nilIdx})
 	t.connect(u, tx, off, creator)
 	t.connect(tx, v, w-off, creator)
 	return tx
 }
 
-func (t *Tree) connect(a, b int, w float64, creator int) {
-	t.verts[a].adj = append(t.verts[a].adj, edge{to: b, w: w, creator: creator})
-	t.verts[b].adj = append(t.verts[b].adj, edge{to: a, w: w, creator: creator})
+// addHalfEdge appends a half-edge from a to b at the tail of a's
+// adjacency list, preserving insertion order (the order the wire format
+// serializes).
+func (t *Tree) addHalfEdge(a, b int32, w float64, creator int32) {
+	idx := int32(len(t.edges))
+	t.edges = append(t.edges, halfEdge{to: b, next: nilIdx, creator: creator, w: w})
+	if t.verts[a].firstEdge < 0 {
+		t.verts[a].firstEdge = idx
+		return
+	}
+	e := t.verts[a].firstEdge
+	for t.edges[e].next >= 0 {
+		e = t.edges[e].next
+	}
+	t.edges[e].next = idx
 }
 
-func (t *Tree) removeEdge(u, v int) (w float64, creator int, ok bool) {
-	drop := func(a, b int) (float64, int, bool) {
-		adj := t.verts[a].adj
-		for i, e := range adj {
-			if e.to == b {
-				t.verts[a].adj = append(adj[:i], adj[i+1:]...)
-				return e.w, e.creator, true
+func (t *Tree) connect(a, b int32, w float64, creator int32) {
+	t.addHalfEdge(a, b, w, creator)
+	t.addHalfEdge(b, a, w, creator)
+}
+
+// dropHalfEdge unlinks the half-edge a->b. The arena slot is orphaned,
+// not reused: each insertion subdivides at most one edge, so the waste is
+// bounded by a small constant per host.
+func (t *Tree) dropHalfEdge(a, b int32) (w float64, creator int32, ok bool) {
+	prev := nilIdx
+	for e := t.verts[a].firstEdge; e >= 0; e = t.edges[e].next {
+		if t.edges[e].to == b {
+			if prev < 0 {
+				t.verts[a].firstEdge = t.edges[e].next
+			} else {
+				t.edges[prev].next = t.edges[e].next
 			}
+			return t.edges[e].w, t.edges[e].creator, true
 		}
-		return 0, 0, false
+		prev = e
 	}
-	w, creator, ok = drop(u, v)
+	return 0, 0, false
+}
+
+func (t *Tree) removeEdge(u, v int32) (w float64, creator int32, ok bool) {
+	w, creator, ok = t.dropHalfEdge(u, v)
 	if !ok {
 		return 0, 0, false
 	}
-	drop(v, u)
+	t.dropHalfEdge(v, u)
 	return w, creator, true
 }
 
-func (t *Tree) edgeCreator(u, v int) int {
-	for _, e := range t.verts[u].adj {
-		if e.to == v {
-			return e.creator
+func (t *Tree) edgeCreator(u, v int32) int32 {
+	for e := t.verts[u].firstEdge; e >= 0; e = t.edges[e].next {
+		if t.edges[e].to == v {
+			return t.edges[e].creator
 		}
 	}
-	return -1
+	return nilIdx
 }
 
-// path returns the vertex sequence and per-edge weights from vertex a to
-// vertex b via breadth-first search.
-func (t *Tree) path(a, b int) (verts []int, weights []float64) {
+// path fills sc.pathVerts/sc.pathWeights with the vertex sequence and
+// per-edge weights from vertex a to vertex b via breadth-first search and
+// returns them. The slices belong to the scratch arena and are valid
+// until its next path call.
+func (t *Tree) path(a, b int32, sc *scratch) (verts []int32, weights []float64) {
+	sc.pathVerts = sc.pathVerts[:0]
+	sc.pathWeights = sc.pathWeights[:0]
 	if a == b {
-		return []int{a}, nil
+		sc.pathVerts = append(sc.pathVerts, a)
+		return sc.pathVerts, nil
 	}
-	prev := make([]int, len(t.verts))
-	for i := range prev {
-		prev[i] = -2
-	}
-	prev[a] = -1
-	queue := []int{a}
-	for len(queue) > 0 && prev[b] == -2 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, e := range t.verts[cur].adj {
-			if prev[e.to] == -2 {
-				prev[e.to] = cur
-				queue = append(queue, e.to)
+	epoch := sc.nextEpoch()
+	sc.mark[a] = epoch
+	sc.prevVert[a] = nilIdx
+	queue := sc.queue[:0]
+	queue = append(queue, a)
+	found := false
+	for head := 0; head < len(queue) && !found; head++ {
+		cur := queue[head]
+		for e := t.verts[cur].firstEdge; e >= 0; e = t.edges[e].next {
+			to := t.edges[e].to
+			if sc.mark[to] == epoch {
+				continue
 			}
-		}
-	}
-	if prev[b] == -2 {
-		return nil, nil
-	}
-	for v := b; v != -1; v = prev[v] {
-		verts = append(verts, v)
-	}
-	// Reverse into a->b order.
-	for i, j := 0, len(verts)-1; i < j; i, j = i+1, j-1 {
-		verts[i], verts[j] = verts[j], verts[i]
-	}
-	weights = make([]float64, len(verts)-1)
-	for i := 0; i+1 < len(verts); i++ {
-		for _, e := range t.verts[verts[i]].adj {
-			if e.to == verts[i+1] {
-				weights[i] = e.w
+			sc.mark[to] = epoch
+			sc.prevVert[to] = cur
+			sc.prevEdge[to] = e
+			if to == b {
+				found = true
 				break
 			}
+			queue = append(queue, to)
 		}
 	}
-	return verts, weights
+	sc.queue = queue[:0]
+	if !found {
+		return nil, nil
+	}
+	for v := b; v != nilIdx; v = sc.prevVert[v] {
+		sc.pathVerts = append(sc.pathVerts, v)
+	}
+	// Reverse into a->b order.
+	pv := sc.pathVerts
+	for i, j := 0, len(pv)-1; i < j; i, j = i+1, j-1 {
+		pv[i], pv[j] = pv[j], pv[i]
+	}
+	for i := 1; i < len(pv); i++ {
+		sc.pathWeights = append(sc.pathWeights, t.edges[sc.prevEdge[pv[i]]].w)
+	}
+	return pv, sc.pathWeights
 }
 
-// vertDist returns the tree distance between two vertex indices.
-func (t *Tree) vertDist(a, b int) float64 {
-	_, weights := t.path(a, b)
-	sum := 0.0
-	for _, w := range weights {
-		sum += w
+// vertDist returns the tree distance between two vertex indices,
+// accumulating edge weights in path order from a (the same float
+// association the explicit path walk used).
+func (t *Tree) vertDist(a, b int32, sc *scratch) float64 {
+	if a == b {
+		return 0
 	}
-	return sum
+	epoch := sc.nextEpoch()
+	sc.mark[a] = epoch
+	sc.dist[a] = 0
+	queue := sc.queue[:0]
+	queue = append(queue, a)
+	defer func() { sc.queue = queue[:0] }()
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for e := t.verts[cur].firstEdge; e >= 0; e = t.edges[e].next {
+			to := t.edges[e].to
+			if sc.mark[to] == epoch {
+				continue
+			}
+			sc.mark[to] = epoch
+			sc.dist[to] = sc.dist[cur] + t.edges[e].w
+			if to == b {
+				return sc.dist[to]
+			}
+			queue = append(queue, to)
+		}
+	}
+	return math.Inf(1)
 }
 
 // distToHost returns the tree distance from vertex v to host h's leaf.
-func (t *Tree) distToHost(v, h int) float64 {
-	return t.vertDist(v, t.leafVert[h])
+func (t *Tree) distToHost(v int32, h int, sc *scratch) float64 {
+	return t.vertDist(v, t.leafVert[h], sc)
 }
 
 // Dist returns the predicted (embedded) distance d_T between hosts u and v.
@@ -500,12 +675,12 @@ func (t *Tree) Dist(u, v int) float64 {
 		// function exactly symmetric.
 		u, v = v, u
 	}
-	vu, ok1 := t.leafVert[u]
-	vv, ok2 := t.leafVert[v]
-	if !ok1 || !ok2 {
+	if !t.Contains(u) || !t.Contains(v) {
 		return math.Inf(1)
 	}
-	return t.vertDist(vu, vv)
+	sc := getScratch(len(t.verts))
+	defer putScratch(sc)
+	return t.vertDist(t.leafVert[u], t.leafVert[v], sc)
 }
 
 // PredictBandwidth returns the predicted bandwidth BW_T(u,v) = C / d_T(u,v).
@@ -524,51 +699,59 @@ func (t *Tree) PredictBandwidth(u, v int) float64 {
 func (t *Tree) DistMatrix() (*metric.Matrix, []int) {
 	hosts := t.Hosts()
 	m := metric.NewMatrix(len(hosts))
+	sc := getScratch(len(t.verts))
+	defer putScratch(sc)
 	for i := range hosts {
-		dists := t.distancesFromVert(t.leafVert[hosts[i]])
+		t.distancesFrom(t.leafVert[hosts[i]], sc)
 		for j := i + 1; j < len(hosts); j++ {
-			m.Set(i, j, dists[t.leafVert[hosts[j]]])
+			m.Set(i, j, sc.dist[t.leafVert[hosts[j]]])
 		}
 	}
 	return m, hosts
 }
 
-// distancesFromVert runs a single-source weighted BFS (the graph is a
-// tree) and returns distances to every vertex.
-func (t *Tree) distancesFromVert(src int) []float64 {
-	dist := make([]float64, len(t.verts))
-	seen := make([]bool, len(t.verts))
-	seen[src] = true
-	queue := []int{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, e := range t.verts[cur].adj {
-			if !seen[e.to] {
-				seen[e.to] = true
-				dist[e.to] = dist[cur] + e.w
-				queue = append(queue, e.to)
+// distancesFrom runs a single-source weighted BFS (the graph is a tree)
+// filling sc.dist for every vertex reachable from src; sc.mark/sc.epoch
+// identify which entries are valid.
+func (t *Tree) distancesFrom(src int32, sc *scratch) {
+	epoch := sc.nextEpoch()
+	sc.mark[src] = epoch
+	sc.dist[src] = 0
+	queue := sc.queue[:0]
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for e := t.verts[cur].firstEdge; e >= 0; e = t.edges[e].next {
+			to := t.edges[e].to
+			if sc.mark[to] == epoch {
+				continue
 			}
+			sc.mark[to] = epoch
+			sc.dist[to] = sc.dist[cur] + t.edges[e].w
+			queue = append(queue, to)
 		}
 	}
-	return dist
+	sc.queue = queue[:0]
 }
 
 // AnchorParent returns host h's anchor (its parent in the anchor tree), or
 // -1 for the root or an unknown host.
 func (t *Tree) AnchorParent(h int) int {
-	p, ok := t.anchorParent[h]
-	if !ok {
+	if h < 0 || h >= t.hostCap() {
 		return -1
 	}
-	return p
+	return int(t.anchorParent[h])
 }
 
 // AnchorChildren returns the hosts anchored at h, in join order.
 func (t *Tree) AnchorChildren(h int) []int {
-	kids := t.anchorChildren[h]
-	out := make([]int, len(kids))
-	copy(out, kids)
+	var out []int
+	if h < 0 || h >= t.hostCap() {
+		return out
+	}
+	for c := t.firstChild[h]; c >= 0; c = t.nextSibling[c] {
+		out = append(out, int(c))
+	}
 	return out
 }
 
@@ -580,18 +763,13 @@ func (t *Tree) AnchorNeighbors(h int) []int {
 	if p := t.AnchorParent(h); p >= 0 {
 		out = append(out, p)
 	}
-	return append(out, t.AnchorChildren(h)...)
-}
-
-// anchorNeighborsAll is the allocation-light internal variant of
-// AnchorNeighbors used by the insertion search.
-func (t *Tree) anchorNeighborsAll(h int) []int {
-	kids := t.anchorChildren[h]
-	out := make([]int, 0, len(kids)+1)
-	if p, ok := t.anchorParent[h]; ok && p >= 0 {
-		out = append(out, p)
+	if h < 0 || h >= t.hostCap() {
+		return out
 	}
-	return append(out, kids...)
+	for c := t.firstChild[h]; c >= 0; c = t.nextSibling[c] {
+		out = append(out, int(c))
+	}
+	return out
 }
 
 // AnchorDepth returns the number of anchor-tree hops from the root to h.
@@ -626,7 +804,10 @@ func (t *Tree) AnchorStats() AnchorStats {
 		if d > s.MaxDepth {
 			s.MaxDepth = d
 		}
-		deg := len(t.anchorChildren[h])
+		deg := 0
+		for c := t.firstChild[h]; c >= 0; c = t.nextSibling[c] {
+			deg++
+		}
 		if t.anchorParent[h] >= 0 {
 			deg++
 		}

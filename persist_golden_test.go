@@ -1,0 +1,57 @@
+package bwcluster
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden snapshot file")
+
+// TestGoldenSystemSnapshot pins the full wireVersion-2 System snapshot
+// bit for bit. The golden was generated before the flat-arena refactor of
+// internal/predtree; the arena build must keep producing the identical
+// snapshot, because snapshots are diffed and content-addressed by the
+// figure pipeline (DESIGN.md §8d) and replicated between serving shards.
+func TestGoldenSystemSnapshot(t *testing.T) {
+	path := filepath.Join("testdata", "golden_system_v2.gob")
+	raw := sampleBandwidth(t, 30, 11)
+	sys, err := New(raw, WithSeed(3), WithNCut(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := sys.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (regenerate with -update-golden): %v", path, err)
+	}
+	if !bytes.Equal(blob, want) {
+		t.Fatalf("system snapshot diverged from golden (%d vs %d bytes)", len(blob), len(want))
+	}
+	// The golden must load and re-save to the identical bytes.
+	restored, err := LoadBytes(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := restored.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, want) {
+		t.Fatal("save after load changed the snapshot bytes")
+	}
+}

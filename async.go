@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bwcluster/internal/membership"
 	"bwcluster/internal/metric"
 	"bwcluster/internal/runtime"
 	"bwcluster/internal/telemetry"
@@ -41,6 +42,13 @@ func (s *System) AsyncRuntime(tick time.Duration) (*AsyncRuntime, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: async runtime: %w", err)
 	}
+	// Liveness tracking is always on (it is a read-only observer of the
+	// gossip-age watermarks the health monitor already keeps), but a
+	// serving runtime never auto-evicts: a dead declaration is reported
+	// on /v1/membership, and the operator decides.
+	if _, err := rt.AttachMembership(membership.Config{}, false); err != nil {
+		return nil, fmt.Errorf("bwcluster: async runtime: %w", err)
+	}
 	flight := telemetry.NewFlightRecorder(0)
 	rt.SetFlight(flight)
 	rt.Start()
@@ -60,6 +68,14 @@ func (a *AsyncRuntime) Health() runtime.Health { return a.rt.Health() }
 
 // Converged reports the convergence monitor's current verdict.
 func (a *AsyncRuntime) Converged() bool { return a.rt.Converged() }
+
+// Membership returns a point-in-time snapshot of the liveness tracker:
+// per-host status (alive, suspect after a quiet window, dead past the
+// death threshold, left), the membership epoch, and the recent
+// join/leave/fail/suspect/recover event log. Served on /v1/membership.
+func (a *AsyncRuntime) Membership() membership.Snapshot {
+	return a.rt.Membership().Snapshot()
+}
 
 // Flight returns the runtime's flight recorder — the bounded black-box
 // ring of structured overlay events (hops, drops, staleness episodes,

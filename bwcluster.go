@@ -240,7 +240,7 @@ func New(bandwidth [][]float64, opts ...Option) (*System, error) {
 			pred.Set(hosts[i], hosts[j], dm.Dist(i, j))
 		}
 	}
-	treeIdx, err := cluster.NewIndexParallel(pred, workers)
+	treeIdx, err := cluster.NewIndexParallelAt(pred, workers, forest.Epoch())
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: %w", err)
 	}

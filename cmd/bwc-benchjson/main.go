@@ -19,8 +19,11 @@
 // parallel variants must not be slower than their sequential siblings
 // beyond noise (mean + 2·stddev of the difference, with a 5% relative
 // floor, confirmed by the min-of-samples — see slowerBeyondNoise) at the
-// host's hardware concurrency, and the tracing-off query path must not
-// be slower than tracing-on beyond the same noise bound.
+// host's hardware concurrency, the tracing-off query path must not
+// be slower than tracing-on beyond the same noise bound, and
+// incremental forest repair (remove + re-add of one host) must stay at
+// least 10x cheaper than rebuilding the forest from scratch — the
+// economics that justify churn-native membership (DESIGN.md §8h).
 // An optional -baseline FILE diffs cell means against a committed
 // report and WARNS (never fails) on >20% regressions, so drift is
 // visible in CI logs without making the gate flaky across runner
@@ -447,6 +450,37 @@ func runGate(resultsPath, baselinePath string, out io.Writer) error {
 	}
 	if !tracingSeen {
 		fmt.Fprintln(out, "  (no QueryTracingOff/On pair in matrix; tracing invariant skipped)")
+	}
+
+	// Invariant 3: incremental forest repair must beat a from-scratch
+	// rebuild by at least 10x, at every procs level where both cells
+	// exist. The real margin is over two orders of magnitude (see
+	// internal/predtree BenchmarkIncrementalRemoveAdd), so a 10x floor
+	// is far outside noise — if it trips, Remove has regressed to
+	// rebuild-scale work and churn-native membership lost its point.
+	const repairFloor = 10.0
+	repairSeen := false
+	for _, c := range rep.Matrix {
+		if !strings.HasSuffix(c.Name, "IncrementalRemoveAdd/incremental") {
+			continue
+		}
+		reb := cellAt("IncrementalRemoveAdd/rebuild", c.Procs)
+		if reb == nil || c.MeanNsPerOp <= 0 {
+			continue
+		}
+		repairSeen = true
+		ratio := reb.MeanNsPerOp / c.MeanNsPerOp
+		if ratio < repairFloor {
+			failures = append(failures, fmt.Sprintf(
+				"%s at %d procs: incremental repair %.0fns/op is only %.1fx cheaper than rebuild %.0fns/op (floor %.0fx)",
+				c.Name, c.Procs, c.MeanNsPerOp, ratio, reb.MeanNsPerOp, repairFloor))
+		} else {
+			fmt.Fprintf(out, "  %-50s procs=%d repair %.3gms vs rebuild %.3gms (%.0fx >= %.0fx) ok\n",
+				c.Name, c.Procs, c.MeanNsPerOp/1e6, reb.MeanNsPerOp/1e6, ratio, repairFloor)
+		}
+	}
+	if !repairSeen {
+		fmt.Fprintln(out, "  (no IncrementalRemoveAdd incremental/rebuild pair in matrix; repair invariant skipped)")
 	}
 
 	// Baseline diff: warn-only, so hardware drift between runner

@@ -32,6 +32,12 @@ BenchmarkQueryTracingOn-4                       	    1000	    600000 ns/op
 BenchmarkQueryTracingOff-4                      	    1000	    510000 ns/op
 BenchmarkQueryTracingOn-4                       	    1000	    590000 ns/op
 PASS
+pkg: bwcluster/internal/predtree
+BenchmarkIncrementalRemoveAdd/incremental-4     	   10000	     22000 ns/op
+BenchmarkIncrementalRemoveAdd/rebuild-4         	     100	   5400000 ns/op
+BenchmarkIncrementalRemoveAdd/incremental-4     	   10000	     23000 ns/op
+BenchmarkIncrementalRemoveAdd/rebuild-4         	     100	   5500000 ns/op
+PASS
 `
 
 func TestSplitProcs(t *testing.T) {
@@ -64,9 +70,9 @@ func TestRunMatrixAggregates(t *testing.T) {
 	if len(rep.Benchmarks) != 0 {
 		t.Errorf("matrix mode should drop raw lines, kept %d", len(rep.Benchmarks))
 	}
-	// 4 cluster cells (seq/par x procs 1/4) + 2 tracing cells.
-	if len(rep.Matrix) != 6 {
-		t.Fatalf("got %d matrix cells, want 6: %+v", len(rep.Matrix), rep.Matrix)
+	// 4 cluster cells (seq/par x procs 1/4) + 2 tracing + 2 repair cells.
+	if len(rep.Matrix) != 8 {
+		t.Fatalf("got %d matrix cells, want 8: %+v", len(rep.Matrix), rep.Matrix)
 	}
 	c := rep.Matrix[0]
 	if c.Name != "BenchmarkFindClusterParallel/sequential" || c.Procs != 1 || c.Samples != 2 {
@@ -175,6 +181,24 @@ func TestGateFailsWhenTracingOffSlowerThanOn(t *testing.T) {
 	err := runGate(writeReport(t, rep), "", &out)
 	if err == nil || !strings.Contains(err.Error(), "tracing") {
 		t.Fatalf("gate should fail when tracing-off is slower, got err=%v", err)
+	}
+}
+
+// TestGateFailsWhenRepairUnder10x: inflating the incremental repair cell
+// to within 10x of the rebuild cell must trip invariant 3.
+func TestGateFailsWhenRepairUnder10x(t *testing.T) {
+	rep := matrixReport(t)
+	rep.CPUs = 4
+	for i := range rep.Matrix {
+		if strings.HasSuffix(rep.Matrix[i].Name, "IncrementalRemoveAdd/incremental") {
+			rep.Matrix[i].MeanNsPerOp = 1e6 // rebuild is ~5.45e6: only 5.45x
+			rep.Matrix[i].MinNsPerOp = 1e6
+		}
+	}
+	var out bytes.Buffer
+	err := runGate(writeReport(t, rep), "", &out)
+	if err == nil || !strings.Contains(err.Error(), "cheaper than rebuild") {
+		t.Fatalf("gate should fail when repair margin drops below 10x, got err=%v", err)
 	}
 }
 

@@ -42,6 +42,7 @@ func newHandler(sys *bwcluster.System, async *bwcluster.AsyncRuntime, logger *sl
 	mux.HandleFunc("GET /v1/label", h.label)
 	mux.HandleFunc("GET /v1/trace", h.trace)
 	mux.HandleFunc("GET /v1/health", h.health)
+	mux.HandleFunc("GET /v1/membership", h.membership)
 	mux.HandleFunc("GET /v1/flight", h.flight)
 	// Observability plane: metrics exposition and the stdlib profiler.
 	mux.Handle("GET /metrics", telemetry.Default().Handler())
@@ -316,6 +317,35 @@ func (h *handler) health(w http.ResponseWriter, r *http.Request) {
 		"pendingReplies":    hs.PendingReplies,
 		"traceBacklog":      hs.TraceBacklog,
 		"ticks":             hs.Ticks,
+	})
+}
+
+// membership reports who is in the cluster and how alive they are.
+// Without -async membership is static — the built System's host set,
+// trivially all alive. With -async the body is the liveness tracker's
+// snapshot: per-host status (a host whose gossip has gone quiet past
+// the suspicion window reports suspect, past the death threshold dead),
+// the membership epoch, and the recent join/leave/fail/suspect/recover
+// event log.
+func (h *handler) membership(w http.ResponseWriter, r *http.Request) {
+	if h.async == nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"mode":  "sync",
+			"epoch": h.sys.Len(),
+			"alive": h.sys.Len(),
+		})
+		return
+	}
+	snap := h.async.Membership()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mode":    "async",
+		"epoch":   snap.Epoch,
+		"alive":   snap.Alive,
+		"suspect": snap.Suspect,
+		"dead":    snap.Dead,
+		"left":    snap.Left,
+		"hosts":   snap.Hosts,
+		"events":  snap.Events,
 	})
 }
 

@@ -183,6 +183,42 @@ func TestHealthEndpoint(t *testing.T) {
 	}
 }
 
+// TestMembershipEndpoint: the sync server reports the static host set;
+// the async server serves the liveness tracker's snapshot — everyone
+// alive after settle, epoch equal to the join count, one join event per
+// host in the log.
+func TestMembershipEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := getJSON(t, srv.URL+"/v1/membership", http.StatusOK)
+	if body["mode"] != "sync" || body["alive"].(float64) != 30 {
+		t.Fatalf("sync membership = %v", body)
+	}
+
+	asrv := testAsyncServer(t)
+	body = getJSON(t, asrv.URL+"/v1/membership", http.StatusOK)
+	if body["mode"] != "async" {
+		t.Fatalf("async membership mode = %v", body["mode"])
+	}
+	if body["alive"].(float64) != 30 || body["epoch"].(float64) != 30 {
+		t.Fatalf("async membership = %v", body)
+	}
+	if body["suspect"].(float64) != 0 || body["dead"].(float64) != 0 {
+		t.Fatalf("settled runtime has unhealthy hosts: %v", body)
+	}
+	hosts := body["hosts"].([]any)
+	if len(hosts) != 30 {
+		t.Fatalf("host states = %d, want 30", len(hosts))
+	}
+	events := body["events"].([]any)
+	if len(events) != 30 {
+		t.Fatalf("events = %d, want 30 joins", len(events))
+	}
+	first := events[0].(map[string]any)
+	if first["kind"] != "join" {
+		t.Errorf("first event kind = %v, want join", first["kind"])
+	}
+}
+
 // TestFlightEndpoint: flight snapshots exist only in async mode; after
 // a decentralized query the ring holds its hop events.
 func TestFlightEndpoint(t *testing.T) {

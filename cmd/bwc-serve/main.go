@@ -15,6 +15,7 @@
 //	GET /v1/label?h=7                    a host's distance label
 //	GET /v1/trace?k=10&b=50&start=3      traced decentralized query (span tree JSON)
 //	GET /v1/health                       readiness + overlay health monitor (503 until converged)
+//	GET /v1/membership                   liveness tracker snapshot (static host set without -async)
 //	GET /v1/flight                       flight-recorder snapshot (-async only; ?format=text)
 //	GET /metrics                         Prometheus text-format metrics
 //	GET /debug/pprof/                    stdlib profiler index

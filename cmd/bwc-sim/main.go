@@ -35,7 +35,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bwc-sim", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "figure to regenerate: 3, 4, 5 or 6")
 	ablation := fs.String("ablation", "", "ablation to run instead of a figure: ncut, trees, drift, construction or sword")
-	series := fs.String("series", "", "extra experiment series to run instead of a figure: faults or trace")
+	series := fs.String("series", "", "extra experiment series to run instead of a figure: faults, trace or churn")
 	ds := fs.String("dataset", "hp", "dataset: hp or umd (figures 3-5)")
 	scale := fs.Float64("scale", 1, "work scale factor (rounds/queries multiplied by this)")
 	seed := fs.Int64("seed", 0, "override the experiment seed (0: per-figure default)")
@@ -79,8 +79,10 @@ func run(args []string) error {
 		err = runSeriesFaults(d, *scale, *seed, *parallel, *jsonOut)
 	case *series == "trace":
 		err = runSeriesTrace(d, *scale, *seed, *parallel, *jsonOut)
+	case *series == "churn":
+		err = runSeriesChurn(d, *scale, *seed, *parallel, *jsonOut)
 	case *series != "":
-		return fmt.Errorf("unknown series %q (want faults or trace)", *series)
+		return fmt.Errorf("unknown series %q (want faults, trace or churn)", *series)
 	case *fig == 3:
 		err = runFig3(d, *scale, *seed, *parallel, *jsonOut)
 	case *fig == 4:
@@ -428,6 +430,32 @@ func runSeriesTrace(d sim.Dataset, scale float64, seed int64, parallel int, json
 		fmt.Printf("%-8.2f %-9.3f %-7.2f %-9d %-9d %-6.2f %-10d %-9v %-10d\n",
 			p.Loss, p.Agreement, p.AvgHops, p.CompleteTraces, p.GapTraces,
 			p.AvgHopEvents, p.MaxGossipAgeTicks, p.Converged, p.Queries)
+	}
+	return nil
+}
+
+func runSeriesChurn(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
+	cfg := sim.DefaultChurnConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	cfg.Parallelism = parallel
+	res, err := sim.RunChurn(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# churn series (%s, n=%d, k=%d): Poisson join/leave with incremental tree + overlay repair\n",
+		d, res.N, res.K)
+	fmt.Printf("# msgs/meas columns are per-epoch means; rebuild columns are the from-scratch baselines\n")
+	fmt.Printf("%-7s %-6s %-7s %-8s %-11s %-12s %-10s %-12s %-7s %-8s %-7s %-6s\n",
+		"rate", "joins", "leaves", "rounds", "repair.msg", "rebuild.msg", "meas.incr", "meas.rebld", "RR", "WPR", "stale", "fixed")
+	for _, p := range res.Points {
+		fmt.Printf("%-7.2f %-6d %-7d %-8.1f %-11.1f %-12.1f %-10.1f %-12.1f %-7.3f %-8.4f %-7d %-6v\n",
+			p.Rate, p.Joins, p.Leaves, p.RepairRounds, p.RepairMsgs, p.RebuildMsgs,
+			p.MeasIncremental, p.MeasRebuild, p.RR, p.WPR, p.StaleRejects, p.FixedPoint)
 	}
 	return nil
 }

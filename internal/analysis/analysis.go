@@ -90,6 +90,7 @@ func DefaultConfig() *Config {
 		mod + "/internal/predtree",
 		mod + "/internal/cluster",
 		mod + "/internal/kdiam",
+		mod + "/internal/membership",
 		mod + "/internal/overlay",
 		mod + "/internal/runtime",
 		mod + "/internal/sim",
@@ -113,6 +114,7 @@ func DefaultConfig() *Config {
 		APIPathSubstring:     "/internal/",
 		FlatPackages: []string{
 			mod + "/internal/cluster",
+			mod + "/internal/membership",
 			mod + "/internal/predtree",
 		},
 	}
@@ -266,6 +268,11 @@ type directive struct {
 
 var directiveRE = regexp.MustCompile(`^//bwcvet:allow\s+(\S+)\s*(.*)$`)
 
+// hotpathRE matches the //bwcvet:hotpath marker: a contract comment on a
+// function declaring it allocation-free (enforced by the arenahygiene
+// check). Like a suppression, it must carry a reason.
+var hotpathRE = regexp.MustCompile(`^//bwcvet:hotpath\s*(.*)$`)
+
 // Reportf records a finding at pos unless a matching allow directive
 // covers that line.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -312,7 +319,6 @@ func collectDirectives(pkg *Package, findings *[]Finding) map[string][]directive
 				if i := strings.Index(text, " // want "); i >= 0 {
 					text = text[:i]
 				}
-				m := directiveRE.FindStringSubmatch(text)
 				bad := func(msg string) {
 					*findings = append(*findings, Finding{
 						Check: "directive", Pos: pos,
@@ -320,8 +326,15 @@ func collectDirectives(pkg *Package, findings *[]Finding) map[string][]directive
 						Message: msg,
 					})
 				}
+				if hm := hotpathRE.FindStringSubmatch(text); hm != nil {
+					if strings.TrimSpace(hm[1]) == "" {
+						bad("bwcvet:hotpath needs a reason: the marker is an allocation-free contract, and the contract says why the path is hot")
+					}
+					continue
+				}
+				m := directiveRE.FindStringSubmatch(text)
 				if m == nil {
-					bad("malformed bwcvet directive; want //bwcvet:allow <check> <reason>")
+					bad("malformed bwcvet directive; want //bwcvet:allow <check> <reason> (or //bwcvet:hotpath <reason>)")
 					continue
 				}
 				if !known[m[1]] {

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // runArenaHygiene enforces the flat-memory invariant of the hot-path
@@ -23,11 +24,17 @@ import (
 //     state in the flat packages is dense (host IDs are small and
 //     contiguous), so a map[int]V field is a dense slice wearing a
 //     hash-table coat. Transient integer-keyed maps in function bodies
-//     are fine; only persistent (field) state is constrained.
+//     are fine; only persistent (field) state is constrained;
+//  4. any allocation — &T{...}, new(T), make(map...) — inside a function
+//     whose doc comment carries a //bwcvet:hotpath marker: such a
+//     function declares itself allocation-free by contract (it runs on a
+//     per-tick or per-message path), so it must work in caller-provided
+//     buffers and arena free-lists.
 func runArenaHygiene(p *Pass) {
 	if !p.Cfg.arenaScope(p.Pkg) {
 		return
 	}
+	checkHotpathFuncs(p)
 	reach := pointerReach(p.Pkg.Types)
 	info := p.Pkg.Info
 	for _, f := range p.Pkg.Files {
@@ -95,6 +102,67 @@ func runArenaHygiene(p *Pass) {
 			}
 			return true
 		})
+	}
+}
+
+// checkHotpathFuncs reports allocation sites inside functions marked
+// //bwcvet:hotpath. The marker is a contract, not a suppression: the
+// function promises to be allocation-free (verified by
+// testing.AllocsPerRun where practical), and the check keeps later edits
+// from quietly breaking the promise.
+func checkHotpathFuncs(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			marked := false
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, "//bwcvet:hotpath") {
+					marked = true
+					break
+				}
+			}
+			if !marked {
+				continue
+			}
+			name := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.UnaryExpr:
+					if x.Op != token.AND {
+						return true
+					}
+					if _, ok := x.X.(*ast.CompositeLit); ok {
+						p.Reportf(x.Pos(),
+							"&-literal allocation inside //bwcvet:hotpath function %s: hot-path functions are allocation-free by contract — use caller-provided buffers or arena free-lists", name)
+					}
+				case *ast.CallExpr:
+					id, ok := x.Fun.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+						return true
+					}
+					switch {
+					case id.Name == "new" && len(x.Args) == 1:
+						p.Reportf(x.Pos(),
+							"new() allocation inside //bwcvet:hotpath function %s: hot-path functions are allocation-free by contract — use caller-provided buffers or arena free-lists", name)
+					case id.Name == "make" && len(x.Args) >= 1:
+						if t := info.Types[x.Args[0]].Type; t != nil {
+							if _, isMap := t.Underlying().(*types.Map); isMap {
+								p.Reportf(x.Pos(),
+									"make(map) allocation inside //bwcvet:hotpath function %s: hot-path functions are allocation-free by contract — keep dense per-host state in reused slices", name)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
 	}
 }
 

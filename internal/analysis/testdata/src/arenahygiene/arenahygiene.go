@@ -61,9 +61,39 @@ func nameTable(t *flatTree) map[int32]string {
 	return out
 }
 
+// scanHot is marked as a hot path, so every allocation inside it is a
+// contract violation: the address-of literal, the builtin new, and the
+// map make all get flagged.
+//
+//bwcvet:hotpath per-tick fixture scan; allocation-free by contract
+func scanHot(t *flatTree, buf []int32) []int32 {
+	ft := &flatTree{}             // want `&-literal allocation inside //bwcvet:hotpath function scanHot`
+	pt := new(flatTree)           // want `new\(\) allocation inside //bwcvet:hotpath function scanHot`
+	idx := make(map[int32]int, 4) // want `make\(map\) allocation inside //bwcvet:hotpath function scanHot`
+	_, _, _ = ft, pt, idx
+	buf = buf[:0]
+	for _, v := range t.verts {
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// scanCold is unmarked: the same allocations are fine here (the web and
+// map-field rules still apply elsewhere, but transient allocation in an
+// ordinary function is not a finding).
+func scanCold(t *flatTree) map[int32]int {
+	idx := make(map[int32]int, len(t.verts))
+	for i, v := range t.verts {
+		idx[v] = i
+	}
+	return idx
+}
+
 var (
 	_ = build
 	_ = nameTable
+	_ = scanHot
+	_ = scanCold
 	_ = hostIndex{}
 	_ = flatTree{}
 	_ = edgeRec{}

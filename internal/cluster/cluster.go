@@ -18,6 +18,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -272,6 +273,13 @@ type Index struct {
 	// O(1) after the first evaluation. Negative answers are cached too.
 	mu    sync.RWMutex
 	cache map[queryKey][]int // guarded by mu
+
+	// epoch tags the membership generation the indexed space was derived
+	// at (predtree.Forest.Epoch). The index memoizes over a fixed host
+	// set, so once membership moves, its answers describe hosts that may
+	// no longer exist: FindAt rejects queries carrying a different epoch
+	// instead of answering them silently wrong.
+	epoch uint64
 }
 
 type queryKey struct {
@@ -294,6 +302,22 @@ func NewIndex(s metric.Space) (*Index, error) {
 		}
 	}
 	return finishIndex(s, n, lexSizes), nil
+}
+
+// ErrStaleIndex is returned by FindAt when the caller's membership epoch
+// differs from the one the index was built at. Callers should rebuild the
+// index from the current forest and retry rather than serve the answer.
+var ErrStaleIndex = errors.New("cluster: index is stale")
+
+// NewIndexAt builds the query index for s and tags it with the
+// membership epoch (predtree.Forest.Epoch) the space was derived at.
+func NewIndexAt(s metric.Space, epoch uint64) (*Index, error) {
+	ix, err := NewIndex(s)
+	if err != nil {
+		return nil, err
+	}
+	ix.epoch = epoch
+	return ix, nil
 }
 
 // finishIndex derives the sorted-pair tables from the precomputed
@@ -384,6 +408,23 @@ func (ix *Index) Find(k int, l float64) ([]int, error) {
 	}
 	ix.store(k, l, members)
 	return members, nil
+}
+
+// Epoch reports the membership epoch the index was built at (zero for
+// indexes built with plain NewIndex/NewIndexParallel).
+func (ix *Index) Epoch() uint64 { return ix.epoch }
+
+// FindAt answers a (k, l) query like Find, but first checks that the
+// caller's membership epoch matches the one the index was built at. A
+// mismatch returns an error wrapping ErrStaleIndex instead of an answer:
+// after a join or leave the precomputed tables describe a host set that
+// no longer exists, and a silently wrong cluster is worse than a retry.
+func (ix *Index) FindAt(epoch uint64, k int, l float64) ([]int, error) {
+	if epoch != ix.epoch {
+		return nil, fmt.Errorf("cluster: index built at membership epoch %d, queried at %d: %w",
+			ix.epoch, epoch, ErrStaleIndex)
+	}
+	return ix.Find(k, l)
 }
 
 // scanFrom runs the lexicographic candidate scan starting at row p0 and

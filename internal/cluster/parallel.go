@@ -267,6 +267,17 @@ func NewIndexParallel(s metric.Space, workers int) (*Index, error) {
 	return finishIndex(s, n, lexSizes), nil
 }
 
+// NewIndexParallelAt is NewIndexParallel plus the membership-epoch tag
+// NewIndexAt attaches (see FindAt for the staleness contract).
+func NewIndexParallelAt(s metric.Space, workers int, epoch uint64) (*Index, error) {
+	ix, err := NewIndexParallel(s, workers)
+	if err != nil {
+		return nil, err
+	}
+	ix.epoch = epoch
+	return ix, nil
+}
+
 // FindParallel answers a (k, l) query like Find, sharding the candidate
 // scan over the precomputed |S*pq| table across workers. Results are
 // memoized in the index's query cache, so repeated queries (the serving

@@ -191,6 +191,30 @@ func (nw *Network) Refresh() {
 	nw.reload()
 }
 
+// Resync picks up membership changes in the underlying substrate —
+// including removals, which Refresh alone does not handle: surviving
+// peers' node-info aggregation may still reference departed hosts, and
+// those records must be dropped before the next round reads them (the
+// reloaded distance matrix no longer has rows for departed hosts).
+// Aggregation state mentioning only surviving hosts is kept, so
+// re-convergence after a removal is incremental: stale values flush out
+// within the anchor-tree diameter because every round overwrites them
+// under the split-horizon rule, they are never maxed into place.
+func (nw *Network) Resync() {
+	nw.reload()
+	for _, p := range nw.peers {
+		for v, nodes := range p.aggrNode {
+			kept := nodes[:0]
+			for _, u := range nodes {
+				if _, ok := nw.index[u]; ok {
+					kept = append(kept, u)
+				}
+			}
+			p.aggrNode[v] = kept
+		}
+	}
+}
+
 // Hosts returns the overlay members in join order.
 func (nw *Network) Hosts() []int {
 	out := make([]int, len(nw.hosts))

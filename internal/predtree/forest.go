@@ -185,6 +185,25 @@ func (f *Forest) Add(h int, o Oracle) error {
 	return nil
 }
 
+// Remove evicts host h from every tree, repairing each incrementally
+// (see Tree.Remove). Like Add it mutates and must not race with reads.
+func (f *Forest) Remove(h int) error {
+	if !f.Contains(h) {
+		return fmt.Errorf("predtree: forest remove: host %d not present", h)
+	}
+	for i, t := range f.trees {
+		if err := t.Remove(h); err != nil {
+			return fmt.Errorf("predtree: forest tree %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Epoch reports the primary tree's membership epoch; every tree in the
+// forest sees the same Add/Remove sequence, so the primary's counter
+// stands for the whole forest.
+func (f *Forest) Epoch() uint64 { return f.trees[0].Epoch() }
+
 // Dist returns the median of the per-tree predicted distances.
 func (f *Forest) Dist(u, v int) float64 {
 	if len(f.trees) == 1 {

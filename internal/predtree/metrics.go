@@ -16,4 +16,6 @@ var (
 		"Prediction trees built.")
 	mMeasurements = telemetry.NewCounter("bwc_predtree_measurements_total",
 		"Construction measurement lookups performed across all built trees.")
+	mHostsRemoved = telemetry.NewCounter("bwc_predtree_hosts_removed_total",
+		"Hosts evicted from prediction trees by incremental repair (per tree).")
 )

@@ -62,26 +62,49 @@ type (
 // GobEncode implements gob.GobEncoder, making prediction trees
 // persistable (e.g. to avoid re-measuring on restart). Identical trees
 // encode to identical bytes; see the wire-format comment above.
+//
+// Arena slots freed by Remove are compacted away: live vertices are
+// renumbered in arena order and every vertex reference (adjacency, leaf
+// and inner-node registers) is remapped, so a post-churn snapshot is
+// indistinguishable on the wire from a tree that never held the departed
+// hosts' vertices. On a hole-free tree the remap is the identity, which
+// keeps pre-churn snapshots byte-identical (pinned by the golden tests),
+// and a decoded tree is always hole-free, so encode∘decode is stable.
 func (t *Tree) GobEncode() ([]byte, error) {
+	remap := make([]int32, len(t.verts))
+	live := int32(0)
+	for i, v := range t.verts {
+		if v.host < 0 && v.firstEdge < 0 {
+			// A freed slot: live inner vertices always carry at least one
+			// edge, and an edgeless leaf (a single-host tree) is live.
+			remap[i] = nilIdx
+			continue
+		}
+		remap[i] = live
+		live++
+	}
 	w := treeWire{
 		C:            t.c,
 		Mode:         int(t.mode),
-		Verts:        make([]vertexWire, len(t.verts)),
+		Verts:        make([]vertexWire, 0, live),
 		Root:         t.root,
 		Order:        t.order,
 		Measurements: t.measurements,
 		Measured:     make([]int64, 0, t.measuredCount),
 	}
 	for i, v := range t.verts {
+		if remap[i] < 0 {
+			continue
+		}
 		var adj []edgeWire
 		for e := v.firstEdge; e >= 0; e = t.edges[e].next {
 			adj = append(adj, edgeWire{
-				To:      int(t.edges[e].to),
+				To:      int(remap[t.edges[e].to]),
 				W:       t.edges[e].w,
 				Creator: int(t.edges[e].creator),
 			})
 		}
-		w.Verts[i] = vertexWire{Host: int(v.host), Adj: adj}
+		w.Verts = append(w.Verts, vertexWire{Host: int(v.host), Adj: adj})
 	}
 	// Host-indexed arrays emit one entry per present host, keys naturally
 	// ascending (the order sorted map entries had). tVert is absent for
@@ -91,9 +114,9 @@ func (t *Tree) GobEncode() ([]byte, error) {
 		if t.leafVert[h] < 0 {
 			continue
 		}
-		w.LeafVert = append(w.LeafVert, intEntryWire{K: h, V: int(t.leafVert[h])})
+		w.LeafVert = append(w.LeafVert, intEntryWire{K: h, V: int(remap[t.leafVert[h]])})
 		if t.tVert[h] >= 0 {
-			w.TVert = append(w.TVert, intEntryWire{K: h, V: int(t.tVert[h])})
+			w.TVert = append(w.TVert, intEntryWire{K: h, V: int(remap[t.tVert[h]])})
 		}
 		w.AnchorParent = append(w.AnchorParent, intEntryWire{K: h, V: int(t.anchorParent[h])})
 		if t.firstChild[h] >= 0 {

@@ -79,8 +79,8 @@ const nilIdx = int32(-1)
 
 // Tree is a prediction tree plus its anchor tree. The zero value is not
 // usable; construct with New. A fully built tree is safe for concurrent
-// read-only use (Dist, Label, DistMatrix, the anchor accessors); Add
-// mutates and must not race with anything.
+// read-only use (Dist, Label, DistMatrix, the anchor accessors); Add and
+// Remove mutate and must not race with anything.
 type Tree struct {
 	c    float64 // rational-transform constant
 	mode SearchMode
@@ -110,6 +110,20 @@ type Tree struct {
 	measured      []uint64
 	mstride       int
 	measuredCount int
+
+	// Free-lists of arena slots released by Remove (and the half-edge
+	// slots subdivision drops), reused LIFO by the next allocation so a
+	// remove/re-add cycle leaves the arena length unchanged. In-memory
+	// only: the wire format compacts freed slots away on encode.
+	freeVerts []int32
+	freeEdges []int32
+
+	// epoch counts membership changes: Add and Remove each bump it once.
+	// Derived read structures (cluster.Index) are tagged with the epoch
+	// they were built at so queries against stale membership are rejected
+	// instead of silently wrong. In-memory only: a decoded snapshot
+	// starts a fresh epoch sequence.
+	epoch uint64
 }
 
 // New returns an empty prediction tree using rational-transform constant c
@@ -182,6 +196,11 @@ func (t *Tree) Measurements() int { return t.measurements }
 // measured — the real network cost when hosts cache measurement results
 // (out of n(n-1)/2 possible pairs).
 func (t *Tree) DistinctMeasurements() int { return t.measuredCount }
+
+// Epoch reports the tree's membership epoch: the number of Add and
+// Remove operations applied so far. Structures derived from a fixed host
+// set carry the epoch they observed and must be rebuilt when it moves.
+func (t *Tree) Epoch() uint64 { return t.epoch }
 
 // ensureHostCap grows the host-indexed arrays (and the measured-pair
 // bitset stride) to cover hosts [0, n).
@@ -276,13 +295,13 @@ func (t *Tree) Add(h int, o Oracle) error {
 		return fmt.Errorf("predtree: host %d already present", h)
 	}
 	if t.root == -1 {
-		t.verts = append(t.verts, vertex{host: int32(h), firstEdge: nilIdx})
-		t.leafVert[h] = 0
+		t.leafVert[h] = t.newVertex(int32(h))
 		t.root = h
 		t.anchorParent[h] = nilIdx
 		t.offset[h] = 0
 		t.pendant[h] = 0
 		t.order = append(t.order, h)
+		t.epoch++
 		return nil
 	}
 
@@ -306,14 +325,27 @@ func (t *Tree) Add(h int, o Oracle) error {
 	if pend < 0 {
 		pend = 0
 	}
-	lx := int32(len(t.verts))
-	t.verts = append(t.verts, vertex{host: int32(h), firstEdge: nilIdx})
+	lx := t.newVertex(int32(h))
 	t.connect(lx, tx, pend, int32(h))
 	t.leafVert[h] = lx
 	t.tVert[h] = tx
 	t.pendant[h] = pend
 	t.order = append(t.order, h)
+	t.epoch++
 	return nil
+}
+
+// newVertex returns a vertex-arena slot holding a fresh vertex, reusing
+// a freed slot (LIFO) when Remove released one.
+func (t *Tree) newVertex(host int32) int32 {
+	if n := len(t.freeVerts); n > 0 {
+		idx := t.freeVerts[n-1]
+		t.freeVerts = t.freeVerts[:n-1]
+		t.verts[idx] = vertex{host: host, firstEdge: nilIdx}
+		return idx
+	}
+	t.verts = append(t.verts, vertex{host: host, firstEdge: nilIdx})
+	return int32(len(t.verts) - 1)
 }
 
 // findBase picks the base leaf z for inserting x. The paper allows any
@@ -452,8 +484,7 @@ func (t *Tree) splitAt(z, y int, g float64, newHost int, sc *scratch) (tx int32,
 	zv := t.leafVert[z]
 	if y == z {
 		// Degenerate path: t_x coincides with z.
-		tx = int32(len(t.verts))
-		t.verts = append(t.verts, vertex{host: -1, firstEdge: nilIdx})
+		tx = t.newVertex(-1)
 		t.connect(tx, zv, 0, int32(newHost))
 		t.setAnchor(newHost, z, 0) // t_x coincides with z
 		return tx, 0
@@ -510,8 +541,7 @@ func (t *Tree) subdivide(u, v int32, off float64) int32 {
 	if !ok {
 		return nilIdx
 	}
-	tx := int32(len(t.verts))
-	t.verts = append(t.verts, vertex{host: -1, firstEdge: nilIdx})
+	tx := t.newVertex(-1)
 	t.connect(u, tx, off, creator)
 	t.connect(tx, v, w-off, creator)
 	return tx
@@ -519,10 +549,18 @@ func (t *Tree) subdivide(u, v int32, off float64) int32 {
 
 // addHalfEdge appends a half-edge from a to b at the tail of a's
 // adjacency list, preserving insertion order (the order the wire format
-// serializes).
+// serializes). The slot comes off the free-list (LIFO) when one is
+// available, else the arena grows.
 func (t *Tree) addHalfEdge(a, b int32, w float64, creator int32) {
-	idx := int32(len(t.edges))
-	t.edges = append(t.edges, halfEdge{to: b, next: nilIdx, creator: creator, w: w})
+	var idx int32
+	if n := len(t.freeEdges); n > 0 {
+		idx = t.freeEdges[n-1]
+		t.freeEdges = t.freeEdges[:n-1]
+		t.edges[idx] = halfEdge{to: b, next: nilIdx, creator: creator, w: w}
+	} else {
+		idx = int32(len(t.edges))
+		t.edges = append(t.edges, halfEdge{to: b, next: nilIdx, creator: creator, w: w})
+	}
 	if t.verts[a].firstEdge < 0 {
 		t.verts[a].firstEdge = idx
 		return
@@ -539,9 +577,8 @@ func (t *Tree) connect(a, b int32, w float64, creator int32) {
 	t.addHalfEdge(b, a, w, creator)
 }
 
-// dropHalfEdge unlinks the half-edge a->b. The arena slot is orphaned,
-// not reused: each insertion subdivides at most one edge, so the waste is
-// bounded by a small constant per host.
+// dropHalfEdge unlinks the half-edge a->b and releases its arena slot
+// onto the free-list for the next addHalfEdge to reuse.
 func (t *Tree) dropHalfEdge(a, b int32) (w float64, creator int32, ok bool) {
 	prev := nilIdx
 	for e := t.verts[a].firstEdge; e >= 0; e = t.edges[e].next {
@@ -551,7 +588,10 @@ func (t *Tree) dropHalfEdge(a, b int32) (w float64, creator int32, ok bool) {
 			} else {
 				t.edges[prev].next = t.edges[e].next
 			}
-			return t.edges[e].w, t.edges[e].creator, true
+			w, creator = t.edges[e].w, t.edges[e].creator
+			t.edges[e] = halfEdge{to: nilIdx, next: nilIdx, creator: nilIdx}
+			t.freeEdges = append(t.freeEdges, e)
+			return w, creator, true
 		}
 		prev = e
 	}

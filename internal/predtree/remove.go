@@ -1,0 +1,311 @@
+package predtree
+
+import "fmt"
+
+// Remove evicts host h from the tree incrementally: h's leaf vertex is
+// detached, inner vertices left structurally redundant by the departure
+// are spliced out or freed onto the arena free-lists, and h's anchor
+// children are re-anchored under an heir — no rebuild, no new
+// measurements.
+//
+// Geometry (DESIGN.md §8h): every child c of h keeps its inner node t_c
+// on h's pendant geodesic [t_h → leaf_h], because insertions subdivide an
+// edge their anchor created and h's created edges all lie on that
+// geodesic. The heir is the child whose t sits deepest on it (minimal
+// offset, i.e. closest to leaf_h), so the heir's new pendant geodesic
+// [t_h → t_heir → leaf_heir] contains every orphaned t_c. The heir
+// therefore inherits t_h, h's slot in the anchor tree, and h's remaining
+// children; one BFS from the heir's leaf — the same tree-walk machinery
+// insertion uses — re-derives the children's offsets and the heir's
+// pendant from the repaired tree, and h's created edges are reassigned to
+// the heir so future insertions that land on them anchor to a live host.
+// Removing the root promotes the heir to root the same way.
+//
+// Determinism: offset ties break toward the smaller host id, children
+// keep join order, and freed slots are reused LIFO, so the same operation
+// sequence always yields a bit-identical tree.
+func (t *Tree) Remove(h int) error {
+	if !t.Contains(h) {
+		return fmt.Errorf("predtree: remove host %d: not present", h)
+	}
+	if len(t.order) == 1 {
+		return fmt.Errorf("predtree: remove host %d: cannot remove the last host", h)
+	}
+
+	lx, tx := t.leafVert[h], t.tVert[h]
+	// Clear h's host registration first: vertex cleanup keeps any vertex
+	// serving as a live host's leaf or inner node, and h no longer counts.
+	t.leafVert[h] = nilIdx
+	t.tVert[h] = nilIdx
+
+	children := t.childList(h)
+	if len(children) == 0 {
+		// No child ever subdivided h's pendant chain (or every one that
+		// did has since been removed and collapsed), so the chain folds
+		// away entirely and the edge h's insertion subdivided is restored.
+		// h cannot be the root here: with two or more hosts the root
+		// always anchors at least one child.
+		t.unlinkChild(t.anchorParent[h], int32(h))
+		t.evictLeaf(lx)
+	} else {
+		t.removeWithHeir(h, lx, tx, children)
+	}
+
+	t.anchorParent[h] = nilIdx
+	t.firstChild[h] = nilIdx
+	t.lastChild[h] = nilIdx
+	t.nextSibling[h] = nilIdx
+	t.offset[h] = 0
+	t.pendant[h] = 0
+	for i, v := range t.order {
+		if v == h {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	t.clearMeasured(h)
+	t.epoch++
+	mHostsRemoved.Inc()
+	return nil
+}
+
+// removeWithHeir detaches host h while it still anchors children.
+func (t *Tree) removeWithHeir(h int, lx, tx int32, children []int32) {
+	heir := children[0]
+	for _, c := range children[1:] {
+		if t.offset[c] < t.offset[heir] || (t.offset[c] == t.offset[heir] && c < heir) {
+			heir = c
+		}
+	}
+
+	if h == t.root {
+		t.root = int(heir)
+		t.anchorParent[heir] = nilIdx
+		t.nextSibling[heir] = nilIdx
+		t.offset[heir] = 0
+	} else {
+		t.replaceChild(t.anchorParent[h], int32(h), heir)
+		t.offset[heir] = t.offset[h]
+	}
+	if tx >= 0 {
+		// The heir inherits h's inner node: its new pendant geodesic is
+		// h's spine from t_h down through its old inner node to its leaf.
+		t.tVert[heir] = tx
+	}
+	// tx < 0 means h was the original root (its insertion created no
+	// inner node): the heir keeps its own inner node and pendant, and
+	// the orphans' inner nodes all coincide with h's leaf point.
+
+	for _, c := range children {
+		if c != heir {
+			t.appendChild(heir, c)
+		}
+	}
+
+	t.evictLeaf(lx)
+
+	// One BFS from the heir's leaf re-derives every re-anchored child's
+	// offset and the heir's pendant from the repaired geometry.
+	sc := getScratch(len(t.verts))
+	t.distancesFrom(t.leafVert[heir], sc)
+	if tx >= 0 {
+		t.pendant[heir] = sc.dist[tx]
+	}
+	for _, c := range children {
+		if c != heir {
+			t.offset[c] = sc.dist[t.tVert[c]]
+		}
+	}
+	putScratch(sc)
+
+	// Edges h created lie on the heir's new pendant geodesic now; future
+	// insertions that subdivide them must anchor to the heir.
+	t.reassignCreator(int32(h), heir)
+}
+
+// evictLeaf detaches the departing host's leaf vertex. A leaf with more
+// than one edge (degenerate insertions attach zero-weight edges to their
+// base leaf) stays behind as an inner junction; otherwise its pendant
+// edge is dropped and the chain above is collapsed.
+func (t *Tree) evictLeaf(lx int32) {
+	if t.degreeOf(lx) > 1 {
+		t.verts[lx].host = -1
+		t.cleanupVertex(lx)
+		return
+	}
+	nb := t.soleNeighbor(lx)
+	if nb >= 0 {
+		t.removeEdge(lx, nb)
+	}
+	t.freeVertex(lx)
+	if nb >= 0 {
+		t.cleanupVertex(nb)
+	}
+}
+
+// cleanupVertex splices out or frees vertices left structurally
+// redundant by an eviction, walking up the freed chain. A vertex is kept
+// while it is a live host's leaf, some live host's inner node, or a
+// junction of degree >= 3. Degree-2 junctions are spliced: their two
+// edges merge into one carrying the summed weight (in adjacency order,
+// keeping the float association deterministic) and the first edge's
+// creator — normally both halves of a former subdivision share it, and
+// when they differ the departing host's edges are reassigned to the heir
+// right after, restoring the creator invariant either way.
+func (t *Tree) cleanupVertex(v int32) {
+	for v >= 0 {
+		if t.verts[v].host >= 0 || t.isLiveInner(v) {
+			return
+		}
+		switch t.degreeOf(v) {
+		case 0:
+			t.freeVertex(v)
+			return
+		case 1:
+			nb := t.soleNeighbor(v)
+			t.removeEdge(v, nb)
+			t.freeVertex(v)
+			v = nb
+		case 2:
+			e1 := t.verts[v].firstEdge
+			e2 := t.edges[e1].next
+			a, wa, creator := t.edges[e1].to, t.edges[e1].w, t.edges[e1].creator
+			b, wb := t.edges[e2].to, t.edges[e2].w
+			t.removeEdge(v, a)
+			t.removeEdge(v, b)
+			t.freeVertex(v)
+			t.connect(a, b, wa+wb, creator)
+			return
+		default:
+			return
+		}
+	}
+}
+
+// isLiveInner reports whether v serves as some live host's inner node.
+func (t *Tree) isLiveInner(v int32) bool {
+	for _, h := range t.order {
+		if t.tVert[h] == v {
+			return true
+		}
+	}
+	return false
+}
+
+// degreeOf counts v's adjacency-list entries.
+func (t *Tree) degreeOf(v int32) int {
+	deg := 0
+	for e := t.verts[v].firstEdge; e >= 0; e = t.edges[e].next {
+		deg++
+	}
+	return deg
+}
+
+// soleNeighbor returns the destination of v's first edge, nilIdx when v
+// is isolated.
+func (t *Tree) soleNeighbor(v int32) int32 {
+	if e := t.verts[v].firstEdge; e >= 0 {
+		return t.edges[e].to
+	}
+	return nilIdx
+}
+
+// freeVertex releases a vertex-arena slot onto the free-list. The caller
+// must have dropped all of its edges.
+func (t *Tree) freeVertex(v int32) {
+	t.verts[v] = vertex{host: -1, firstEdge: nilIdx}
+	t.freeVerts = append(t.freeVerts, v)
+}
+
+// childList snapshots h's anchor children in join order.
+func (t *Tree) childList(h int) []int32 {
+	var out []int32
+	for c := t.firstChild[h]; c >= 0; c = t.nextSibling[c] {
+		out = append(out, c)
+	}
+	return out
+}
+
+// unlinkChild removes child from p's anchor child list.
+func (t *Tree) unlinkChild(p, child int32) {
+	prev := nilIdx
+	for c := t.firstChild[p]; c >= 0; c = t.nextSibling[c] {
+		if c == child {
+			if prev < 0 {
+				t.firstChild[p] = t.nextSibling[c]
+			} else {
+				t.nextSibling[prev] = t.nextSibling[c]
+			}
+			if t.lastChild[p] == child {
+				t.lastChild[p] = prev
+			}
+			return
+		}
+		prev = c
+	}
+}
+
+// replaceChild swaps old for repl in p's child list, in place, so repl
+// takes over old's join-order position.
+func (t *Tree) replaceChild(p, old, repl int32) {
+	prev := nilIdx
+	for c := t.firstChild[p]; c >= 0; c = t.nextSibling[c] {
+		if c == old {
+			if prev < 0 {
+				t.firstChild[p] = repl
+			} else {
+				t.nextSibling[prev] = repl
+			}
+			t.nextSibling[repl] = t.nextSibling[old]
+			if t.lastChild[p] == old {
+				t.lastChild[p] = repl
+			}
+			t.anchorParent[repl] = p
+			return
+		}
+		prev = c
+	}
+}
+
+// appendChild links c at the tail of p's child list.
+func (t *Tree) appendChild(p, c int32) {
+	t.anchorParent[c] = p
+	t.nextSibling[c] = nilIdx
+	if t.firstChild[p] < 0 {
+		t.firstChild[p] = c
+	} else {
+		t.nextSibling[t.lastChild[p]] = c
+	}
+	t.lastChild[p] = c
+}
+
+// reassignCreator hands every edge created by host from to host to.
+func (t *Tree) reassignCreator(from, to int32) {
+	for i := range t.edges {
+		if t.edges[i].creator == from {
+			t.edges[i].creator = to
+		}
+	}
+}
+
+// clearMeasured forgets h's measured pairs: a departed host's cached
+// measurements are gone with it, so re-admitting it costs fresh probes
+// (the cost DistinctMeasurements tracks).
+func (t *Tree) clearMeasured(h int) {
+	if h >= t.mstride || t.measuredCount == 0 {
+		return
+	}
+	drop := func(lo, hi int) {
+		bit := lo*t.mstride + hi
+		if t.measured[bit>>6]&(1<<(bit&63)) != 0 {
+			t.measured[bit>>6] &^= 1 << (bit & 63)
+			t.measuredCount--
+		}
+	}
+	for lo := 0; lo < h; lo++ {
+		drop(lo, h)
+	}
+	for hi := h + 1; hi < t.mstride; hi++ {
+		drop(h, hi)
+	}
+}

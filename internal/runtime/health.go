@@ -114,6 +114,7 @@ func (rt *Runtime) monitor() {
 			now := rt.ticks.Add(1)
 			rt.sweepPendingAt(now)
 			rt.refreshHealthAt(now)
+			rt.membershipScanAt(now)
 		}
 	}
 }

@@ -1,0 +1,114 @@
+package runtime
+
+import (
+	"sort"
+
+	"bwcluster/internal/membership"
+)
+
+// memberScan bundles the attached liveness tracker with the monitor
+// goroutine's scratch buffers. The scratch is owned by whoever calls
+// membershipScanAt — the monitor goroutine in production, the test
+// driving synthetic ticks otherwise — and is reused across scans so the
+// steady-state path stays allocation-light.
+type memberScan struct {
+	tracker   *membership.Tracker
+	autoEvict bool
+
+	minAge map[int]uint64 // scratch: host -> freshest observed gossip age
+	hosts  []int          // scratch: scan order (sorted for determinism)
+	ages   []uint64       // scratch: parallel to hosts
+	dead   []int          // scratch: hosts declared dead this scan
+}
+
+// AttachMembership wires a liveness tracker to the runtime: every
+// current local peer joins immediately, and from then on the health
+// monitor feeds the tracker one gossip-age scan per tick. A host whose
+// freshest observation crosses the suspect threshold is declared
+// suspect; past the death threshold it is declared dead and — when
+// autoEvict is set — evicted from the runtime on the spot (EvictHost
+// when the substrate supports incremental repair, RemoveHost otherwise).
+// AddHost, EvictHost and RemoveHost keep the tracker posted about
+// explicit joins, leaves and crashes.
+func (rt *Runtime) AttachMembership(cfg membership.Config, autoEvict bool) (*membership.Tracker, error) {
+	tk, err := membership.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	now := rt.ticks.Load()
+	for _, h := range rt.Hosts() {
+		if err := tk.NoteJoin(h, now); err != nil {
+			return nil, err
+		}
+	}
+	rt.memb.Store(&memberScan{
+		tracker:   tk,
+		autoEvict: autoEvict,
+		minAge:    make(map[int]uint64),
+	})
+	return tk, nil
+}
+
+// Membership returns the attached tracker, nil before AttachMembership.
+func (rt *Runtime) Membership() *membership.Tracker {
+	if ms := rt.memb.Load(); ms != nil {
+		return ms.tracker
+	}
+	return nil
+}
+
+// membershipScanAt runs one liveness scan at logical time now: for every
+// host any local peer gossips with, take the freshest (minimum) gossip
+// age across observers — a host is only in trouble when NO ONE has heard
+// from it — feed the scan to the tracker, and drive repair for hosts it
+// declares dead. Runs on the monitor goroutine; tests call it directly
+// with synthetic ticks.
+func (rt *Runtime) membershipScanAt(now uint64) {
+	ms := rt.memb.Load()
+	if ms == nil {
+		return
+	}
+	for k := range ms.minAge {
+		delete(ms.minAge, k)
+	}
+	rt.mu.Lock()
+	peers := make([]*peer, 0, len(rt.peers))
+	for _, p := range rt.peers {
+		peers = append(peers, p)
+	}
+	rt.mu.Unlock()
+	for _, p := range peers {
+		p.mu.Lock()
+		for v, last := range p.lastGossip {
+			var age uint64
+			if now > last {
+				age = now - last
+			}
+			if cur, ok := ms.minAge[v]; !ok || age < cur {
+				ms.minAge[v] = age
+			}
+		}
+		p.mu.Unlock()
+	}
+	ms.hosts = ms.hosts[:0]
+	for v := range ms.minAge {
+		ms.hosts = append(ms.hosts, v)
+	}
+	sort.Ints(ms.hosts)
+	ms.ages = ms.ages[:0]
+	for _, v := range ms.hosts {
+		ms.ages = append(ms.ages, ms.minAge[v])
+	}
+	ms.dead = ms.tracker.Observe(now, ms.hosts, ms.ages, ms.dead[:0])
+	if !ms.autoEvict {
+		return
+	}
+	for _, h := range ms.dead {
+		mMembershipReaped.Inc()
+		if _, ok := rt.sub.(RemovableSubstrate); ok {
+			_ = rt.EvictHost(h)
+		} else {
+			_ = rt.RemoveHost(h)
+		}
+	}
+}

@@ -30,4 +30,12 @@ var (
 		"Worst per-neighbor gossip-age watermark across local peers, in monitor ticks; a growing value means some link has gone quiet.")
 	mTraceEvents = telemetry.NewCounter("bwc_runtime_trace_events_total",
 		"Span events minted by traced hops (reported to the trace origin best-effort).")
+	mHostsRemoved = telemetry.NewCounter("bwc_runtime_hosts_removed_total",
+		"Peers removed by RemoveHost (crash model: overlay spliced, substrate untouched).")
+	mHostsEvicted = telemetry.NewCounter("bwc_runtime_hosts_evicted_total",
+		"Peers evicted by EvictHost (membership model: substrate repaired incrementally).")
+	mPendCanceled = telemetry.NewCounter("bwc_runtime_pending_canceled_total",
+		"Pending queries resolved with ErrOriginRemoved because their origin host was removed mid-flight.")
+	mMembershipReaped = telemetry.NewCounter("bwc_runtime_membership_reaped_total",
+		"Hosts the liveness tracker declared dead and the runtime auto-evicted.")
 )

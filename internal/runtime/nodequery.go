@@ -39,9 +39,9 @@ func (rt *Runtime) QueryNodeTraced(start int, set []int, l float64, timeout time
 		return overlay.NodeResult{}, fmt.Errorf("runtime: constraint l must be >= 0, got %v", l)
 	}
 	id := rt.qid.Add(1)
-	reply := make(chan overlay.NodeResult, replyCapacity)
+	reply := make(chan nodeOutcome, replyCapacity)
 	rt.pendMu.Lock()
-	rt.pendNode[id] = pendingNode{ch: reply, born: rt.ticks.Load()}
+	rt.pendNode[id] = pendingNode{ch: reply, origin: start, born: rt.ticks.Load()}
 	rt.updatePendingGaugeLocked()
 	rt.pendMu.Unlock()
 	var tc *transport.TraceContext
@@ -64,11 +64,15 @@ func (rt *Runtime) QueryNodeTraced(start int, set []int, l float64, timeout time
 		return overlay.NodeResult{}, fmt.Errorf("runtime: start peer %d did not accept the query: %w", start, err)
 	}
 	select {
-	case res := <-reply:
-		if span != nil {
-			rt.gatherTrace(span, rootSpanID, id, res.Hops)
+	case out := <-reply:
+		if out.err != nil {
+			rt.collector.Take(id)
+			return overlay.NodeResult{}, out.err
 		}
-		return res, nil
+		if span != nil {
+			rt.gatherTrace(span, rootSpanID, id, out.res.Hops)
+		}
+		return out.res, nil
 	case <-time.After(timeout):
 		rt.dropPendingNode(id)
 		rt.collector.Take(id)
@@ -100,7 +104,7 @@ func (rt *Runtime) resolveNode(r *transport.NodeResult) {
 	if !ok {
 		return
 	}
-	e.ch <- overlay.NodeResult{Node: r.Node, Radius: r.Radius, Hops: r.Hops, Answered: r.Answered}
+	e.ch <- nodeOutcome{res: overlay.NodeResult{Node: r.Node, Radius: r.Radius, Hops: r.Hops, Answered: r.Answered}}
 }
 
 // handleNodeQuery executes one hill-climbing step at this peer. ht is

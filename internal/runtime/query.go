@@ -41,9 +41,9 @@ func (rt *Runtime) QueryTraced(start, k int, l float64, timeout time.Duration, s
 		return overlay.Result{}, err
 	}
 	id := rt.qid.Add(1)
-	reply := make(chan overlay.Result, replyCapacity)
+	reply := make(chan clusterOutcome, replyCapacity)
 	rt.pendMu.Lock()
-	rt.pendCluster[id] = pendingCluster{ch: reply, born: rt.ticks.Load()}
+	rt.pendCluster[id] = pendingCluster{ch: reply, origin: start, born: rt.ticks.Load()}
 	rt.updatePendingGaugeLocked()
 	rt.pendMu.Unlock()
 	var tc *transport.TraceContext
@@ -58,7 +58,12 @@ func (rt *Runtime) QueryTraced(start, k int, l float64, timeout time.Duration, s
 		return overlay.Result{}, fmt.Errorf("runtime: start peer %d did not accept the query: %w", start, err)
 	}
 	select {
-	case res := <-reply:
+	case out := <-reply:
+		if out.err != nil {
+			rt.collector.Take(id)
+			return overlay.Result{}, out.err
+		}
+		res := out.res
 		mRuntimeQueryHops.Observe(float64(res.Hops))
 		if span != nil {
 			rt.gatherTrace(span, rootSpanID, id, res.Hops)
@@ -97,7 +102,7 @@ func (rt *Runtime) resolveCluster(r *transport.Result) {
 	if !ok {
 		return // duplicate, late, or foreign answer
 	}
-	e.ch <- overlay.Result{Cluster: r.Cluster, Hops: r.Hops, Answered: r.Answered, Class: r.Class, Path: r.Path}
+	e.ch <- clusterOutcome{res: overlay.Result{Cluster: r.Cluster, Hops: r.Hops, Answered: r.Answered, Class: r.Class, Path: r.Path}}
 }
 
 // classFor snaps l to the largest configured class <= l.
@@ -250,6 +255,9 @@ func (rt *Runtime) AddHost(h int, o predtree.Oracle) error {
 	}
 	rt.wg.Add(1)
 	go p.run()
+	if tk := rt.Membership(); tk != nil {
+		_ = tk.NoteJoin(h, now)
+	}
 	return nil
 }
 

@@ -20,6 +20,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -85,6 +86,10 @@ type Runtime struct {
 	spanSeq   atomic.Uint64
 	collector *telemetry.TraceCollector
 
+	// Optional liveness tracking: set by AttachMembership, scanned by
+	// the monitor each tick.
+	memb atomic.Pointer[memberScan]
+
 	// Observability plumbing: the optional flight recorder and the
 	// health monitor's logical clock + flags.
 	flight atomic.Pointer[telemetry.FlightRecorder]
@@ -97,16 +102,37 @@ type Runtime struct {
 	wg    sync.WaitGroup
 }
 
+// ErrOriginRemoved is the failure pending queries resolve with when
+// their origin host is removed (crash or eviction) while the answer is
+// still in flight: the reply would be routed to a dead peer, so the
+// caller fails fast instead of blocking until its timeout.
+var ErrOriginRemoved = errors.New("runtime: origin host removed")
+
+// clusterOutcome is what a pending cluster query resolves with: an
+// answer, or an error when the query was canceled (origin removed).
+type clusterOutcome struct {
+	res overlay.Result
+	err error
+}
+
+// nodeOutcome is the node-search counterpart of clusterOutcome.
+type nodeOutcome struct {
+	res overlay.NodeResult
+	err error
+}
+
 // pendingCluster is one in-flight cluster query's reply slot.
 type pendingCluster struct {
-	ch   chan overlay.Result
-	born uint64 // monitor tick at submission
+	ch     chan clusterOutcome
+	origin int    // start host the answer is routed to
+	born   uint64 // monitor tick at submission
 }
 
 // pendingNode is one in-flight node search's reply slot.
 type pendingNode struct {
-	ch   chan overlay.NodeResult
-	born uint64 // monitor tick at submission
+	ch     chan nodeOutcome
+	origin int    // start host the answer is routed to
+	born   uint64 // monitor tick at submission
 }
 
 // Traffic reports how many messages of each kind have been delivered

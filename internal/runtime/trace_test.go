@@ -4,7 +4,6 @@ import (
 	"testing"
 	"time"
 
-	"bwcluster/internal/overlay"
 	"bwcluster/internal/telemetry"
 	"bwcluster/internal/transport"
 )
@@ -293,9 +292,9 @@ func TestPendingSweepDeterministic(t *testing.T) {
 	rt.SetFlight(fl)
 
 	rt.pendMu.Lock()
-	rt.pendCluster[1] = pendingCluster{ch: make(chan overlay.Result, 1), born: 0}
-	rt.pendCluster[2] = pendingCluster{ch: make(chan overlay.Result, 1), born: 10}
-	rt.pendNode[3] = pendingNode{ch: make(chan overlay.NodeResult, 1), born: 0}
+	rt.pendCluster[1] = pendingCluster{ch: make(chan clusterOutcome, 1), born: 0}
+	rt.pendCluster[2] = pendingCluster{ch: make(chan clusterOutcome, 1), born: 10}
+	rt.pendNode[3] = pendingNode{ch: make(chan nodeOutcome, 1), born: 0}
 	rt.updatePendingGaugeLocked()
 	rt.pendMu.Unlock()
 

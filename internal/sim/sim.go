@@ -151,7 +151,7 @@ func BuildFramework(bw *metric.Matrix, cfg FrameworkConfig, rng *rand.Rand) (*Fr
 		}
 	}
 	f.PredDist = pred
-	if f.TreeIdx, err = cluster.NewIndexParallel(pred, cfg.Parallelism); err != nil {
+	if f.TreeIdx, err = cluster.NewIndexParallelAt(pred, cfg.Parallelism, forest.Epoch()); err != nil {
 		return nil, fmt.Errorf("sim: tree cluster index: %w", err)
 	}
 

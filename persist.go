@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"bwcluster/internal/cluster"
 	"bwcluster/internal/metric"
@@ -84,12 +85,27 @@ func Load(r io.Reader) (*System, error) {
 	workers := cluster.Workers(snap.Workers, 0)
 	dm, hosts := snap.Forest.DistMatrix()
 	pred := metric.NewMatrix(snap.BW.N())
+	// A churned snapshot's forest may hold fewer hosts than the
+	// measurement matrix. Departed hosts are unreachable, not at the
+	// zero distance an unset matrix entry would report — otherwise every
+	// cluster query would claim them.
+	present := make([]bool, snap.BW.N())
+	for _, h := range hosts {
+		present[h] = true
+	}
+	for i := 0; i < snap.BW.N(); i++ {
+		for j := i + 1; j < snap.BW.N(); j++ {
+			if !present[i] || !present[j] {
+				pred.Set(i, j, math.Inf(1))
+			}
+		}
+	}
 	for i := range hosts {
 		for j := i + 1; j < len(hosts); j++ {
 			pred.Set(hosts[i], hosts[j], dm.Dist(i, j))
 		}
 	}
-	treeIdx, err := cluster.NewIndexParallel(pred, workers)
+	treeIdx, err := cluster.NewIndexParallelAt(pred, workers, snap.Forest.Epoch())
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: load system: %w", err)
 	}

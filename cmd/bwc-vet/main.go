@@ -8,9 +8,27 @@
 //	bwc-vet ./...                 # analyze every package, human output
 //	bwc-vet -json ./...           # machine-readable findings for CI
 //	bwc-vet -checks determinism,concurrency ./internal/cluster
+//	bwc-vet -checks list          # print every check and exit
 //
-// The exit status is 0 when no findings survive suppression, 1 when at
-// least one finding is reported, and 2 on usage or load errors.
+// Exit-code contract: 0 when no findings survive suppression, 1 iff at
+// least one finding is reported (in both human and -json modes), and 2
+// on usage or load errors — so `bwc-vet -json ./... || fail` composes in
+// CI without parsing output.
+//
+// With -json, stdout carries a JSON array of findings — always an
+// array, [] when clean — where each element is:
+//
+//	{
+//	  "check":   "lockorder",                   // name of the check that fired
+//	  "file":    "internal/runtime/runtime.go", // module-relative path
+//	  "line":    412,                           // 1-based
+//	  "column":  2,                             // 1-based, in bytes
+//	  "message": "lock-acquisition cycle among ..."
+//	}
+//
+// Fields are never omitted; new fields may be added, so consumers
+// should ignore unknown keys.
+//
 // Suppress an individual finding with a reasoned directive on the same
 // line or the line above:
 //
@@ -30,6 +48,15 @@ import (
 	"bwcluster/internal/buildinfo"
 )
 
+// Exit codes form the command's contract with CI: strictly 1 iff
+// findings, so wrappers can distinguish "violations" from "broken
+// invocation" without parsing output.
+const (
+	exitClean    = 0 // no findings survived suppression
+	exitFindings = 1 // at least one finding reported
+	exitError    = 2 // usage or load error; nothing was analyzed
+)
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -38,7 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("bwc-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (for CI annotation)")
-	checksFlag := fs.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(analysis.CheckNames(), ",")+")")
+	checksFlag := fs.String("checks", "", "comma-separated checks to run, or \"list\" to print them (default: all of "+strings.Join(analysis.CheckNames(), ",")+")")
 	version := fs.Bool("version", false, "print version and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: bwc-vet [flags] ./... | dir ...\n\nChecks:\n")
@@ -49,16 +76,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitError
 	}
 	if *version {
 		fmt.Fprintln(stdout, "bwc-vet", buildinfo.String())
-		return 0
+		return exitClean
+	}
+	if *checksFlag == "list" {
+		for _, c := range analysis.Checks {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name, c.Doc)
+		}
+		return exitClean
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		fs.Usage()
-		return 2
+		return exitError
 	}
 
 	cfg := analysis.DefaultConfig()
@@ -69,8 +102,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, name := range strings.Split(*checksFlag, ",") {
 			name = strings.TrimSpace(name)
 			if _, ok := cfg.Enabled[name]; !ok {
-				fmt.Fprintf(stderr, "bwc-vet: unknown check %q (known: %s)\n", name, strings.Join(analysis.CheckNames(), ", "))
-				return 2
+				fmt.Fprintf(stderr, "bwc-vet: unknown check %q (known: %s, or \"list\")\n", name, strings.Join(analysis.CheckNames(), ", "))
+				return exitError
 			}
 			cfg.Enabled[name] = true
 		}
@@ -79,7 +112,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	findings, err := vet(patterns, cfg)
 	if err != nil {
 		fmt.Fprintln(stderr, "bwc-vet:", err)
-		return 2
+		return exitError
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -88,8 +121,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			findings = []analysis.Finding{}
 		}
 		if err := enc.Encode(findings); err != nil {
+			// Encoding to stdout failed after a successful analysis; the
+			// findings still decide the exit code so CI gates stay sound.
 			fmt.Fprintln(stderr, "bwc-vet:", err)
-			return 2
 		}
 	} else {
 		for _, f := range findings {
@@ -100,9 +134,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if len(findings) > 0 {
-		return 1
+		return exitFindings
 	}
-	return 0
+	return exitClean
 }
 
 // vet loads the packages matched by patterns and runs the enabled checks.

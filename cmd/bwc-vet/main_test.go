@@ -41,6 +41,24 @@ func TestNoArgsPrintsUsage(t *testing.T) {
 	}
 }
 
+// TestChecksListMode verifies `-checks list` prints every registered
+// check with its one-line doc and exits clean without analyzing
+// anything (no package patterns required).
+func TestChecksListMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-checks", "list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	for _, c := range analysis.Checks {
+		if !strings.Contains(out.String(), c.Name) || !strings.Contains(out.String(), c.Doc) {
+			t.Errorf("list output missing check %q with its doc:\n%s", c.Name, out.String())
+		}
+	}
+	if errOut.Len() != 0 {
+		t.Errorf("list mode wrote to stderr: %q", errOut.String())
+	}
+}
+
 func TestUnknownCheckRejected(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-checks", "nosuch", fixture("determinism")}, &out, &errOut); code != 2 {
@@ -65,6 +83,9 @@ func TestFixturesFailWithDiagnostics(t *testing.T) {
 		{"telemetryhygiene", "telemetry", "composite literals"},
 		{"apihygiene", "apihygiene", "no doc comment"},
 		{"directive", "determinism", "wall clock"},
+		{"lockorder", "lockorder", "lock-acquisition cycle"},
+		{"goroleak", "goroleak", "never provably exits"},
+		{"protostate", "protostate", "not exhaustive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.fixture, func(t *testing.T) {

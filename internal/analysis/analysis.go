@@ -79,6 +79,17 @@ type Config struct {
 	// representations (DESIGN.md §8g); the arenahygiene check bans
 	// pointer-linked node webs and integer-keyed map state there.
 	FlatPackages []string
+
+	// ConcurrentPackages are the import paths whose mutexes participate
+	// in the interprocedural lock graph (DESIGN.md §8i): the lockorder
+	// check builds its acquisition ordering and blocking-while-locked
+	// analysis over exactly these.
+	ConcurrentPackages []string
+
+	// ProtocolPackages are the import paths that define or dispatch on
+	// the wire protocol's message kinds; the protostate check enforces
+	// switch exhaustiveness and wire-schema parity there.
+	ProtocolPackages []string
 }
 
 // DefaultConfig returns the repository's canonical configuration: all
@@ -116,6 +127,16 @@ func DefaultConfig() *Config {
 			mod + "/internal/cluster",
 			mod + "/internal/membership",
 			mod + "/internal/predtree",
+		},
+		ConcurrentPackages: []string{
+			mod + "/internal/runtime",
+			mod + "/internal/transport",
+			mod + "/internal/membership",
+			mod + "/internal/telemetry",
+		},
+		ProtocolPackages: []string{
+			mod + "/internal/runtime",
+			mod + "/internal/transport",
 		},
 	}
 }
@@ -211,6 +232,43 @@ func (c *Config) arenaScope(pkg *Package) bool {
 	return false
 }
 
+// lockScope reports whether pkg's mutexes join the interprocedural lock
+// graph (the concurrent packages; only the matching fixture).
+func (c *Config) lockScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "lockorder"
+	}
+	for _, p := range c.ConcurrentPackages {
+		if pkg.Path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// goroScope reports whether pkg's `go` statements need provable exit
+// paths (every real package; only the matching fixture).
+func (c *Config) goroScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "goroleak"
+	}
+	return true
+}
+
+// protoScope reports whether pkg is subject to the wire-protocol state
+// check (the protocol packages; only the matching fixture).
+func (c *Config) protoScope(pkg *Package) bool {
+	if base, ok := fixtureBase(pkg); ok {
+		return base == "protostate"
+	}
+	for _, p := range c.ProtocolPackages {
+		if pkg.Path == p {
+			return true
+		}
+	}
+	return false
+}
+
 // apiScope reports whether pkg gets the API hygiene check.
 func (c *Config) apiScope(pkg *Package) bool {
 	if base, ok := fixtureBase(pkg); ok {
@@ -237,6 +295,9 @@ var Checks = []*Check{
 	{Name: "flight", Doc: "flight recorders explicitly plumbed; event kinds are compile-time constants", Run: runFlight},
 	{Name: "apihygiene", Doc: "exported identifiers documented; context.Context first", Run: runAPIHygiene},
 	{Name: "arenahygiene", Doc: "flat hot-path packages: no pointer-linked node webs or integer-keyed map fields", Run: runArenaHygiene},
+	{Name: "lockorder", Doc: "interprocedural: no lock-acquisition cycles; no blocking operations reachable while a lock is held", Run: runLockOrder},
+	{Name: "goroleak", Doc: "interprocedural: every go statement has a provable exit path (done channel, context, or conditional return)", Run: runGoroLeak},
+	{Name: "protostate", Doc: "interprocedural: message-kind switches are exhaustive; wire schema and clone cover every payload field", Run: runProtoState},
 }
 
 // CheckNames returns the known check names in run order.
@@ -256,6 +317,11 @@ type Pass struct {
 
 	suppress map[string][]directive // filename -> directives
 	findings *[]Finding
+
+	// pkgs and prog give interprocedural checks the whole run's packages
+	// and the lazily built, run-shared program view (see Prog).
+	pkgs []*Package
+	prog **Program
 }
 
 // directive is one parsed //bwcvet:allow comment.
@@ -356,13 +422,16 @@ func collectDirectives(pkg *Package, findings *[]Finding) map[string][]directive
 // surviving findings sorted by position.
 func Analyze(pkgs []*Package, cfg *Config) []Finding {
 	var findings []Finding
+	// The interprocedural program is built at most once per run, the
+	// first time any enabled check asks for it, and shared by the rest.
+	var prog *Program
 	for _, pkg := range pkgs {
 		suppress := collectDirectives(pkg, &findings)
 		for _, check := range Checks {
 			if !cfg.Enabled[check.Name] {
 				continue
 			}
-			pass := &Pass{Check: check, Pkg: pkg, Cfg: cfg, suppress: suppress, findings: &findings}
+			pass := &Pass{Check: check, Pkg: pkg, Cfg: cfg, suppress: suppress, findings: &findings, pkgs: pkgs, prog: &prog}
 			check.Run(pass)
 		}
 	}

@@ -103,11 +103,14 @@ func TestAPIHygieneFixture(t *testing.T)       { runFixture(t, "apihygiene") }
 func TestArenaHygieneFixture(t *testing.T)     { runFixture(t, "arenahygiene") }
 func TestDirectiveFixture(t *testing.T)        { runFixture(t, "directive") }
 func TestIODeterminismFixture(t *testing.T)    { runFixture(t, "iodeterminism") }
+func TestLockOrderFixture(t *testing.T)        { runFixture(t, "lockorder") }
+func TestGoroLeakFixture(t *testing.T)         { runFixture(t, "goroleak") }
+func TestProtoStateFixture(t *testing.T)       { runFixture(t, "protostate") }
 
 // TestFixturesAllFire guards against a fixture silently matching zero
 // diagnostics (e.g. a scope regression turning a check off).
 func TestFixturesAllFire(t *testing.T) {
-	for _, name := range []string{"determinism", "concurrency", "telemetryhygiene", "flighthygiene", "apihygiene", "arenahygiene", "directive", "iodeterminism"} {
+	for _, name := range []string{"determinism", "concurrency", "telemetryhygiene", "flighthygiene", "apihygiene", "arenahygiene", "directive", "iodeterminism", "lockorder", "goroleak", "protostate"} {
 		t.Run(name, func(t *testing.T) {
 			if got := runFixture(t, name); len(got) == 0 {
 				t.Errorf("fixture %s produced no findings; its check appears disabled", name)
@@ -185,7 +188,7 @@ func TestLoaderModulePath(t *testing.T) {
 
 func TestCheckNamesStable(t *testing.T) {
 	got := strings.Join(CheckNames(), ",")
-	const want = "determinism,concurrency,telemetry,flight,apihygiene,arenahygiene"
+	const want = "determinism,concurrency,telemetry,flight,apihygiene,arenahygiene,lockorder,goroleak,protostate"
 	if got != want {
 		t.Fatalf("check names = %s, want %s (suppression comments and -checks flags depend on these)", got, want)
 	}

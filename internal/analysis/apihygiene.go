@@ -13,12 +13,12 @@ func runAPIHygiene(p *Pass) {
 	if !p.Cfg.apiScope(p.Pkg) {
 		return
 	}
+	for _, fn := range p.Pkg.FuncDecls() {
+		checkFuncHygiene(p, fn)
+	}
 	for _, f := range p.Pkg.Files {
 		for _, decl := range f.Decls {
-			switch d := decl.(type) {
-			case *ast.FuncDecl:
-				checkFuncHygiene(p, d)
-			case *ast.GenDecl:
+			if d, ok := decl.(*ast.GenDecl); ok {
 				checkGenDeclDocs(p, d)
 			}
 		}

@@ -112,57 +112,54 @@ func runArenaHygiene(p *Pass) {
 // from quietly breaking the promise.
 func checkHotpathFuncs(p *Pass) {
 	info := p.Pkg.Info
-	for _, f := range p.Pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil || fd.Body == nil {
-				continue
+	for _, fd := range p.Pkg.FuncDecls() {
+		if fd.Doc == nil || fd.Body == nil {
+			continue
+		}
+		marked := false
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(c.Text, "//bwcvet:hotpath") {
+				marked = true
+				break
 			}
-			marked := false
-			for _, c := range fd.Doc.List {
-				if strings.HasPrefix(c.Text, "//bwcvet:hotpath") {
-					marked = true
-					break
+		}
+		if !marked {
+			continue
+		}
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op != token.AND {
+					return true
 				}
-			}
-			if !marked {
-				continue
-			}
-			name := fd.Name.Name
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				switch x := n.(type) {
-				case *ast.UnaryExpr:
-					if x.Op != token.AND {
-						return true
-					}
-					if _, ok := x.X.(*ast.CompositeLit); ok {
-						p.Reportf(x.Pos(),
-							"&-literal allocation inside //bwcvet:hotpath function %s: hot-path functions are allocation-free by contract — use caller-provided buffers or arena free-lists", name)
-					}
-				case *ast.CallExpr:
-					id, ok := x.Fun.(*ast.Ident)
-					if !ok {
-						return true
-					}
-					if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
-						return true
-					}
-					switch {
-					case id.Name == "new" && len(x.Args) == 1:
-						p.Reportf(x.Pos(),
-							"new() allocation inside //bwcvet:hotpath function %s: hot-path functions are allocation-free by contract — use caller-provided buffers or arena free-lists", name)
-					case id.Name == "make" && len(x.Args) >= 1:
-						if t := info.Types[x.Args[0]].Type; t != nil {
-							if _, isMap := t.Underlying().(*types.Map); isMap {
-								p.Reportf(x.Pos(),
-									"make(map) allocation inside //bwcvet:hotpath function %s: hot-path functions are allocation-free by contract — keep dense per-host state in reused slices", name)
-							}
+				if _, ok := x.X.(*ast.CompositeLit); ok {
+					p.Reportf(x.Pos(),
+						"&-literal allocation inside //bwcvet:hotpath function %s: hot-path functions are allocation-free by contract — use caller-provided buffers or arena free-lists", name)
+				}
+			case *ast.CallExpr:
+				id, ok := x.Fun.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				switch {
+				case id.Name == "new" && len(x.Args) == 1:
+					p.Reportf(x.Pos(),
+						"new() allocation inside //bwcvet:hotpath function %s: hot-path functions are allocation-free by contract — use caller-provided buffers or arena free-lists", name)
+				case id.Name == "make" && len(x.Args) >= 1:
+					if t := info.Types[x.Args[0]].Type; t != nil {
+						if _, isMap := t.Underlying().(*types.Map); isMap {
+							p.Reportf(x.Pos(),
+								"make(map) allocation inside //bwcvet:hotpath function %s: hot-path functions are allocation-free by contract — keep dense per-host state in reused slices", name)
 						}
 					}
 				}
-				return true
-			})
-		}
+			}
+			return true
+		})
 	}
 }
 

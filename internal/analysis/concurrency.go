@@ -235,26 +235,23 @@ func checkGuardedFields(p *Pass) {
 	if len(guarded) == 0 {
 		return
 	}
-	for _, f := range p.Pkg.Files {
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || fn.Recv == nil {
+	for _, fn := range p.Pkg.FuncDecls() {
+		if fn.Body == nil || fn.Recv == nil {
+			continue
+		}
+		recvType := receiverTypeName(fn)
+		recvName := ""
+		if len(fn.Recv.List[0].Names) > 0 {
+			recvName = fn.Recv.List[0].Names[0].Name
+		}
+		if recvName == "" || recvName == "_" {
+			continue
+		}
+		for _, g := range guarded {
+			if g.structName != recvType {
 				continue
 			}
-			recvType := receiverTypeName(fn)
-			recvName := ""
-			if len(fn.Recv.List[0].Names) > 0 {
-				recvName = fn.Recv.List[0].Names[0].Name
-			}
-			if recvName == "" || recvName == "_" {
-				continue
-			}
-			for _, g := range guarded {
-				if g.structName != recvType {
-					continue
-				}
-				checkGuardedAccess(p, fn, recvName, g)
-			}
+			checkGuardedAccess(p, fn, recvName, g)
 		}
 	}
 }

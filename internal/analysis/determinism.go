@@ -25,11 +25,16 @@ func runDeterminism(p *Pass) {
 		return
 	}
 	for _, f := range p.Pkg.Files {
-		if !io {
-			checkWallClock(p, f)
-		}
 		checkGlobalRand(p, f)
-		checkMapOrderLeak(p, f)
+	}
+	for _, fn := range p.Pkg.FuncDecls() {
+		if fn.Body == nil {
+			continue
+		}
+		if !io {
+			checkWallClock(p, fn)
+		}
+		checkMapOrderLeak(p, fn)
 	}
 }
 
@@ -75,33 +80,26 @@ func checkGlobalRand(p *Pass, f *ast.File) {
 // is lexically inside the arguments of a telemetry call, or when it
 // initializes a variable whose every use flows into telemetry arguments
 // (the `start := time.Now(); …; m.Observe(time.Since(start))` idiom).
-func checkWallClock(p *Pass, f *ast.File) {
+func checkWallClock(p *Pass, fn *ast.FuncDecl) {
 	info := p.Pkg.Info
-	ast.Inspect(f, func(n ast.Node) bool {
-		fn, ok := n.(*ast.FuncDecl)
-		if !ok || fn.Body == nil {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
 			return true
 		}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			pkgPath, ok := selectorPackage(info, sel)
-			if !ok || pkgPath != "time" || (sel.Sel.Name != "Now" && sel.Sel.Name != "Since") {
-				return true
-			}
-			if telemetrySunk(p, fn.Body, call) {
-				return true
-			}
-			p.Reportf(call.Pos(),
-				"algorithm package reads the wall clock (time.%s) outside a telemetry call site; clocks are nondeterministic across runs", sel.Sel.Name)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
 			return true
-		})
+		}
+		pkgPath, ok := selectorPackage(info, sel)
+		if !ok || pkgPath != "time" || (sel.Sel.Name != "Now" && sel.Sel.Name != "Since") {
+			return true
+		}
+		if telemetrySunk(p, fn.Body, call) {
+			return true
+		}
+		p.Reportf(call.Pos(),
+			"algorithm package reads the wall clock (time.%s) outside a telemetry call site; clocks are nondeterministic across runs", sel.Sel.Name)
 		return true
 	})
 }
@@ -213,37 +211,30 @@ func assignedObject(info *types.Info, path []ast.Node, call *ast.CallExpr) types
 // element, or package-level) without the function sorting that slice
 // after the loop: the element order then depends on Go's randomized map
 // iteration and differs run to run.
-func checkMapOrderLeak(p *Pass, f *ast.File) {
+func checkMapOrderLeak(p *Pass, fn *ast.FuncDecl) {
 	info := p.Pkg.Info
-	ast.Inspect(f, func(n ast.Node) bool {
-		fn, ok := n.(*ast.FuncDecl)
-		if !ok || fn.Body == nil {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
 			return true
 		}
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			rng, ok := n.(*ast.RangeStmt)
-			if !ok {
-				return true
-			}
-			tv, ok := info.Types[rng.X]
-			if !ok {
-				return true
-			}
-			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-				return true
-			}
-			for _, tgt := range appendTargets(info, rng.Body) {
-				if !escapes(info, fn, tgt) {
-					continue
-				}
-				if sortedAfter(info, fn.Body, rng.End(), tgt) {
-					continue
-				}
-				p.Reportf(rng.Pos(),
-					"map iteration order leaks: range over map appends to %q, which escapes this function unsorted; sort it (or iterate sorted keys)", tgt.name)
-			}
+		tv, ok := info.Types[rng.X]
+		if !ok {
 			return true
-		})
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		for _, tgt := range appendTargets(info, rng.Body) {
+			if !escapes(info, fn, tgt) {
+				continue
+			}
+			if sortedAfter(info, fn.Body, rng.End(), tgt) {
+				continue
+			}
+			p.Reportf(rng.Pos(),
+				"map iteration order leaks: range over map appends to %q, which escapes this function unsorted; sort it (or iterate sorted keys)", tgt.name)
+		}
 		return true
 	})
 }

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -28,6 +29,28 @@ type Package struct {
 	Types *types.Package
 	// Info carries the type-checker's expression and object tables.
 	Info *types.Info
+
+	funcDecls []*ast.FuncDecl // lazy cache behind FuncDecls
+}
+
+// FuncDecls returns the package's function and method declarations in
+// file order, computed once and shared by every check and by the
+// interprocedural Program index — one canonical list instead of each
+// pass re-discovering declarations with its own AST walk. Bodiless
+// declarations (assembly stubs) are included; callers that need a body
+// filter themselves.
+func (pkg *Package) FuncDecls() []*ast.FuncDecl {
+	if pkg.funcDecls == nil {
+		pkg.funcDecls = []*ast.FuncDecl{}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pkg.funcDecls = append(pkg.funcDecls, fd)
+				}
+			}
+		}
+	}
+	return pkg.funcDecls
 }
 
 // Loader discovers, parses and type-checks the module's packages using
@@ -42,11 +65,13 @@ type Loader struct {
 	// wall clocks and unseeded randomness.
 	IncludeTests bool
 
-	modRoot string
-	modPath string
-	std     types.Importer
-	loaded  map[string]*Package // by import path
-	loading map[string]bool     // import-cycle guard
+	modRoot  string
+	modPath  string
+	std      types.Importer
+	buildCtx build.Context
+	loaded   map[string]*Package // by import path
+	loading  map[string]bool     // import-cycle guard
+	checked  int                 // packages type-checked (cache-sharing tests)
 }
 
 // NewLoader returns a Loader rooted at the module containing dir.
@@ -57,12 +82,13 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset:    fset,
-		modRoot: root,
-		modPath: path,
-		std:     importer.ForCompiler(fset, "source", nil),
-		loaded:  make(map[string]*Package),
-		loading: make(map[string]bool),
+		Fset:     fset,
+		modRoot:  root,
+		modPath:  path,
+		std:      importer.ForCompiler(fset, "source", nil),
+		buildCtx: build.Default,
+		loaded:   make(map[string]*Package),
+		loading:  make(map[string]bool),
 	}, nil
 }
 
@@ -71,6 +97,23 @@ func (l *Loader) ModulePath() string { return l.modPath }
 
 // ModuleRoot returns the directory containing go.mod.
 func (l *Loader) ModuleRoot() string { return l.modRoot }
+
+// Loaded returns every module package this loader has parsed and
+// type-checked so far (explicitly loaded dirs and transitive module
+// imports), sorted by import path.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.loaded))
+	for _, pkg := range l.loaded {
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Checked returns how many packages this loader has type-checked. Each
+// package is checked at most once per loader, which is what keeps one
+// bwc-vet run a single build; the loader tests assert this stays true.
+func (l *Loader) Checked() int { return l.checked }
 
 // findModule walks up from dir to the enclosing go.mod and extracts the
 // module path from its first "module" directive.
@@ -213,6 +256,13 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
 			continue
 		}
+		// Respect build constraints the way the compiler does: a file
+		// excluded from the default build (e.g. the lockcheck-tagged
+		// shadow assertion) would otherwise collide with its enabled
+		// counterpart and fail the whole package's type check.
+		if ok, err := l.buildCtx.MatchFile(dir, name); err != nil || !ok {
+			continue
+		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("analysis: %w", err)
@@ -241,6 +291,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
 	conf := types.Config{Importer: l}
+	l.checked++
 	tpkg, err := conf.Check(path, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)

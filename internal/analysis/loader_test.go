@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadModule loads every package of the enclosing module through one
+// loader, the way bwc-vet and TestRepoIsClean do.
+func loadModule(t *testing.T) (*Loader, []*Package) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand([]string{loader.ModuleRoot() + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return loader, pkgs
+}
+
+// TestLoadModuleGraph loads the whole module graph from source: every
+// package type-checks, transitive module imports land in Loaded(), and
+// the import relation is materialized (runtime's checked package really
+// imports transport's). The CI test matrix runs this under each
+// supported toolchain, so loader/stdlib drift across Go releases shows
+// up here first.
+func TestLoadModuleGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, pkgs := loadModule(t)
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; want the whole module", len(pkgs))
+	}
+	byPath := make(map[string]*Package)
+	for _, pkg := range loader.Loaded() {
+		byPath[pkg.Path] = pkg
+	}
+	rt := byPath["bwcluster/internal/runtime"]
+	if rt == nil {
+		t.Fatal("runtime package not in Loaded()")
+	}
+	imports := make(map[string]bool)
+	for _, imp := range rt.Types.Imports() {
+		imports[imp.Path()] = true
+	}
+	for _, want := range []string{"bwcluster/internal/transport", "bwcluster/internal/lockcheck"} {
+		if !imports[want] {
+			t.Errorf("runtime's type-checked imports lack %s", want)
+		}
+	}
+}
+
+// TestCheckedOncePerPackage pins the single-build property at the
+// loader layer: loading every module dir explicitly type-checks each
+// package exactly once, even though most are also reached again as
+// transitive imports of later dirs.
+func TestCheckedOncePerPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	loader, _ := loadModule(t)
+	if got, want := loader.Checked(), len(loader.Loaded()); got != want {
+		t.Errorf("type-checked %d times for %d packages; the import cache is not shared", got, want)
+	}
+}
+
+// TestLoaderRespectsBuildTags: the lockcheck-tagged shadow assertion
+// must be excluded exactly like the compiler excludes it, or the
+// package would declare Mutex twice and fail to type-check.
+func TestLoaderRespectsBuildTags(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(loader.ModuleRoot(), "internal", "lockcheck"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range pkg.Files {
+		if strings.HasSuffix(loader.Fset.Position(f.Pos()).Filename, "lockcheck_on.go") {
+			t.Error("lockcheck_on.go (a lockcheck-tagged file) was loaded into the default build")
+		}
+	}
+	obj := pkg.Types.Scope().Lookup("Mutex")
+	if obj == nil {
+		t.Fatal("lockcheck.Mutex not found")
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok || st.NumFields() != 1 || !st.Field(0).Embedded() {
+		t.Errorf("default-build lockcheck.Mutex should embed sync.Mutex only, got %v", obj.Type().Underlying())
+	}
+}
+
+// TestProgramBuiltOncePerRun is the SSA-cache regression test: one
+// Analyze run with every interprocedural check enabled must build the
+// whole-program function index exactly once, shared by lockorder,
+// goroleak and protostate alike.
+func TestProgramBuiltOncePerRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	_, pkgs := loadModule(t)
+	before := ProgramBuilds()
+	findings := Analyze(pkgs, DefaultConfig())
+	if got := ProgramBuilds() - before; got != 1 {
+		t.Errorf("Analyze built the function index %d times; want exactly 1 shared build", got)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+	// A second run gets its own program: the cache is per-run, not
+	// global, so stale type information can never leak across runs.
+	before = ProgramBuilds()
+	Analyze(pkgs, DefaultConfig())
+	if got := ProgramBuilds() - before; got != 1 {
+		t.Errorf("second Analyze run built the index %d times; want 1 fresh build", got)
+	}
+}
+
+// TestProgramNotBuiltWhenDisabled: with the interprocedural checks off,
+// no Pass touches Prog(), so the lazy build must never run and the
+// syntactic checks keep their old cost profile.
+func TestProgramNotBuiltWhenDisabled(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join(loader.ModuleRoot(), "internal", "metric"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	for _, name := range []string{"lockorder", "goroleak", "protostate"} {
+		cfg.Enabled[name] = false
+	}
+	before := ProgramBuilds()
+	Analyze([]*Package{pkg}, cfg)
+	if got := ProgramBuilds() - before; got != 0 {
+		t.Errorf("disabled interprocedural checks still built the program %d times", got)
+	}
+}

@@ -1,0 +1,108 @@
+// Package goroleak is a bwc-vet fixture for the goroutine-leak check:
+// every go statement needs a provable exit path in its call graph.
+package goroleak
+
+type server struct {
+	stop chan struct{}
+	in   chan int
+}
+
+func process(int) {}
+
+// leakyLoop spawns a receive loop with no way out: the goroutine
+// outlives whoever owns s.
+func leakyLoop(s *server) {
+	go func() { // want `never provably exits`
+		for {
+			process(<-s.in)
+		}
+	}()
+}
+
+// signalOnly drains its termination channel but never acts on it.
+func signalOnly(s *server) {
+	go func() { // want `receives a termination signal but never returns`
+		for {
+			select {
+			case <-s.stop:
+			case v := <-s.in:
+				process(v)
+			}
+		}
+	}()
+}
+
+// startDeep's leak is buried two calls down the spawned function.
+func startDeep(s *server) {
+	go s.deep() // want `never provably exits`
+}
+
+func (s *server) deep() { spin(s) }
+
+func spin(s *server) {
+	for {
+		process(<-s.in)
+	}
+}
+
+// startVar spawns a stored function value: the analyzer cannot see its
+// body, so it cannot prove an exit path either.
+func startVar(fn func()) {
+	go fn() // want `cannot resolve`
+}
+
+// startClean is the sanctioned shape: a done-channel case that returns.
+func startClean(s *server) {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case v := <-s.in:
+				process(v)
+			}
+		}
+	}()
+}
+
+// startNamed spawns a named worker whose loop exits through the
+// termination channel.
+func startNamed(s *server) {
+	go s.run()
+}
+
+func (s *server) run() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case v := <-s.in:
+			process(v)
+		}
+	}
+}
+
+// pump ranges over the channel: it terminates when the owner closes
+// s.in.
+func pump(s *server) {
+	go func() {
+		for v := range s.in {
+			process(v)
+		}
+	}()
+}
+
+// bounded is a worker with a conditional break: loops with a proven way
+// out are assumed to terminate.
+func bounded(jobs []int) {
+	go func() {
+		i := 0
+		for {
+			if i >= len(jobs) {
+				return
+			}
+			process(jobs[i])
+			i++
+		}
+	}()
+}

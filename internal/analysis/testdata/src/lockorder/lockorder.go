@@ -1,0 +1,123 @@
+// Package lockorder is a bwc-vet fixture for the interprocedural
+// lock-graph check: acquisition-order inversions (direct and through
+// calls), reentrant acquisition, and blocking while a lock is held.
+package lockorder
+
+import (
+	"sync"
+	"time"
+)
+
+type node struct {
+	mu    sync.Mutex
+	value int
+}
+
+type edge struct {
+	mu sync.Mutex
+	n  int
+}
+
+type registry struct {
+	mu    sync.Mutex
+	nodes map[int]*node
+}
+
+// abLock orders node.mu before edge.mu.
+func abLock(a *node, b *edge) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-acquisition cycle`
+	defer b.mu.Unlock()
+	b.n++
+}
+
+// baLock orders them the other way: together with abLock this is the
+// classic ABBA inversion.
+func baLock(a *node, b *edge) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock-acquisition cycle`
+	defer a.mu.Unlock()
+	a.value++
+}
+
+// acquireViaHelper holds registry.mu across a call that takes node.mu:
+// the edge is transitive, through the call graph.
+func acquireViaHelper(r *registry, a *node) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lockNode(a) // want `lock-acquisition cycle`
+}
+
+// lockNode takes node.mu on the caller's behalf.
+func lockNode(a *node) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.value++
+}
+
+// nodeToRegistry inverts acquireViaHelper's transitive order.
+func nodeToRegistry(r *registry, a *node) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	r.mu.Lock() // want `lock-acquisition cycle`
+	defer r.mu.Unlock()
+	r.nodes[0] = a
+}
+
+// reacquire takes a lock class it already holds: sync mutexes are not
+// reentrant, so this deadlocks against itself.
+func reacquire(a *node) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mu.Lock() // want `already held`
+	defer a.mu.Unlock()
+}
+
+// sendWhileLocked performs an unbuffered-send-shaped blocking operation
+// with the lock held: every other goroutine contending for node.mu
+// stalls until some receiver shows up.
+func sendWhileLocked(a *node, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ch <- a.value // want `potentially blocking channel send`
+}
+
+// sleepWhileLocked parks with the lock held.
+func sleepWhileLocked(a *node) {
+	a.mu.Lock()
+	time.Sleep(time.Millisecond) // want `potentially blocking sleep`
+	a.mu.Unlock()
+}
+
+// callBlockerWhileLocked reaches a blocking receive through a call chain
+// while holding node.mu.
+func callBlockerWhileLocked(a *node, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	waitRecv(ch) // want `may block`
+}
+
+// waitRecv blocks until ch yields; harmless on its own.
+func waitRecv(ch chan int) int { return <-ch }
+
+// tryDrain is the sanctioned non-blocking shape: a select with a default
+// never parks, even under the lock.
+func tryDrain(a *node, ch chan int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	select {
+	case v := <-ch:
+		a.value = v
+	default:
+	}
+}
+
+// sendAfterUnlock releases before blocking: clean.
+func sendAfterUnlock(a *node, ch chan int) {
+	a.mu.Lock()
+	v := a.value
+	a.mu.Unlock()
+	ch <- v
+}

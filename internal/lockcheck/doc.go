@@ -1,0 +1,23 @@
+// Package lockcheck provides a mutex whose acquisitions are shadowed by
+// a dynamic lock-order assertion, the runtime counterpart of bwc-vet's
+// static lockorder check (DESIGN.md §8i).
+//
+// Without the lockcheck build tag, Mutex is a zero-overhead wrapper
+// embedding sync.Mutex; the promoted Lock/Unlock keep the static
+// analyzer's sync-based recognition intact, so instrumented call sites
+// analyze and run exactly like plain mutexes.
+//
+// With `-tags lockcheck`, every Lock records the acquisition edge (held
+// class → acquired class) in a global order graph and panics the
+// moment a goroutine takes two lock classes in the opposite order of
+// any earlier acquisition anywhere in the process — surfacing a
+// potential ABBA deadlock at its first occurrence instead of waiting
+// for the unlucky interleaving to wedge a soak run. Reacquiring the
+// same Mutex instance (sync locks are not reentrant) panics too.
+//
+// The assertion is class-based: name lock classes with SetClass (for
+// example "runtime.Runtime.mu") so every instance of a struct field
+// shares one node in the order graph, mirroring how the static check
+// classifies locks. Instances left unnamed get a per-instance class
+// from their first Lock site.
+package lockcheck

@@ -1,0 +1,45 @@
+package lockcheck
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMutualExclusion holds in both builds: whatever the shadow layer
+// does, Mutex must still be a mutex.
+func TestMutualExclusion(t *testing.T) {
+	var mu Mutex
+	mu.SetClass("lockcheck.test.counter")
+	var wg sync.WaitGroup
+	counter := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*1000 {
+		t.Fatalf("counter = %d, want %d", counter, 8*1000)
+	}
+}
+
+// TestConsistentNesting takes two classes in one order everywhere: the
+// shadow graph must accept it silently in the lockcheck build and it is
+// trivially fine in the default build.
+func TestConsistentNesting(t *testing.T) {
+	var outer, inner Mutex
+	outer.SetClass("lockcheck.test.outer")
+	inner.SetClass("lockcheck.test.inner")
+	for i := 0; i < 3; i++ {
+		outer.Lock()
+		inner.Lock()
+		inner.Unlock()
+		outer.Unlock()
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"bwcluster/internal/cluster"
+	"bwcluster/internal/lockcheck"
 	"bwcluster/internal/metric"
 	"bwcluster/internal/overlay"
 	"bwcluster/internal/telemetry"
@@ -77,7 +78,7 @@ type Runtime struct {
 	// record their birth tick so the health monitor's sweep can prove
 	// the tables bounded even if a caller leaks its entry.
 	qid         atomic.Uint64
-	pendMu      sync.Mutex
+	pendMu      lockcheck.Mutex
 	pendCluster map[uint64]pendingCluster // guarded by pendMu
 	pendNode    map[uint64]pendingNode    // guarded by pendMu
 
@@ -97,7 +98,7 @@ type Runtime struct {
 	monStop chan struct{}
 	monOnce sync.Once
 
-	mu    sync.Mutex
+	mu    lockcheck.Mutex
 	peers map[int]*peer // guarded by mu
 	wg    sync.WaitGroup
 }
@@ -164,7 +165,7 @@ type peer struct {
 	done      chan struct{}
 	lossRng   *rand.Rand // per-peer source for loss injection
 
-	mu         sync.Mutex
+	mu         lockcheck.Mutex
 	aggrNode   map[int][]int
 	aggrCRT    map[int][]int
 	selfCRT    []int
@@ -215,6 +216,10 @@ func NewWithTransport(sub overlay.Substrate, cfg overlay.Config, tick time.Durat
 		collector:   telemetry.NewTraceCollector(0),
 		monStop:     make(chan struct{}),
 	}
+	// Class names feed the lockcheck build's shadow order graph; they
+	// mirror the lock classes bwc-vet's static lockorder check derives.
+	rt.mu.SetClass("runtime.Runtime.mu")
+	rt.pendMu.SetClass("runtime.Runtime.pendMu")
 	tbl := &distTable{dist: dist, index: make(map[int]int, len(hosts))}
 	for i, h := range hosts {
 		tbl.index[h] = i
@@ -259,7 +264,7 @@ func (rt *Runtime) newPeer(id int, neighbors []int) (*peer, error) {
 	for _, v := range neighbors {
 		last[v] = now // watermark ages start at peer creation, not tick zero
 	}
-	return &peer{
+	p := &peer{
 		id:         id,
 		rt:         rt,
 		neighbors:  neighbors,
@@ -271,7 +276,9 @@ func (rt *Runtime) newPeer(id int, neighbors []int) (*peer, error) {
 		aggrCRT:    make(map[int][]int, len(neighbors)),
 		dirty:      true,
 		lastGossip: last,
-	}, nil
+	}
+	p.mu.SetClass("runtime.peer.mu")
+	return p, nil
 }
 
 // Start launches every peer goroutine and the health monitor.

@@ -8,6 +8,7 @@ import (
 	"bwcluster/internal/metric"
 	"bwcluster/internal/runtime"
 	"bwcluster/internal/telemetry"
+	"bwcluster/internal/transport"
 )
 
 // DefaultAsyncTick is the gossip period an AsyncRuntime uses when the
@@ -35,10 +36,30 @@ type AsyncRuntime struct {
 // Health().Converged for non-blocking readiness) and Close to stop the
 // goroutines. A non-positive tick uses DefaultAsyncTick.
 func (s *System) AsyncRuntime(tick time.Duration) (*AsyncRuntime, error) {
+	return s.asyncRuntime(tick, func(tick time.Duration) (*runtime.Runtime, error) {
+		return runtime.New(s.forest, s.ovCfg, tick)
+	})
+}
+
+// AsyncRuntimeWithTransport starts the asynchronous runtime over a
+// caller-supplied transport, hosting only the given subset of the
+// system's hosts in this process. This is how a fleet shard joins a
+// multi-process overlay: every shard holds the same built System (so
+// epochs agree), each hosts a disjoint slice of its peers over a shared
+// TCPTransport, and gossip and query forwarding cross process
+// boundaries as wire frames. Semantics otherwise match AsyncRuntime;
+// queries must start at a locally hosted peer.
+func (s *System) AsyncRuntimeWithTransport(tick time.Duration, tr transport.Transport, local []int) (*AsyncRuntime, error) {
+	return s.asyncRuntime(tick, func(tick time.Duration) (*runtime.Runtime, error) {
+		return runtime.NewWithTransport(s.forest, s.ovCfg, tick, tr, local)
+	})
+}
+
+func (s *System) asyncRuntime(tick time.Duration, build func(time.Duration) (*runtime.Runtime, error)) (*AsyncRuntime, error) {
 	if tick <= 0 {
 		tick = DefaultAsyncTick
 	}
-	rt, err := runtime.New(s.forest, s.ovCfg, tick)
+	rt, err := build(tick)
 	if err != nil {
 		return nil, fmt.Errorf("bwcluster: async runtime: %w", err)
 	}

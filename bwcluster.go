@@ -289,6 +289,19 @@ func (s *System) Len() int { return s.bw.N() }
 // Parallelism reports the system's worker-pool bound.
 func (s *System) Parallelism() int { return s.workers }
 
+// Epoch reports the system's membership epoch: the count of host
+// add/remove operations applied to the prediction forest since it was
+// built. Two systems at the same epoch built from the same inputs hold
+// identical forests, which is what lets the serving tier key replica
+// freshness and query-cache validity on this single number.
+func (s *System) Epoch() uint64 { return s.forest.Epoch() }
+
+// Hosts returns the ids of the hosts currently in the overlay, in join
+// order — the live membership after any churn, as opposed to Len,
+// which reports the measurement matrix's full width. The fleet's
+// rendezvous assignment partitions exactly this set across shards.
+func (s *System) Hosts() []int { return s.net.Hosts() }
+
 // Constant returns the rational-transform constant in use.
 func (s *System) Constant() float64 { return s.c }
 

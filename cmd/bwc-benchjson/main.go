@@ -23,7 +23,10 @@
 // be slower than tracing-on beyond the same noise bound, and
 // incremental forest repair (remove + re-add of one host) must stay at
 // least 10x cheaper than rebuilding the forest from scratch — the
-// economics that justify churn-native membership (DESIGN.md §8h).
+// economics that justify churn-native membership (DESIGN.md §8h) —
+// and the fleet router's cached query path must be at least 5x cheaper
+// than the uncached proxy path (the economics that justify the serving
+// tier's epoch-keyed cache; internal/fleet).
 // An optional -baseline FILE diffs cell means against a committed
 // report and WARNS (never fails) on >20% regressions, so drift is
 // visible in CI logs without making the gate flaky across runner
@@ -481,6 +484,37 @@ func runGate(resultsPath, baselinePath string, out io.Writer) error {
 	}
 	if !repairSeen {
 		fmt.Fprintln(out, "  (no IncrementalRemoveAdd incremental/rebuild pair in matrix; repair invariant skipped)")
+	}
+
+	// Invariant 4: the fleet router's query cache must pay for itself —
+	// a cached /v1/cluster answer at least 5x cheaper than an uncached
+	// (proxied) one, at the gate procs level (see internal/fleet
+	// BenchmarkFleetQueryCache). If the floor trips, cache lookups cost
+	// proxy-scale work and the zipf head of real traffic gains nothing
+	// from the serving tier's cache.
+	const cacheFloor = 5.0
+	cacheSeen := false
+	for _, c := range rep.Matrix {
+		if !strings.HasSuffix(c.Name, "FleetQueryCache/cached") || c.Procs != gp {
+			continue
+		}
+		unc := cellAt("FleetQueryCache/uncached", c.Procs)
+		if unc == nil || c.MeanNsPerOp <= 0 {
+			continue
+		}
+		cacheSeen = true
+		ratio := unc.MeanNsPerOp / c.MeanNsPerOp
+		if ratio < cacheFloor {
+			failures = append(failures, fmt.Sprintf(
+				"%s at %d procs: cached query %.0fns/op is only %.1fx cheaper than uncached %.0fns/op (floor %.0fx)",
+				c.Name, c.Procs, c.MeanNsPerOp, ratio, unc.MeanNsPerOp, cacheFloor))
+		} else {
+			fmt.Fprintf(out, "  %-50s procs=%d cached %.3gms vs uncached %.3gms (%.1fx >= %.0fx) ok\n",
+				c.Name, c.Procs, c.MeanNsPerOp/1e6, unc.MeanNsPerOp/1e6, ratio, cacheFloor)
+		}
+	}
+	if !cacheSeen {
+		fmt.Fprintln(out, "  (no FleetQueryCache cached/uncached pair in matrix; cache invariant skipped)")
 	}
 
 	// Baseline diff: warn-only, so hardware drift between runner

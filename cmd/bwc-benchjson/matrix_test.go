@@ -38,6 +38,12 @@ BenchmarkIncrementalRemoveAdd/rebuild-4         	     100	   5400000 ns/op
 BenchmarkIncrementalRemoveAdd/incremental-4     	   10000	     23000 ns/op
 BenchmarkIncrementalRemoveAdd/rebuild-4         	     100	   5500000 ns/op
 PASS
+pkg: bwcluster/internal/fleet
+BenchmarkFleetQueryCache/uncached-4             	   10000	     80000 ns/op
+BenchmarkFleetQueryCache/cached-4               	  100000	     10000 ns/op
+BenchmarkFleetQueryCache/uncached-4             	   10000	     82000 ns/op
+BenchmarkFleetQueryCache/cached-4               	  100000	     10500 ns/op
+PASS
 `
 
 func TestSplitProcs(t *testing.T) {
@@ -70,9 +76,10 @@ func TestRunMatrixAggregates(t *testing.T) {
 	if len(rep.Benchmarks) != 0 {
 		t.Errorf("matrix mode should drop raw lines, kept %d", len(rep.Benchmarks))
 	}
-	// 4 cluster cells (seq/par x procs 1/4) + 2 tracing + 2 repair cells.
-	if len(rep.Matrix) != 8 {
-		t.Fatalf("got %d matrix cells, want 8: %+v", len(rep.Matrix), rep.Matrix)
+	// 4 cluster cells (seq/par x procs 1/4) + 2 tracing + 2 repair
+	// + 2 serving-cache cells.
+	if len(rep.Matrix) != 10 {
+		t.Fatalf("got %d matrix cells, want 10: %+v", len(rep.Matrix), rep.Matrix)
 	}
 	c := rep.Matrix[0]
 	if c.Name != "BenchmarkFindClusterParallel/sequential" || c.Procs != 1 || c.Samples != 2 {
@@ -199,6 +206,25 @@ func TestGateFailsWhenRepairUnder10x(t *testing.T) {
 	err := runGate(writeReport(t, rep), "", &out)
 	if err == nil || !strings.Contains(err.Error(), "cheaper than rebuild") {
 		t.Fatalf("gate should fail when repair margin drops below 10x, got err=%v", err)
+	}
+}
+
+// TestGateFailsWhenCacheUnder5x: inflating the cached serving cell to
+// within 5x of the uncached one must trip invariant 4 — a cache that
+// saves less than that is pure overhead on the zipf head.
+func TestGateFailsWhenCacheUnder5x(t *testing.T) {
+	rep := matrixReport(t)
+	rep.CPUs = 4
+	for i := range rep.Matrix {
+		if strings.HasSuffix(rep.Matrix[i].Name, "FleetQueryCache/cached") {
+			rep.Matrix[i].MeanNsPerOp = 30000 // uncached is ~81000: only 2.7x
+			rep.Matrix[i].MinNsPerOp = 30000
+		}
+	}
+	var out bytes.Buffer
+	err := runGate(writeReport(t, rep), "", &out)
+	if err == nil || !strings.Contains(err.Error(), "cheaper than uncached") {
+		t.Fatalf("gate should fail when the cache margin drops below 5x, got err=%v", err)
 	}
 }
 

@@ -1,0 +1,300 @@
+// Command bwc-fleet runs the sharded serving tier (internal/fleet): a
+// stateless HTTP router in front of N shard processes that together
+// host one overlay network. Shard 0 builds the system from a bandwidth
+// matrix and streams wireVersion-2 snapshots to the replicas over the
+// fleet's TCP transport; every shard then answers the full query API
+// while its async runtime hosts only its rendezvous slice of the
+// overlay peers.
+//
+// Modes:
+//
+//	bwc-fleet -mode soak                     spawn router + shards, drive a zipf workload (default)
+//	bwc-fleet -mode shard -index 0 ...       one shard process
+//	bwc-fleet -mode router -targets ...      the router alone
+//
+// Two-process quickstart (one shard + the router):
+//
+//	bwc-fleet -mode shard -index 0 -shards 1 -data hp.gob -addr 127.0.0.1:8081 &
+//	bwc-fleet -mode router -addr :8080 -targets http://127.0.0.1:8081
+//	curl 'localhost:8080/v1/cluster?k=6&b=40'
+//
+// Multi-shard wiring (done automatically by -mode soak): every shard
+// prints "READY <httpAddr> <peerAddr>" on stdout once its listeners are
+// bound, then — when -routes is not given — blocks reading one
+// "ROUTES <peer0,peer1,...>" line on stdin carrying every shard's peer
+// transport address in index order. The builder installs and streams
+// once the routes land; replicas become ready when their first snapshot
+// stream completes.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"bwcluster"
+	"bwcluster/internal/buildinfo"
+	"bwcluster/internal/dataset"
+	"bwcluster/internal/fleet"
+	"bwcluster/internal/telemetry"
+	"bwcluster/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bwc-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	mode := "soak"
+	if len(args) >= 2 && args[0] == "-mode" {
+		mode, args = args[1], args[2:]
+	}
+	switch mode {
+	case "shard":
+		return runShard(args)
+	case "router":
+		return runRouter(args)
+	case "soak":
+		return runSoak(args)
+	case "version":
+		fmt.Println("bwc-fleet", buildinfo.String())
+		return nil
+	default:
+		return fmt.Errorf("unknown -mode %q (shard, router, soak, version)", mode)
+	}
+}
+
+// newLogger returns a JSON logger on stderr, or a discard logger with
+// -quiet (the soak harness runs millions of requests; per-request
+// access logs would dwarf the results).
+func newLogger(quiet bool) *slog.Logger {
+	if quiet {
+		return slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+}
+
+// signalContext cancels on SIGINT/SIGTERM.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+func runShard(args []string) error {
+	fs := flag.NewFlagSet("bwc-fleet -mode shard", flag.ContinueOnError)
+	index := fs.Int("index", 0, "this shard's id in [0, shards)")
+	shards := fs.Int("shards", 1, "fleet size")
+	addr := fs.String("addr", "127.0.0.1:0", "HTTP listen address")
+	peer := fs.String("peer", "127.0.0.1:0", "overlay/replication TCP listen address")
+	routes := fs.String("routes", "", "comma-separated peer addresses of every shard in index order (empty with shards>1: read a ROUTES line from stdin)")
+	data := fs.String("data", "", "bandwidth matrix file; given only to the builder shard")
+	nCut := fs.Int("ncut", 10, "overlay propagation cutoff n_cut")
+	seed := fs.Int64("seed", 1, "construction seed")
+	tick := fs.Duration("tick", 0, "async runtime gossip period (0: default)")
+	quiet := fs.Bool("quiet", false, "discard logs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *index < 0 || *index >= *shards {
+		return fmt.Errorf("-index %d outside [0, %d)", *index, *shards)
+	}
+	logger := newLogger(*quiet)
+
+	tr, err := transport.NewTCP(transport.TCPConfig{Listen: *peer, JitterSeed: int64(*index + 1)})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+
+	sh := fleet.NewShard(fleet.ShardConfig{
+		Index: *index, Shards: *shards, Transport: tr, Tick: *tick,
+		Logger: logger, Metrics: telemetry.Default().Handler(),
+	})
+	defer sh.Close()
+	builder := *data != ""
+	if !builder {
+		// Register the replicator endpoint BEFORE announcing readiness to
+		// the parent: once READY lines are out, the parent releases the
+		// builder, whose first snapshot chunk must find this endpoint.
+		if err := sh.StartReplica(); err != nil {
+			return err
+		}
+	}
+
+	// Announce the bound addresses, then learn everyone else's.
+	fmt.Printf("READY %s %s\n", ln.Addr(), tr.Addr())
+	peerAddrs := splitList(*routes)
+	if len(peerAddrs) == 0 && *shards > 1 {
+		line, err := bufio.NewReader(os.Stdin).ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("reading ROUTES line: %w", err)
+		}
+		rest, ok := strings.CutPrefix(strings.TrimSpace(line), "ROUTES ")
+		if !ok {
+			return fmt.Errorf("expected a ROUTES line, got %q", strings.TrimSpace(line))
+		}
+		peerAddrs = splitList(rest)
+	}
+	if *shards > 1 && len(peerAddrs) != *shards {
+		return fmt.Errorf("got %d route(s) for %d shards", len(peerAddrs), *shards)
+	}
+	for i, a := range peerAddrs {
+		if i != *index {
+			tr.AddRoute(fleet.ReplicaEndpoint(i), a)
+		}
+	}
+	addHostRoutes := func(sys *bwcluster.System) {
+		parts := fleet.Assign(sys.Hosts(), *shards, sys.Epoch())
+		for s, part := range parts {
+			if s == *index {
+				continue
+			}
+			for _, h := range part {
+				tr.AddRoute(h, peerAddrs[s])
+			}
+		}
+	}
+
+	srv := &http.Server{Handler: sh.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	if builder {
+		m, err := dataset.LoadFile(*data)
+		if err != nil {
+			return err
+		}
+		raw := make([][]float64, m.N())
+		for i := range raw {
+			raw[i] = make([]float64, m.N())
+			for j := range raw[i] {
+				if i != j {
+					raw[i][j] = m.At(i, j)
+				}
+			}
+		}
+		sys, err := bwcluster.New(raw, bwcluster.WithNCut(*nCut), bwcluster.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+		if len(peerAddrs) > 0 {
+			addHostRoutes(sys)
+		}
+		if err := sh.Install(sys); err != nil {
+			return err
+		}
+		for r := 0; r < *shards; r++ {
+			if r == *index {
+				continue
+			}
+			if err := sh.StreamTo(1, r); err != nil {
+				logger.Error("snapshot stream failed", "replica", r, "err", err.Error())
+			}
+		}
+	} else if len(peerAddrs) > 0 {
+		// The replica's overlay routes depend on the assignment, known
+		// only once the snapshot lands; StartReplica's install path needs
+		// them in place, so hook the route fill to the restored system.
+		// (Install retries nothing itself: gossip to a not-yet-routed peer
+		// just errors and is retried next tick, so the late AddRoute
+		// heals.)
+		go func() {
+			for {
+				if sys := sh.System(); sys != nil {
+					addHostRoutes(sys)
+					return
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+		}()
+	}
+
+	ctx, stop := signalContext()
+	defer stop()
+	select {
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
+		return nil
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+func runRouter(args []string) error {
+	fs := flag.NewFlagSet("bwc-fleet -mode router", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "HTTP listen address")
+	targets := fs.String("targets", "", "comma-separated shard base URLs in shard-index order; required")
+	rate := fs.Float64("rate", 1000, "per-tenant admission rate (queries/s)")
+	burst := fs.Float64("burst", 0, "per-tenant burst (0: 2x rate)")
+	queue := fs.Int("queue", 100, "per-tenant admission queue depth beyond the burst")
+	cacheSize := fs.Int("cache", 4096, "query cache entries")
+	quiet := fs.Bool("quiet", false, "discard logs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shardURLs := splitList(*targets)
+	if len(shardURLs) == 0 {
+		return fmt.Errorf("-targets is required")
+	}
+	logger := newLogger(*quiet)
+	rt := fleet.NewRouter(fleet.RouterConfig{
+		Shards:    shardURLs,
+		Logger:    logger,
+		Metrics:   telemetry.Default().Handler(),
+		Admission: fleet.AdmissionConfig{Rate: *rate, Burst: *burst, Queue: *queue},
+		CacheSize: *cacheSize,
+	})
+	rt.Start()
+	defer rt.Stop()
+	srv := &http.Server{Addr: *addr, Handler: rt, ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signalContext()
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	logger.Info("router serving", "addr", *addr, "shards", len(shardURLs))
+	select {
+	case <-ctx.Done():
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shCtx)
+		return nil
+	case err := <-serveErr:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// splitList splits a comma-separated flag value, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

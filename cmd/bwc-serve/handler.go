@@ -1,386 +1,30 @@
 package main
 
 import (
-	"encoding/json"
-	"errors"
 	"log/slog"
 	"net/http"
-	"net/http/pprof"
-	"strconv"
-	"strings"
-	"time"
 
 	"bwcluster"
+	"bwcluster/internal/serveapi"
 	"bwcluster/internal/telemetry"
 )
 
-// handler serves the JSON API. A built System is safe for concurrent
-// use (queries are read-only; the centralized query cache is internally
-// lock-guarded), so requests are served without any serializing mutex —
-// the server scales with GOMAXPROCS instead of handling one query at a
-// time. async is non-nil when the server was started with -async; it
-// then routes decentralized queries through the live message-passing
-// runtime and exposes its health monitor and flight recorder.
-type handler struct {
-	sys   *bwcluster.System
-	async *bwcluster.AsyncRuntime
+// newAPI builds the shared serving API handler with this process's
+// metrics registry mounted at /metrics. The handler starts unready
+// (every query endpoint answers 503, /v1/ready reports false) until
+// SetBackend installs the built system.
+func newAPI(logger *slog.Logger) *serveapi.Handler {
+	return serveapi.New(serveapi.Config{
+		Logger:  logger,
+		Metrics: telemetry.Default().Handler(),
+	})
 }
 
-// queryTimeout bounds how long an async-routed query may wait for its
-// routed answer before the request fails (and the runtime flight
-// recorder logs a query_timeout anomaly).
-const queryTimeout = 10 * time.Second
-
+// newHandler builds the API handler with the backend already installed:
+// the form the tests exercise, and what run uses once the build stage
+// completes.
 func newHandler(sys *bwcluster.System, async *bwcluster.AsyncRuntime, logger *slog.Logger) http.Handler {
-	h := &handler{sys: sys, async: async}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/info", h.info)
-	mux.HandleFunc("GET /v1/cluster", h.cluster)
-	mux.HandleFunc("GET /v1/node", h.node)
-	mux.HandleFunc("GET /v1/predict", h.predict)
-	mux.HandleFunc("GET /v1/tightest", h.tightest)
-	mux.HandleFunc("GET /v1/label", h.label)
-	mux.HandleFunc("GET /v1/trace", h.trace)
-	mux.HandleFunc("GET /v1/health", h.health)
-	mux.HandleFunc("GET /v1/membership", h.membership)
-	mux.HandleFunc("GET /v1/flight", h.flight)
-	// Observability plane: metrics exposition and the stdlib profiler.
-	mux.Handle("GET /metrics", telemetry.Default().Handler())
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return withObservability(logger, mux)
-}
-
-type errorBody struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// Encoding failures after the header is out can only be logged by the
-	// server; the encoder writing to a ResponseWriter cannot fail for the
-	// value types used here.
-	_ = json.NewEncoder(w).Encode(body)
-}
-
-func badRequest(w http.ResponseWriter, err error) {
-	writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-}
-
-func intParam(r *http.Request, name string) (int, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return 0, errors.New("missing required parameter " + name)
-	}
-	v, err := strconv.Atoi(raw)
-	if err != nil {
-		return 0, errors.New("parameter " + name + " must be an integer")
-	}
-	return v, nil
-}
-
-func floatParam(r *http.Request, name string) (float64, error) {
-	raw := r.URL.Query().Get(name)
-	if raw == "" {
-		return 0, errors.New("missing required parameter " + name)
-	}
-	v, err := strconv.ParseFloat(raw, 64)
-	if err != nil {
-		return 0, errors.New("parameter " + name + " must be a number")
-	}
-	return v, nil
-}
-
-func (h *handler) info(w http.ResponseWriter, r *http.Request) {
-	st := h.sys.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"hosts":          h.sys.Len(),
-		"classes":        h.sys.Classes(),
-		"constant":       h.sys.Constant(),
-		"trees":          st.Trees,
-		"measurements":   st.Measurements,
-		"gossipRounds":   st.GossipRounds,
-		"gossipMessages": st.GossipMessages,
-	})
-}
-
-type clusterBody struct {
-	Members    []int   `json:"members"`
-	Found      bool    `json:"found"`
-	Hops       int     `json:"hops,omitempty"`
-	AnsweredBy int     `json:"answeredBy,omitempty"`
-	ClassMbps  float64 `json:"classMbps,omitempty"`
-}
-
-func (h *handler) cluster(w http.ResponseWriter, r *http.Request) {
-	k, err := intParam(r, "k")
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	b, err := floatParam(r, "b")
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	switch mode := r.URL.Query().Get("mode"); mode {
-	case "", "central":
-		members, err := h.sys.FindCluster(k, b)
-		if err != nil {
-			badRequest(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, clusterBody{Members: members, Found: members != nil})
-	case "decentral":
-		start := 0
-		if r.URL.Query().Get("start") != "" {
-			if start, err = intParam(r, "start"); err != nil {
-				badRequest(w, err)
-				return
-			}
-		}
-		var res bwcluster.QueryResult
-		if h.async != nil {
-			res, err = h.async.Query(start, k, b, queryTimeout)
-		} else {
-			res, err = h.sys.Query(start, k, b)
-		}
-		if err != nil {
-			badRequest(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, clusterBody{
-			Members: res.Members, Found: res.Found(),
-			Hops: res.Hops, AnsweredBy: res.AnsweredBy, ClassMbps: res.Class,
-		})
-	default:
-		badRequest(w, errors.New("mode must be central or decentral"))
-	}
-}
-
-func (h *handler) node(w http.ResponseWriter, r *http.Request) {
-	b, err := floatParam(r, "b")
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	rawSet := r.URL.Query().Get("set")
-	if rawSet == "" {
-		badRequest(w, errors.New("missing required parameter set"))
-		return
-	}
-	var set []int
-	for _, part := range strings.Split(rawSet, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			badRequest(w, errors.New("set must be comma-separated host ids"))
-			return
-		}
-		set = append(set, v)
-	}
-	res, err := h.sys.FindNodeForSet(set, b)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"node":           res.Node,
-		"found":          res.Found(),
-		"worstBandwidth": res.WorstBandwidth,
-	})
-}
-
-func (h *handler) predict(w http.ResponseWriter, r *http.Request) {
-	u, err := intParam(r, "u")
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	v, err := intParam(r, "v")
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	pred, err := h.sys.PredictBandwidth(u, v)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	measured, err := h.sys.MeasuredBandwidth(u, v)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"predictedMbps": pred,
-		"measuredMbps":  measured,
-	})
-}
-
-func (h *handler) tightest(w http.ResponseWriter, r *http.Request) {
-	k, err := intParam(r, "k")
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	members, worst, err := h.sys.TightestCluster(k)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"members":        members,
-		"found":          members != nil,
-		"worstBandwidth": worst,
-	})
-}
-
-// trace runs a decentralized query with tracing enabled and returns the
-// span tree alongside the result: one child span per overlay hop with
-// the peer id, the routing signal (CRT promise) and the candidate
-// radius. With -async the query instead travels the live message-passing
-// runtime and the tree is reassembled from hop span events reported by
-// every participating peer — including peers in other processes —
-// with dropped reports surfacing as explicit "gap" spans.
-// GET /v1/trace?k=10&b=50&start=3 (start defaults to 0).
-func (h *handler) trace(w http.ResponseWriter, r *http.Request) {
-	k, err := intParam(r, "k")
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	b, err := floatParam(r, "b")
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	start := 0
-	if r.URL.Query().Get("start") != "" {
-		if start, err = intParam(r, "start"); err != nil {
-			badRequest(w, err)
-			return
-		}
-	}
-	var res bwcluster.QueryResult
-	var span *telemetry.Span
-	if h.async != nil {
-		res, span, err = h.async.QueryTraced(start, k, b, queryTimeout)
-	} else {
-		res, span, err = h.sys.QueryTraced(start, k, b)
-	}
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"members":    res.Members,
-		"found":      res.Found(),
-		"hops":       res.Hops,
-		"answeredBy": res.AnsweredBy,
-		"classMbps":  res.Class,
-		"trace":      span,
-	})
-}
-
-// health answers readiness truthfully. Without -async a built System is
-// immediately ready (construction converged the overlay synchronously
-// before the listener opened). With -async the live runtime's
-// convergence monitor decides: until gossip has been quiet for the
-// convergence window the body reports converged=false and the status is
-// 503, so load balancers and readiness probes keep traffic away from a
-// server whose routing tables are still moving. The body always carries
-// the full health summary (gossip-age watermark, pending replies, trace
-// backlog, logical clock).
-func (h *handler) health(w http.ResponseWriter, r *http.Request) {
-	if h.async == nil {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"mode":      "sync",
-			"hosts":     h.sys.Len(),
-			"converged": true,
-		})
-		return
-	}
-	hs := h.async.Health()
-	status := http.StatusOK
-	if !hs.Converged {
-		status = http.StatusServiceUnavailable
-	}
-	writeJSON(w, status, map[string]any{
-		"mode":              "async",
-		"hosts":             hs.Hosts,
-		"converged":         hs.Converged,
-		"maxGossipAgeTicks": hs.MaxGossipAgeTicks,
-		"pendingReplies":    hs.PendingReplies,
-		"traceBacklog":      hs.TraceBacklog,
-		"ticks":             hs.Ticks,
-	})
-}
-
-// membership reports who is in the cluster and how alive they are.
-// Without -async membership is static — the built System's host set,
-// trivially all alive. With -async the body is the liveness tracker's
-// snapshot: per-host status (a host whose gossip has gone quiet past
-// the suspicion window reports suspect, past the death threshold dead),
-// the membership epoch, and the recent join/leave/fail/suspect/recover
-// event log.
-func (h *handler) membership(w http.ResponseWriter, r *http.Request) {
-	if h.async == nil {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"mode":  "sync",
-			"epoch": h.sys.Len(),
-			"alive": h.sys.Len(),
-		})
-		return
-	}
-	snap := h.async.Membership()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"mode":    "async",
-		"epoch":   snap.Epoch,
-		"alive":   snap.Alive,
-		"suspect": snap.Suspect,
-		"dead":    snap.Dead,
-		"left":    snap.Left,
-		"hosts":   snap.Hosts,
-		"events":  snap.Events,
-	})
-}
-
-// flight snapshots the async runtime's flight recorder — the bounded
-// black-box ring of structured overlay events. JSON by default;
-// ?format=text renders the post-mortem dump format. Without -async
-// there is no runtime to record, so the endpoint reports 404.
-func (h *handler) flight(w http.ResponseWriter, r *http.Request) {
-	if h.async == nil {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "flight recorder requires -async"})
-		return
-	}
-	rec := h.async.Flight()
-	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_, _ = rec.WriteTo(w)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"cap":    rec.Cap(),
-		"seq":    rec.Seq(),
-		"events": rec.Snapshot(),
-	})
-}
-
-func (h *handler) label(w http.ResponseWriter, r *http.Request) {
-	host, err := intParam(r, "h")
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	label, err := h.sys.DistanceLabel(host)
-	if err != nil {
-		badRequest(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]any{"host": host, "label": label})
+	h := newAPI(logger)
+	h.SetBackend(sys, async)
+	return h
 }

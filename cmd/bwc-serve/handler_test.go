@@ -79,6 +79,38 @@ func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
 	return body
 }
 
+// TestReadyEndpoint: /v1/ready answers 503 while the forest is still
+// building (the listener binds before the build) and flips to 200 —
+// with the backend's host count and epoch — once SetBackend installs
+// the built system. Query endpoints shed with 503 in the window, not
+// 404 or a hang.
+func TestReadyEndpoint(t *testing.T) {
+	api := newAPI(discardLogger())
+	srv := httptest.NewServer(api)
+	t.Cleanup(srv.Close)
+
+	body := getJSON(t, srv.URL+"/v1/ready", http.StatusServiceUnavailable)
+	if body["ready"] != false {
+		t.Fatalf("unready body = %v", body)
+	}
+	getJSON(t, srv.URL+"/v1/cluster?k=4&b=15", http.StatusServiceUnavailable)
+	getJSON(t, srv.URL+"/v1/health", http.StatusServiceUnavailable)
+
+	sys := testSystem(t)
+	api.SetBackend(sys, nil)
+	body = getJSON(t, srv.URL+"/v1/ready", http.StatusOK)
+	if body["ready"] != true {
+		t.Fatalf("ready body = %v", body)
+	}
+	if int(body["hosts"].(float64)) != sys.Len() {
+		t.Errorf("ready hosts = %v, want %d", body["hosts"], sys.Len())
+	}
+	if uint64(body["epoch"].(float64)) != sys.Epoch() {
+		t.Errorf("ready epoch = %v, want %d", body["epoch"], sys.Epoch())
+	}
+	getJSON(t, srv.URL+"/v1/cluster?k=4&b=15", http.StatusOK)
+}
+
 func TestInfoEndpoint(t *testing.T) {
 	srv := testServer(t)
 	body := getJSON(t, srv.URL+"/v1/info", http.StatusOK)

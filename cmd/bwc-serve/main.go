@@ -81,27 +81,45 @@ func run(args []string) error {
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	buildStart := time.Now()
-	sys, err := buildSystem(*data, *nCut, *seed)
+	// The listener binds before the forest builds: readiness probes get
+	// a truthful 503 from /v1/ready during the build instead of a
+	// connection refusal, and flip to 200 the moment SetBackend installs
+	// the built system.
+	api := newAPI(logger)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ln, err := listen(srv)
 	if err != nil {
 		return err
 	}
-	// The async runtime starts gossiping before the listener opens; the
-	// server is reachable immediately but /v1/health answers 503 until
-	// the convergence monitor flips — readiness stays truthful instead
-	// of blocking startup on Settle.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- serveListener(ctx, srv, ln, logger, *drain) }()
+	sys, err := buildSystem(*data, *nCut, *seed)
+	if err != nil {
+		_ = srv.Close()
+		<-serveErr
+		return err
+	}
+	// The async runtime starts gossiping as soon as the system is built;
+	// /v1/ready flips immediately but /v1/health answers 503 until the
+	// convergence monitor flips — readiness stays truthful instead of
+	// blocking startup on Settle.
 	var art *bwcluster.AsyncRuntime
 	if *async {
 		art, err = sys.AsyncRuntime(*tick)
 		if err != nil {
+			_ = srv.Close()
+			<-serveErr
 			return err
 		}
 		defer art.Close()
 	}
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           newHandler(sys, art, logger),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
+	api.SetBackend(sys, art)
 	logger.Info("ready",
 		"hosts", sys.Len(),
 		"addr", *addr,
@@ -109,18 +127,7 @@ func run(args []string) error {
 		"buildMs", time.Since(buildStart).Milliseconds(),
 		"version", buildinfo.String(),
 	)
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	return serve(ctx, srv, logger, *drain)
-}
-
-// serve binds srv.Addr and hands off to serveListener.
-func serve(ctx context.Context, srv *http.Server, logger *slog.Logger, drainTimeout time.Duration) error {
-	ln, err := listen(srv)
-	if err != nil {
-		return err
-	}
-	return serveListener(ctx, srv, ln, logger, drainTimeout)
+	return <-serveErr
 }
 
 // listen opens srv's TCP listener; split out so tests can bind :0 and

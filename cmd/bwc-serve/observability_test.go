@@ -213,17 +213,6 @@ func TestAccessLogFields(t *testing.T) {
 	}
 }
 
-func TestRequestIDsUnique(t *testing.T) {
-	seen := map[string]bool{}
-	for i := 0; i < 100; i++ {
-		id := nextRequestID()
-		if seen[id] {
-			t.Fatalf("duplicate request id %q", id)
-		}
-		seen[id] = true
-	}
-}
-
 func TestPprofIndex(t *testing.T) {
 	srv := testServer(t)
 	code, body := get(t, srv.URL+"/debug/pprof/")

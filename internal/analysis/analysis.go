@@ -110,8 +110,16 @@ func DefaultConfig() *Config {
 	}
 	io := []string{
 		mod + "/internal/transport",
+		mod + "/internal/fleet",
+		mod + "/internal/serveapi",
 	}
-	instrumented := append([]string{mod, mod + "/cmd/bwc-serve", mod + "/internal/transport"}, algo...)
+	instrumented := append([]string{
+		mod,
+		mod + "/cmd/bwc-serve",
+		mod + "/internal/transport",
+		mod + "/internal/fleet",
+		mod + "/internal/serveapi",
+	}, algo...)
 	enabled := make(map[string]bool, len(Checks))
 	for _, c := range Checks {
 		enabled[c.Name] = true
@@ -133,6 +141,7 @@ func DefaultConfig() *Config {
 			mod + "/internal/transport",
 			mod + "/internal/membership",
 			mod + "/internal/telemetry",
+			mod + "/internal/fleet",
 		},
 		ProtocolPackages: []string{
 			mod + "/internal/runtime",

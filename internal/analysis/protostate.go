@@ -10,9 +10,12 @@ package analysis
 //     and forgetting a dispatch arm becomes a lint error instead of a
 //     silently dropped message in a soak run.
 //  2. If a package declares both Message and wireMessage, the lean wire
-//     schema must carry exactly the non-trace fields of Message — a new
-//     payload field that misses the lean frame would vanish on every
-//     untraced TCP hop.
+//     schema must carry exactly the non-trace, non-snapshot fields of
+//     Message — a new payload field that misses the lean frame would
+//     vanish on every untraced TCP hop. Trace and snapshot state ride
+//     dedicated frame tags (frameTraced, frameSnapshot) precisely so
+//     their gob type descriptors stay off the per-tick gossip frames,
+//     so those fields are exempt in both directions.
 //  3. Message.clone must mention every reference field (pointer, slice,
 //     map) of Message: a field it skips stays aliased between duplicate
 //     deliveries, the exact bug class PR 4 fixed by introducing clone.
@@ -123,11 +126,17 @@ func checkKindSwitches(p *Pass) {
 	}
 }
 
-// isTraceField reports whether the field rides only on traced frames:
-// its type names a Trace struct (TraceContext, TraceEvent).
-func isTraceField(t types.Type) bool {
+// isDedicatedFrameField reports whether the field rides only on a
+// dedicated frame tag and is therefore exempt from lean-frame parity:
+// its type names a Trace struct (TraceContext, TraceEvent — frameTraced)
+// or the Snapshot chunk struct (frameSnapshot).
+func isDedicatedFrameField(t types.Type) bool {
 	named, ok := derefType(t).(*types.Named)
-	return ok && strings.Contains(named.Obj().Name(), "Trace")
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return strings.Contains(name, "Trace") || strings.Contains(name, "Snapshot")
 }
 
 // lookupStruct finds a package-level struct type by name.
@@ -159,7 +168,7 @@ func checkWireParity(p *Pass) {
 	for i := 0; i < msg.NumFields(); i++ {
 		f := msg.Field(i)
 		msgFields[f.Name()] = true
-		if isTraceField(f.Type()) {
+		if isDedicatedFrameField(f.Type()) {
 			continue
 		}
 		if !wireFields[f.Name()] {

@@ -1,0 +1,72 @@
+// Package fleet is the sharded serving tier: a stateless HTTP router in
+// front of N shard processes that together host one overlay network.
+// Every shard holds the same built System (replicated as wireVersion-2
+// snapshots over the overlay transport), while the live async runtime's
+// peers are partitioned across shards by a deterministic rendezvous
+// assignment keyed on the membership epoch. The router admits requests
+// per tenant (token bucket + bounded wait queue, 429 on overflow),
+// caches query results keyed (endpoint, k, b, epoch), and fails over
+// between shards on probe or proxy failure.
+//
+// The package is deliberately transport- and process-agnostic: shard
+// wiring (re-exec, port exchange) lives in cmd/bwc-fleet; everything
+// here is testable in-process with httptest shards.
+package fleet
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// Assign partitions hosts across shards by rendezvous (highest random
+// weight) hashing keyed on the membership epoch: every participant that
+// knows the host set, the shard count and the epoch computes the same
+// partition with no coordination, and an epoch bump (host add/remove)
+// reshuffles only the hosts whose winning shard actually changed —
+// not the whole map, as a modulo assignment would.
+//
+// hosts may arrive in any order; the result lists each shard's hosts in
+// ascending order. Shards ≤ 1 puts every host on shard 0.
+func Assign(hosts []int, shards int, epoch uint64) [][]int {
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([][]int, shards)
+	for _, h := range hosts {
+		best := Owner(h, shards, epoch)
+		out[best] = append(out[best], h)
+	}
+	for _, part := range out {
+		sort.Ints(part)
+	}
+	return out
+}
+
+// Owner returns the shard that hosts h under the same assignment
+// Assign computes — the router's per-request form of the partition.
+func Owner(h, shards int, epoch uint64) int {
+	if shards < 1 {
+		return 0
+	}
+	best, bestScore := 0, rendezvousScore(h, 0, epoch)
+	for s := 1; s < shards; s++ {
+		if score := rendezvousScore(h, s, epoch); score > bestScore {
+			best, bestScore = s, score
+		}
+	}
+	return best
+}
+
+// rendezvousScore hashes the (host, shard, epoch) triple with FNV-1a.
+// FNV is not cryptographic, which is fine: the assignment needs balance
+// and stability, not adversary resistance, and FNV is allocation-free.
+func rendezvousScore(host, shard int, epoch uint64) uint64 {
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:], uint64(host))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(shard))
+	binary.LittleEndian.PutUint64(buf[16:], epoch)
+	h := fnv.New64a()
+	h.Write(buf[:])
+	return h.Sum64()
+}

@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"strconv"
+	"sync"
+)
+
+// CacheKey identifies one cacheable query result: the endpoint and its
+// normalized parameters, plus the membership epoch the answer was
+// computed at. The epoch in the key makes a stale hit structurally
+// impossible — an answer computed at epoch e can only be returned to a
+// request at epoch e — while the wholesale flush on an epoch bump keeps
+// dead epochs from pinning memory.
+type CacheKey struct {
+	// Endpoint is the route ("/v1/cluster", "/v1/node", ...).
+	Endpoint string
+	// Params is the normalized query parameter string (sorted keys).
+	Params string
+	// Epoch is the membership epoch the backend answered at.
+	Epoch uint64
+}
+
+// CachedResponse is one stored answer: what the router replays to a
+// hitting request without touching any shard.
+type CachedResponse struct {
+	// Status is the upstream HTTP status (only 200s are cached).
+	Status int
+	// Body is the response body.
+	Body []byte
+}
+
+// Cache is the router's bounded query-result cache. Entries are evicted
+// FIFO by insertion order when the bound is reached — the zipf-heavy
+// workloads the fleet serves keep hot keys re-inserted shortly after
+// any eviction, so FIFO's simplicity (no per-hit bookkeeping, no
+// randomness) wins over LRU here. Bump flushes everything when the
+// membership epoch moves.
+type Cache struct {
+	cap int
+
+	mu      sync.Mutex
+	entries map[CacheKey]CachedResponse // guarded by mu
+	order   []CacheKey                  // guarded by mu; insertion FIFO
+	epoch   uint64                      // guarded by mu; last observed epoch
+	hits    uint64                      // guarded by mu
+	misses  uint64                      // guarded by mu
+	flushes uint64                      // guarded by mu
+}
+
+// NewCache builds a cache bounded to capacity entries (non-positive:
+// 4096).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Cache{cap: capacity, entries: make(map[CacheKey]CachedResponse)}
+}
+
+// Get returns the cached answer for key, counting the hit or miss.
+func (c *Cache) Get(key CacheKey) (CachedResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	resp, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return resp, ok
+}
+
+// Put stores an answer, evicting the oldest entry when full. Entries
+// whose epoch predates the last observed bump are refused — a slow
+// proxy completing after a flush must not resurrect a stale answer.
+func (c *Cache) Put(key CacheKey, resp CachedResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if key.Epoch < c.epoch {
+		return
+	}
+	if _, exists := c.entries[key]; exists {
+		c.entries[key] = resp
+		return
+	}
+	for len(c.entries) >= c.cap && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = resp
+	c.order = append(c.order, key)
+}
+
+// Bump records a membership epoch observation; a move past the last
+// observed epoch flushes the cache wholesale. Returns whether a flush
+// happened.
+func (c *Cache) Bump(epoch uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch <= c.epoch {
+		return false
+	}
+	c.epoch = epoch
+	if len(c.entries) > 0 {
+		c.entries = make(map[CacheKey]CachedResponse)
+		c.order = nil
+		c.flushes++
+		return true
+	}
+	return false
+}
+
+// Epoch returns the last epoch observed via Bump.
+func (c *Cache) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	// Entries is the current population.
+	Entries int
+	// Hits and Misses count Get outcomes; Flushes counts epoch-bump
+	// invalidations.
+	Hits, Misses, Flushes uint64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Flushes: c.flushes}
+}
+
+// HitRate returns hits/(hits+misses), 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// FormatParams renders the (k, b, mode, start) query tuple as the
+// canonical Params string shared by every cache user, so equivalent
+// requests written with different parameter orderings hit one entry.
+func FormatParams(k int, b float64, mode string, start int) string {
+	return "k=" + strconv.Itoa(k) +
+		"&b=" + strconv.FormatFloat(b, 'g', -1, 64) +
+		"&mode=" + mode +
+		"&start=" + strconv.Itoa(start)
+}

@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bwcluster"
+	"bwcluster/internal/transport"
+)
+
+// ReplicaEndpoint is the reserved transport endpoint id a shard's
+// snapshot receiver registers under. Overlay peers use the host ids of
+// the system (0..n-1); replicator endpoints are negative, so the two
+// id spaces can never collide no matter how the host set grows.
+func ReplicaEndpoint(shard int) int { return -(shard + 1) }
+
+// maxSnapshotChunks bounds a stream's declared chunk count; with
+// SnapshotChunkSize payloads this caps an assembled snapshot at 16 GiB,
+// far past any real forest, so a corrupt Total fails fast instead of
+// reserving absurd memory.
+const maxSnapshotChunks = 1 << 16
+
+// SendSnapshot streams blob — the bytes System.Save wrote — from the
+// sending shard's replicator endpoint to the receiving shard's, split
+// into transport.SnapshotChunkSize chunks under one stream id. Chunks
+// ride the transport's reliable path (never shed, never coalesced), so
+// a completed SendSnapshot means every chunk was accepted for ordered
+// delivery; an error means the stream is torn and the caller should
+// retry with a fresh stream id.
+func SendSnapshot(tr transport.Transport, fromShard, toShard int, id, epoch uint64, blob []byte) error {
+	total := (len(blob) + transport.SnapshotChunkSize - 1) / transport.SnapshotChunkSize
+	if total == 0 {
+		total = 1
+	}
+	if total > maxSnapshotChunks {
+		return fmt.Errorf("fleet: snapshot of %d bytes exceeds the %d-chunk stream bound", len(blob), maxSnapshotChunks)
+	}
+	for seq := 0; seq < total; seq++ {
+		lo := seq * transport.SnapshotChunkSize
+		hi := lo + transport.SnapshotChunkSize
+		if hi > len(blob) {
+			hi = len(blob)
+		}
+		m := transport.Message{
+			Kind: transport.KindSnapshot,
+			From: ReplicaEndpoint(fromShard),
+			To:   ReplicaEndpoint(toShard),
+			Snapshot: &transport.Snapshot{
+				ID: id, Epoch: epoch, Seq: seq, Total: total,
+				Data: blob[lo:hi],
+			},
+		}
+		if err := tr.Send(m); err != nil {
+			return fmt.Errorf("fleet: snapshot stream %d chunk %d/%d: %w", id, seq, total, err)
+		}
+	}
+	return nil
+}
+
+// assembler reassembles snapshot streams chunk by chunk. Newest stream
+// wins: a chunk opening a stream with a higher id discards any partial
+// older stream (the builder only ever re-sends with fresh ids, so a
+// higher id is always the fresher snapshot).
+type assembler struct {
+	id     uint64
+	epoch  uint64
+	total  int
+	chunks map[int][]byte
+}
+
+// offer folds one chunk in; it returns the completed blob and its
+// epoch when the stream finishes.
+func (a *assembler) offer(s *transport.Snapshot) ([]byte, uint64, bool) {
+	if s.Total < 1 || s.Total > maxSnapshotChunks || s.Seq < 0 || s.Seq >= s.Total {
+		return nil, 0, false
+	}
+	if a.chunks == nil || s.ID > a.id {
+		a.id, a.epoch, a.total = s.ID, s.Epoch, s.Total
+		a.chunks = make(map[int][]byte, s.Total)
+	} else if s.ID < a.id || s.Total != a.total || s.Epoch != a.epoch {
+		return nil, 0, false
+	}
+	a.chunks[s.Seq] = s.Data
+	if len(a.chunks) < a.total {
+		return nil, 0, false
+	}
+	var size int
+	for _, c := range a.chunks {
+		size += len(c)
+	}
+	blob := make([]byte, 0, size)
+	for seq := 0; seq < a.total; seq++ {
+		blob = append(blob, a.chunks[seq]...)
+	}
+	epoch := a.epoch
+	a.chunks = nil
+	return blob, epoch, true
+}
+
+// Replicator is a shard's snapshot receiver: it registers the shard's
+// reserved replicator endpoint on the overlay transport, reassembles
+// incoming chunk streams, loads each completed stream through
+// bwcluster.Load (so the persistence layer's version and corruption
+// checks guard the wire), and hands the restored System to the OnSystem
+// callback. This is the replica catch-up path: a shard that starts
+// empty becomes a warm read replica the moment its first stream lands.
+type Replicator struct {
+	// OnSystem receives each successfully restored system and the
+	// stream's declared epoch. Called from the receive goroutine;
+	// installing the system (serveapi.Handler.SetBackend) is the typical
+	// body. Must be set before Start.
+	OnSystem func(sys *bwcluster.System, epoch uint64)
+	// OnError, when set, observes per-stream failures: version skew
+	// (errors.Is bwcluster.ErrWireVersion — the builder runs a different
+	// release; the replica stays unready rather than serving wrong
+	// answers) and corruption (any other Load error; the stream is
+	// discarded and the next one tried).
+	OnError func(err error)
+
+	tr    transport.Transport
+	shard int
+	inbox <-chan transport.Message
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// NewReplicator registers shard's replicator endpoint on tr. Start
+// launches the receive loop; Stop tears it down.
+func NewReplicator(tr transport.Transport, shard int) (*Replicator, error) {
+	inbox, err := tr.Register(ReplicaEndpoint(shard))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: register replicator endpoint: %w", err)
+	}
+	return &Replicator{tr: tr, shard: shard, inbox: inbox, done: make(chan struct{})}, nil
+}
+
+// Start launches the receive goroutine.
+func (r *Replicator) Start() {
+	r.wg.Add(1)
+	go r.receive()
+}
+
+// Stop unregisters the endpoint and waits for the receive goroutine to
+// exit.
+func (r *Replicator) Stop() {
+	close(r.done)
+	_ = r.tr.Unregister(ReplicaEndpoint(r.shard))
+	r.wg.Wait()
+}
+
+func (r *Replicator) receive() {
+	defer r.wg.Done()
+	var asm assembler
+	for {
+		select {
+		case <-r.done:
+			return
+		case m := <-r.inbox:
+			if m.Kind != transport.KindSnapshot || m.Snapshot == nil {
+				continue
+			}
+			blob, epoch, complete := asm.offer(m.Snapshot)
+			if !complete {
+				continue
+			}
+			sys, err := bwcluster.LoadBytes(blob)
+			if err != nil {
+				if r.OnError != nil {
+					if errors.Is(err, bwcluster.ErrWireVersion) {
+						err = fmt.Errorf("fleet: replica %d: builder runs an incompatible release, refusing to serve: %w", r.shard, err)
+					} else {
+						err = fmt.Errorf("fleet: replica %d: discarding corrupt snapshot stream: %w", r.shard, err)
+					}
+					r.OnError(err)
+				}
+				continue
+			}
+			if r.OnSystem != nil {
+				r.OnSystem(sys, epoch)
+			}
+		}
+	}
+}

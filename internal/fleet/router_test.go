@@ -1,0 +1,405 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bwcluster"
+	"bwcluster/internal/serveapi"
+	"bwcluster/internal/transport"
+)
+
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// testFleet stands up a 3-shard in-process fleet over one Chan
+// transport: shard 0 builds and streams, shards 1 and 2 restore from the
+// snapshot, and a Router fronts the three httptest servers.
+type testFleet struct {
+	sys     *bwcluster.System
+	shards  []*Shard
+	servers []*httptest.Server
+	router  *Router
+	front   *httptest.Server
+}
+
+func startFleet(t *testing.T, admission AdmissionConfig) *testFleet {
+	t.Helper()
+	f := &testFleet{sys: testSystem(t, 24)}
+	tr := transport.NewChan(0)
+	t.Cleanup(func() { tr.Close() })
+	addrs := make([]string, 3)
+	for i := 0; i < 3; i++ {
+		sh := NewShard(ShardConfig{
+			Index: i, Shards: 3, Transport: tr,
+			Tick: time.Millisecond, Logger: discardLogger(),
+		})
+		srv := httptest.NewServer(sh.Handler())
+		t.Cleanup(srv.Close)
+		t.Cleanup(sh.Close)
+		f.shards = append(f.shards, sh)
+		f.servers = append(f.servers, srv)
+		addrs[i] = srv.URL
+	}
+	// Replica endpoints must exist before the builder streams: the
+	// transport refuses sends to unregistered peers.
+	for _, i := range []int{1, 2} {
+		if err := f.shards[i].StartReplica(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.shards[0].Install(f.sys); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.shards[0].StreamTo(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for _, sh := range f.shards {
+		for !sh.Ready() {
+			if time.Now().After(deadline) {
+				t.Fatal("shards did not become ready")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	f.router = NewRouter(RouterConfig{
+		Shards:        addrs,
+		Logger:        discardLogger(),
+		Admission:     admission,
+		ProbeInterval: 20 * time.Millisecond,
+	})
+	f.router.Start()
+	t.Cleanup(f.router.Stop)
+	f.front = httptest.NewServer(f.router)
+	t.Cleanup(f.front.Close)
+	for {
+		resp, err := http.Get(f.front.URL + "/v1/ready")
+		if err == nil {
+			var body struct {
+				Ready       bool `json:"ready"`
+				ShardsReady int  `json:"shardsReady"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err == nil && body.Ready && body.ShardsReady == 3 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router did not see all shards ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return f
+}
+
+// get fetches url and returns status, decoded body and the response
+// header.
+func get(t *testing.T, url string) (int, map[string]any, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: decode: %v", url, err)
+	}
+	return resp.StatusCode, body, resp.Header
+}
+
+func TestRouterFleetEndToEnd(t *testing.T) {
+	f := startFleet(t, AdmissionConfig{})
+
+	// Centralized query through the router agrees with the system.
+	want, err := f.sys.FindCluster(4, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := f.front.URL + "/v1/cluster?k=4&b=15"
+	status, body, hdr := get(t, url)
+	if status != http.StatusOK {
+		t.Fatalf("cluster status = %d body=%v", status, body)
+	}
+	if hdr.Get("X-Fleet-Cache") != "miss" {
+		t.Fatalf("first query cache header = %q, want miss", hdr.Get("X-Fleet-Cache"))
+	}
+	members, _ := body["members"].([]any)
+	if len(members) != len(want) {
+		t.Fatalf("router answered %d members, system says %d", len(members), len(want))
+	}
+
+	// The identical query replays from the cache.
+	status, _, hdr = get(t, url)
+	if status != http.StatusOK || hdr.Get("X-Fleet-Cache") != "hit" {
+		t.Fatalf("second query: status=%d cache=%q, want 200/hit", status, hdr.Get("X-Fleet-Cache"))
+	}
+
+	// Decentralized query routes to the start host's owner shard and
+	// completes over the split overlay runtimes.
+	start := 7
+	status, body, hdr = get(t, fmt.Sprintf("%s/v1/cluster?k=4&b=15&mode=decentral&start=%d", f.front.URL, start))
+	if status != http.StatusOK {
+		t.Fatalf("decentral status = %d body=%v", status, body)
+	}
+	if hdr.Get("X-Fleet-Fallback") != "" {
+		t.Fatalf("healthy fleet used fallback %q", hdr.Get("X-Fleet-Fallback"))
+	}
+
+	// Prediction endpoints proxy to any warm replica.
+	status, body, _ = get(t, f.front.URL+"/v1/predict?u=1&v=2")
+	if status != http.StatusOK {
+		t.Fatalf("predict status = %d body=%v", status, body)
+	}
+
+	// Fleet introspection reports every shard warm at the same epoch.
+	status, body, _ = get(t, f.front.URL+"/v1/fleet")
+	if status != http.StatusOK {
+		t.Fatalf("fleet status = %d", status)
+	}
+	if shards, _ := body["shards"].([]any); len(shards) != 3 {
+		t.Fatalf("fleet reports %v", body["shards"])
+	}
+	if epoch := body["epoch"].(float64); uint64(epoch) != f.sys.Epoch() {
+		t.Fatalf("router epoch %v, system epoch %d", epoch, f.sys.Epoch())
+	}
+}
+
+// TestRouterFailover kills one shard under load: the router must mark
+// it down on the first failed proxy and keep answering from the
+// survivors with no 5xx beyond the in-flight drain — including
+// decentralized queries owned by the dead shard, which fall back to a
+// centralized answer from a warm replica.
+func TestRouterFailover(t *testing.T) {
+	f := startFleet(t, AdmissionConfig{})
+
+	// Find a host whose decentral owner we are about to kill.
+	victim := Owner(3, 3, f.sys.Epoch())
+	f.servers[victim].CloseClientConnections()
+	f.servers[victim].Close()
+
+	// Immediately drive queries; vary k so nothing comes from the cache.
+	var fiveXX, served int
+	for i := 0; i < 40; i++ {
+		k := 2 + i%4
+		status, _, _ := get(t, fmt.Sprintf("%s/v1/cluster?k=%d&b=15", f.front.URL, k))
+		if status >= 500 {
+			fiveXX++
+		} else if status == http.StatusOK {
+			served++
+		}
+	}
+	if fiveXX > 0 {
+		t.Fatalf("%d 5xx responses after shard kill (served %d)", fiveXX, served)
+	}
+	if served == 0 {
+		t.Fatal("no queries served after shard kill")
+	}
+
+	// The dead owner's decentral traffic is answered centrally elsewhere.
+	status, body, hdr := get(t, f.front.URL+"/v1/cluster?k=5&b=15&mode=decentral&start=3")
+	if status != http.StatusOK {
+		t.Fatalf("decentral after owner kill: status=%d body=%v", status, body)
+	}
+	if hdr.Get("X-Fleet-Fallback") != "central" {
+		t.Fatalf("fallback header = %q, want central", hdr.Get("X-Fleet-Fallback"))
+	}
+
+	// The router's view converges to 2 ready shards.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, body, _ := get(t, f.front.URL+"/v1/ready")
+		if int(body["shardsReady"].(float64)) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router still reports %v ready", body["shardsReady"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// fakeShard is a minimal upstream for router-only tests: always ready
+// at a controllable epoch, answers every query path with a canned body.
+func fakeShard(t *testing.T, epoch *atomic.Uint64) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ready", func(w http.ResponseWriter, r *http.Request) {
+		serveapi.WriteJSON(w, http.StatusOK, map[string]any{"ready": true, "epoch": epoch.Load()})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		serveapi.WriteJSON(w, http.StatusOK, map[string]any{"members": []int{1, 2}, "found": true})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func waitRouterReady(t *testing.T, front *httptest.Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(front.URL + "/v1/ready")
+		if err == nil {
+			ok := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ok {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRouterAdmissionShed(t *testing.T) {
+	var epoch atomic.Uint64
+	up := fakeShard(t, &epoch)
+	rt := NewRouter(RouterConfig{
+		Shards:        []string{up.URL},
+		Logger:        discardLogger(),
+		Admission:     AdmissionConfig{Rate: 1, Burst: 2, Queue: 0},
+		ProbeInterval: 5 * time.Millisecond,
+	})
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+	waitRouterReady(t, front)
+
+	req := func(tenant string) *http.Response {
+		r, err := http.NewRequest(http.MethodGet, front.URL+"/v1/cluster?k=3&b=15", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Header.Set("X-Tenant", tenant)
+		resp, err := http.DefaultClient.Do(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	// Burst admits two; the third sheds with Retry-After.
+	for i := 0; i < 2; i++ {
+		if resp := req("greedy"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("burst request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	resp := req("greedy")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Another tenant is unaffected.
+	if resp := req("patient"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("independent tenant status = %d", resp.StatusCode)
+	}
+}
+
+// TestRouterPropagatesRequestIdentity: the proxy must forward the
+// request id and tenant to the shard it picks, so one request keeps
+// one id across the hop and per-tenant accounting survives proxying.
+func TestRouterPropagatesRequestIdentity(t *testing.T) {
+	var epoch atomic.Uint64
+	epoch.Store(3)
+	type seen struct{ id, tenant string }
+	got := make(chan seen, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ready", func(w http.ResponseWriter, r *http.Request) {
+		serveapi.WriteJSON(w, http.StatusOK, map[string]any{"ready": true, "epoch": epoch.Load()})
+	})
+	mux.HandleFunc("/v1/cluster", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case got <- seen{id: r.Header.Get("X-Request-Id"), tenant: r.Header.Get("X-Tenant")}:
+		default:
+		}
+		serveapi.WriteJSON(w, http.StatusOK, map[string]any{"members": []int{1, 2}, "found": true})
+	})
+	up := httptest.NewServer(mux)
+	t.Cleanup(up.Close)
+
+	rt := NewRouter(RouterConfig{
+		Shards:        []string{up.URL},
+		Logger:        discardLogger(),
+		ProbeInterval: 5 * time.Millisecond,
+	})
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+	waitRouterReady(t, front)
+
+	req, err := http.NewRequest(http.MethodGet, front.URL+"/v1/cluster?k=3&b=15", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-Id", "caller-supplied-1")
+	req.Header.Set("X-Tenant", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-Id"); id != "caller-supplied-1" {
+		t.Errorf("router response id = %q, want the caller-supplied id", id)
+	}
+	select {
+	case s := <-got:
+		if s.id != "caller-supplied-1" || s.tenant != "alice" {
+			t.Errorf("shard saw id=%q tenant=%q, want caller-supplied-1/alice", s.id, s.tenant)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shard never saw the proxied query")
+	}
+}
+
+func TestRouterEpochBumpFlushesCache(t *testing.T) {
+	var epoch atomic.Uint64
+	epoch.Store(3)
+	up := fakeShard(t, &epoch)
+	rt := NewRouter(RouterConfig{
+		Shards:        []string{up.URL},
+		Logger:        discardLogger(),
+		ProbeInterval: 5 * time.Millisecond,
+	})
+	rt.Start()
+	t.Cleanup(rt.Stop)
+	front := httptest.NewServer(rt)
+	t.Cleanup(front.Close)
+	waitRouterReady(t, front)
+
+	url := front.URL + "/v1/cluster?k=3&b=15"
+	if _, _, hdr := get(t, url); hdr.Get("X-Fleet-Cache") != "miss" {
+		t.Fatal("first query should miss")
+	}
+	if _, _, hdr := get(t, url); hdr.Get("X-Fleet-Cache") != "hit" {
+		t.Fatal("second query should hit")
+	}
+	// Membership moves: the probed epoch bump must flush the cache.
+	epoch.Store(4)
+	deadline := time.Now().Add(10 * time.Second)
+	for rt.Cache().Epoch() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatal("router never observed the epoch bump")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, _, hdr := get(t, url); hdr.Get("X-Fleet-Cache") != "miss" {
+		t.Fatal("query after epoch bump should miss (cache flushed)")
+	}
+}

@@ -1,0 +1,166 @@
+package fleet
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"bwcluster"
+	"bwcluster/internal/serveapi"
+	"bwcluster/internal/transport"
+)
+
+// ShardConfig configures one serving shard.
+type ShardConfig struct {
+	// Index is this shard's id in [0, Shards); Shards is the fleet size.
+	Index, Shards int
+	// Transport is the overlay transport shared by the fleet's runtimes
+	// and the snapshot replication streams (TCP across processes, Chan
+	// in tests). The shard registers its peers and its replicator
+	// endpoint on it but does not own it — the caller closes it.
+	Transport transport.Transport
+	// Tick is the async runtime's gossip period (non-positive: the
+	// bwcluster default).
+	Tick time.Duration
+	// Logger receives lifecycle events.
+	Logger *slog.Logger
+	// Metrics is the registry exposition handler for the shard's
+	// /metrics (nil: unrouted).
+	Metrics http.Handler
+}
+
+// Shard is one serving process's state: the shared serveapi handler
+// (unready until a system is installed), the replicator endpoint, and —
+// once a system arrives, by build or by snapshot — the async runtime
+// hosting this shard's slice of the rendezvous assignment.
+//
+// A builder shard calls Install with the system it built and StreamTo
+// to warm the replicas; a replica shard calls StartReplica and becomes
+// ready when its first snapshot stream completes.
+type Shard struct {
+	cfg ShardConfig
+	api *serveapi.Handler
+	rep *Replicator
+
+	mu  sync.Mutex
+	art *bwcluster.AsyncRuntime // guarded by mu; current runtime
+	sys *bwcluster.System       // guarded by mu
+}
+
+// NewShard builds the shard's handler in the unready state.
+func NewShard(cfg ShardConfig) *Shard {
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	return &Shard{
+		cfg: cfg,
+		api: serveapi.New(serveapi.Config{Logger: cfg.Logger, Metrics: cfg.Metrics}),
+	}
+}
+
+// Handler returns the shard's HTTP handler (the shared serving API).
+func (s *Shard) Handler() http.Handler { return s.api }
+
+// Ready reports whether a system is installed and serving.
+func (s *Shard) Ready() bool { return s.api.Ready() }
+
+// System returns the currently installed system, nil before the first
+// Install.
+func (s *Shard) System() *bwcluster.System {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sys
+}
+
+// Install makes sys this shard's serving state: it computes the
+// epoch-keyed rendezvous assignment, starts an async runtime hosting
+// this shard's partition over the fleet transport, installs the backend
+// (flipping /v1/ready), and stops any previous runtime. Replica shards
+// reach Install through the replicator callback; the builder calls it
+// directly.
+func (s *Shard) Install(sys *bwcluster.System) error {
+	parts := Assign(sys.Hosts(), s.cfg.Shards, sys.Epoch())
+	local := parts[s.cfg.Index]
+	art, err := sys.AsyncRuntimeWithTransport(s.cfg.Tick, s.cfg.Transport, local)
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d: start runtime over %d local hosts: %w", s.cfg.Index, len(local), err)
+	}
+	s.mu.Lock()
+	old := s.art
+	s.art, s.sys = art, sys
+	s.mu.Unlock()
+	s.api.SetBackend(sys, art)
+	if old != nil {
+		old.Close()
+	}
+	s.cfg.Logger.Info("shard serving",
+		"shard", s.cfg.Index, "hosts", len(local), "epoch", sys.Epoch())
+	return nil
+}
+
+// StartReplica registers the shard's replicator endpoint and begins
+// installing every snapshot stream that completes. Version-skewed
+// streams leave the shard unready (serving wrong answers is worse than
+// serving none); corrupt streams are discarded and the next awaited.
+func (s *Shard) StartReplica() error {
+	rep, err := NewReplicator(s.cfg.Transport, s.cfg.Index)
+	if err != nil {
+		return err
+	}
+	rep.OnSystem = func(sys *bwcluster.System, epoch uint64) {
+		if err := s.Install(sys); err != nil {
+			s.cfg.Logger.Error("replica install failed", "shard", s.cfg.Index, "err", err.Error())
+		}
+	}
+	rep.OnError = func(err error) {
+		s.cfg.Logger.Error("replica stream rejected", "shard", s.cfg.Index, "err", err.Error())
+	}
+	s.rep = rep
+	rep.Start()
+	return nil
+}
+
+// StreamTo snapshots the installed system and streams it to the given
+// shard indices (the builder warming its replicas). The stream id must
+// increase across calls so receivers prefer the newest stream.
+func (s *Shard) StreamTo(streamID uint64, replicas ...int) error {
+	s.mu.Lock()
+	sys := s.sys
+	s.mu.Unlock()
+	if sys == nil {
+		return fmt.Errorf("fleet: shard %d: no system to stream", s.cfg.Index)
+	}
+	blob, err := sys.SaveBytes()
+	if err != nil {
+		return fmt.Errorf("fleet: shard %d: snapshot: %w", s.cfg.Index, err)
+	}
+	for _, r := range replicas {
+		if r == s.cfg.Index {
+			continue
+		}
+		if err := SendSnapshot(s.cfg.Transport, s.cfg.Index, r, streamID, sys.Epoch(), blob); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the replicator and the serving runtime. The transport is
+// the caller's to close.
+func (s *Shard) Close() {
+	if s.rep != nil {
+		s.rep.Stop()
+	}
+	s.mu.Lock()
+	art := s.art
+	s.art = nil
+	s.mu.Unlock()
+	if art != nil {
+		art.Close()
+	}
+}

@@ -204,6 +204,15 @@ func (f *Forest) Remove(h int) error {
 // stands for the whole forest.
 func (f *Forest) Epoch() uint64 { return f.trees[0].Epoch() }
 
+// SetEpoch re-seats every tree's membership epoch counter, restoring
+// epoch continuity for a forest decoded from a snapshot (the tree wire
+// format does not carry the counter). See Tree.SetEpoch.
+func (f *Forest) SetEpoch(epoch uint64) {
+	for _, t := range f.trees {
+		t.SetEpoch(epoch)
+	}
+}
+
 // Dist returns the median of the per-tree predicted distances.
 func (f *Forest) Dist(u, v int) float64 {
 	if len(f.trees) == 1 {

@@ -121,8 +121,10 @@ type Tree struct {
 	// epoch counts membership changes: Add and Remove each bump it once.
 	// Derived read structures (cluster.Index) are tagged with the epoch
 	// they were built at so queries against stale membership are rejected
-	// instead of silently wrong. In-memory only: a decoded snapshot
-	// starts a fresh epoch sequence.
+	// instead of silently wrong. Not on the tree's own wire: a decoded
+	// snapshot starts at zero unless the enclosing snapshot re-seats the
+	// counter via SetEpoch (bwcluster persistence does, so replicated
+	// shards agree on the epoch their rendezvous assignment is keyed by).
 	epoch uint64
 }
 
@@ -201,6 +203,12 @@ func (t *Tree) DistinctMeasurements() int { return t.measuredCount }
 // Remove operations applied so far. Structures derived from a fixed host
 // set carry the epoch they observed and must be rebuilt when it moves.
 func (t *Tree) Epoch() uint64 { return t.epoch }
+
+// SetEpoch re-seats the membership epoch counter. The tree's own wire
+// format does not carry the epoch, so a snapshot that persists it out of
+// band (bwcluster's systemWire) calls this on load; later Add/Remove
+// operations continue the sequence from the restored value.
+func (t *Tree) SetEpoch(epoch uint64) { t.epoch = epoch }
 
 // ensureHostCap grows the host-indexed arrays (and the measured-pair
 // bitset stride) to cover hosts [0, n).

@@ -443,6 +443,11 @@ func (p *peer) handle(m transport.Message) {
 		p.rt.resolveNode(m.NodeResult)
 	case transport.KindTrace:
 		p.rt.addTraceEvent(m.Event)
+	case transport.KindSnapshot:
+		// Snapshot streams are addressed to fleet replicator endpoints
+		// (internal/fleet), never to protocol peers; a chunk that reaches
+		// a peer anyway is a routing bug, not protocol state to act on.
+		p.rt.fl().Record(flightStale, p.id, m.From, "snapshot chunk addressed to a protocol peer; dropped")
 	}
 }
 

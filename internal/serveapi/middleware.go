@@ -1,4 +1,4 @@
-package main
+package serveapi
 
 import (
 	"log/slog"
@@ -55,14 +55,24 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// withObservability wraps a handler with the serving-path telemetry:
+// WithObservability wraps a handler with the serving-path telemetry:
 // request IDs (echoed in X-Request-Id), an slog access log line per
 // request, the request counter/latency histogram and the in-flight
-// gauge.
-func withObservability(logger *slog.Logger, next http.Handler) http.Handler {
+// gauge. Shared by the bwc-serve API and the bwc-fleet router so every
+// serving process emits the same log and metric shapes.
+func WithObservability(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		id := nextRequestID()
+		// Honor an upstream-assigned id so one request keeps one id
+		// across the router hop (the fleet router forwards its id to
+		// the shard it proxies to); originate one otherwise. The id is
+		// mirrored onto the request header so proxying handlers can
+		// propagate it further without plumbing.
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = nextRequestID()
+			r.Header.Set("X-Request-Id", id)
+		}
 		mHTTPInFlight.Add(1)
 		defer mHTTPInFlight.Add(-1)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}

@@ -37,9 +37,13 @@ const wireVersion = 2
 // encoder, so those descriptors would otherwise ride on every single
 // frame (+50% on a typical gossip body) whether or not tracing is on.
 // Only frames that actually carry trace state pay for its schema.
+// Snapshot chunks get the same treatment for the same reason: they are
+// rare and huge where gossip is constant and tiny, so their schema (and
+// payload) must never ride the lean frame.
 const (
-	frameLean   = 0 // payload is a gob wireMessage (no trace state)
-	frameTraced = 1 // payload is a gob Message (trace context or event)
+	frameLean     = 0 // payload is a gob wireMessage (no trace or snapshot state)
+	frameTraced   = 1 // payload is a gob Message (trace context or event)
+	frameSnapshot = 2 // payload is a gob Message carrying a snapshot chunk
 )
 
 // wireMessage is the lean frame payload: Message minus the trace
@@ -624,7 +628,10 @@ func encodeFrame(m Message) ([]byte, error) {
 	var body bytes.Buffer
 	tag := byte(frameLean)
 	var err error
-	if m.Trace != nil || m.Event != nil {
+	if m.Snapshot != nil {
+		tag = frameSnapshot
+		err = gob.NewEncoder(&body).Encode(m)
+	} else if m.Trace != nil || m.Event != nil {
 		tag = frameTraced
 		err = gob.NewEncoder(&body).Encode(m)
 	} else {
@@ -679,7 +686,7 @@ func readFrame(r io.Reader) (Message, error) {
 			Query: w.Query, NodeQuery: w.NodeQuery,
 			Result: w.Result, NodeResult: w.NodeResult,
 		}, nil
-	case frameTraced:
+	case frameTraced, frameSnapshot:
 		var m Message
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
 			return Message{}, fmt.Errorf("transport: decode frame: %w", err)

@@ -61,6 +61,12 @@ const (
 	// origin what happened on a remote peer. Fire-and-forget; a dropped
 	// report shows up as an explicit gap in the reassembled trace tree.
 	KindTrace
+	// KindSnapshot is one chunk of a streamed system snapshot (the
+	// wireVersion-2 gob persistence format) flowing from a fleet builder
+	// shard to a warm read replica. Chunks are reliable (never shed under
+	// backpressure) but the stream as a whole is at-most-once per send:
+	// the replica detects a hole by Seq and re-requests the whole stream.
+	KindSnapshot
 )
 
 // Gossip reports whether k is one of the periodic, idempotent gossip
@@ -93,6 +99,8 @@ func (k Kind) String() string {
 		return "noderesult"
 	case KindTrace:
 		return "trace"
+	case KindSnapshot:
+		return "snapshot"
 	}
 	return "unknown"
 }
@@ -120,6 +128,8 @@ type Message struct {
 	Result *Result
 	// NodeResult is the KindNodeResult payload.
 	NodeResult *NodeResult
+	// Snapshot is the KindSnapshot payload.
+	Snapshot *Snapshot
 	// Trace is the distributed trace context riding on a query or
 	// node-query message (nil when the operation is untraced). Results
 	// carry it back so the origin can time the return leg.
@@ -127,6 +137,34 @@ type Message struct {
 	// Event is the KindTrace payload: one hop's span report.
 	Event *TraceEvent
 }
+
+// Snapshot is one chunk of a streamed system snapshot. A stream is a
+// sequence of chunks sharing an ID, Seq running 0..Total-1; the payload
+// bytes concatenated in Seq order are exactly what System.Save wrote
+// (the wireVersion-2 gob format), so the receiver hands them straight
+// to Load and the persistence layer's version/corruption checks apply
+// unchanged. Chunks must stay well under the transport frame limit;
+// senders split at SnapshotChunkSize.
+type Snapshot struct {
+	// ID identifies the stream; the sender mints it, and a receiver
+	// discards chunks of any stream other than the newest it has seen.
+	ID uint64
+	// Epoch is the membership epoch of the snapshotted system, carried on
+	// every chunk so a receiver can drop a stale stream without
+	// assembling it.
+	Epoch uint64
+	// Seq is this chunk's position in the stream, 0-based.
+	Seq int
+	// Total is the number of chunks in the stream.
+	Total int
+	// Data is the chunk's payload bytes.
+	Data []byte
+}
+
+// SnapshotChunkSize is the payload size snapshot senders split streams
+// at: comfortably under maxFrame after gob framing overhead, large
+// enough that a forest snapshot ships in a handful of frames.
+const SnapshotChunkSize = 256 * 1024
 
 // TraceContext is the compact trace context propagated on the message
 // envelope: enough for the receiving hop to mint its own span event and
@@ -311,6 +349,11 @@ func (m Message) clone() Message {
 	if m.NodeResult != nil {
 		r := *m.NodeResult
 		c.NodeResult = &r
+	}
+	if m.Snapshot != nil {
+		s := *m.Snapshot
+		s.Data = append([]byte(nil), m.Snapshot.Data...)
+		c.Snapshot = &s
 	}
 	if m.Trace != nil {
 		tc := *m.Trace

@@ -91,6 +91,46 @@ func TestWireLeanFrames(t *testing.T) {
 	}
 }
 
+// TestWireSnapshotFrames: snapshot chunks ride their own frame tag and
+// round-trip intact, while lean frames stay free of the snapshot
+// schema — the per-tick gossip path must not pay a descriptor tax for
+// the rare replication stream (the same bargain frameTraced strikes
+// for trace state).
+func TestWireSnapshotFrames(t *testing.T) {
+	snap := Message{
+		Kind: KindSnapshot, From: 1, To: 1000,
+		Snapshot: &Snapshot{ID: 42, Epoch: 7, Seq: 2, Total: 5, Data: []byte("chunk-bytes")},
+	}
+	frame, err := encodeFrame(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[5] != frameSnapshot {
+		t.Fatalf("snapshot frame tag = %d, want %d", frame[5], frameSnapshot)
+	}
+	got, err := readFrame(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("snapshot round trip differs:\n got %+v\nwant %+v", got, snap)
+	}
+
+	lean, err := encodeFrame(Message{Kind: KindCRT, From: 3, To: 7, CRT: []int{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(lean, []byte("Snapshot")) {
+		t.Fatal("lean frame carries the snapshot type descriptor")
+	}
+	if KindSnapshot.BestEffort() || KindSnapshot.Gossip() {
+		t.Fatal("snapshot chunks must be reliable: never shed, never coalesced")
+	}
+	if got := KindSnapshot.String(); got != "snapshot" {
+		t.Errorf("KindSnapshot label = %q", got)
+	}
+}
+
 // TestWireRejectsUnknownTag: a frame with an unknown payload tag fails
 // decisively instead of being fed to the wrong gob type.
 func TestWireRejectsUnknownTag(t *testing.T) {

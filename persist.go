@@ -3,6 +3,7 @@ package bwcluster
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -29,6 +30,14 @@ type systemWire struct {
 	// without the field decode as 0, which Load treats as the default
 	// (one worker per CPU).
 	Workers int
+	// Epoch is the forest's membership epoch at snapshot time. The tree
+	// wire format does not carry the counter, so it rides here and Load
+	// re-seats it — a replica restored from a builder's snapshot must
+	// agree with the builder on the epoch, because the serving tier keys
+	// its shard assignment and query cache by it. Snapshots from releases
+	// without the field decode as 0, the epoch a decoded forest would
+	// have started at anyway.
+	Epoch uint64
 }
 
 // wireVersion guards against loading snapshots from incompatible
@@ -36,6 +45,14 @@ type systemWire struct {
 // key-sorted entry slices so identical systems snapshot to identical
 // bytes (the determinism invariant, DESIGN.md §8d).
 const wireVersion = 2
+
+// ErrWireVersion reports a snapshot whose wire version does not match
+// this build's. Load wraps it with both versions, so errors.Is lets
+// callers — the fleet replica catch-up path in particular — distinguish
+// version skew (retry against an upgraded builder, or refuse to serve)
+// from a corrupt or truncated snapshot (which decodes to a plain gob
+// error and must never be retried as-is).
+var ErrWireVersion = errors.New("bwcluster: snapshot wire version mismatch")
 
 // Save writes the system to w in a compact binary format. Load restores
 // it without re-running any bandwidth measurements.
@@ -48,6 +65,7 @@ func (s *System) Save(w io.Writer) error {
 		BW:      s.bw,
 		Forest:  s.forest,
 		Workers: s.workers,
+		Epoch:   s.forest.Epoch(),
 	}
 	if err := gob.NewEncoder(w).Encode(snap); err != nil {
 		return fmt.Errorf("bwcluster: save system: %w", err)
@@ -73,8 +91,8 @@ func Load(r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("bwcluster: load system: %w", err)
 	}
 	if snap.Version != wireVersion {
-		return nil, fmt.Errorf("bwcluster: load system: snapshot version %d, want %d",
-			snap.Version, wireVersion)
+		return nil, fmt.Errorf("bwcluster: load system: %w: snapshot version %d, want %d",
+			ErrWireVersion, snap.Version, wireVersion)
 	}
 	if snap.BW == nil || snap.Forest == nil {
 		return nil, fmt.Errorf("bwcluster: load system: incomplete snapshot")
@@ -83,6 +101,7 @@ func Load(r io.Reader) (*System, error) {
 		return nil, fmt.Errorf("bwcluster: load system: invalid parameters")
 	}
 	workers := cluster.Workers(snap.Workers, 0)
+	snap.Forest.SetEpoch(snap.Epoch)
 	dm, hosts := snap.Forest.DistMatrix()
 	pred := metric.NewMatrix(snap.BW.N())
 	// A churned snapshot's forest may hold fewer hosts than the

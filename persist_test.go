@@ -2,6 +2,8 @@ package bwcluster
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"testing"
 )
 
@@ -22,6 +24,12 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if restored.Len() != orig.Len() || restored.Constant() != orig.Constant() {
 		t.Fatalf("shape mismatch: %d/%v vs %d/%v",
 			restored.Len(), restored.Constant(), orig.Len(), orig.Constant())
+	}
+	// The membership epoch survives the round trip: the serving tier
+	// keys shard assignment and cache invalidation by it, so a replica
+	// restored from a snapshot must agree with the builder.
+	if restored.Epoch() != orig.Epoch() || orig.Epoch() == 0 {
+		t.Fatalf("epoch mismatch: restored %d, orig %d", restored.Epoch(), orig.Epoch())
 	}
 	// Predictions identical.
 	for u := 0; u < orig.Len(); u++ {
@@ -96,6 +104,27 @@ func TestLoadErrors(t *testing.T) {
 	}
 	if _, err := LoadBytes(blob[:len(blob)/2]); err == nil {
 		t.Error("truncated snapshot should fail")
+	}
+}
+
+// TestLoadWireVersionTyped: a snapshot from another wire version fails
+// with ErrWireVersion under errors.Is — the contract the fleet replica
+// catch-up path relies on to tell version skew from corruption — while
+// corruption keeps failing with a plain (non-ErrWireVersion) error.
+func TestLoadWireVersionTyped(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(systemWire{Version: wireVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadBytes(buf.Bytes())
+	if err == nil {
+		t.Fatal("version-skewed snapshot should fail")
+	}
+	if !errors.Is(err, ErrWireVersion) {
+		t.Errorf("version skew error %v is not errors.Is(ErrWireVersion)", err)
+	}
+	if _, err := LoadBytes([]byte("garbage")); errors.Is(err, ErrWireVersion) {
+		t.Errorf("corruption error %v must not report as a wire-version mismatch", err)
 	}
 }
 

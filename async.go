@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"bwcluster/internal/bwledger"
 	"bwcluster/internal/membership"
 	"bwcluster/internal/metric"
 	"bwcluster/internal/runtime"
@@ -27,6 +28,7 @@ type AsyncRuntime struct {
 	sys    *System
 	rt     *runtime.Runtime
 	flight *telemetry.FlightRecorder
+	ledger *bwledger.Ledger
 }
 
 // AsyncRuntime starts the asynchronous runtime over the system's
@@ -72,8 +74,22 @@ func (s *System) asyncRuntime(tick time.Duration, build func(time.Duration) (*ru
 	}
 	flight := telemetry.NewFlightRecorder(0)
 	rt.SetFlight(flight)
+	// The bandwidth ledger accounts every delivery on the runtime's
+	// transport and joins each closed window against the prediction
+	// forest; an over-utilized link fires a bandwidth_violation anomaly
+	// into the same flight recorder the rest of the overlay records to.
+	ledger := bwledger.New(bwledger.Config{})
+	ledger.SetFlight(flight)
+	ledger.SetPredictor(func(a, b int) (float64, bool) {
+		mbps, err := s.PredictBandwidth(a, b)
+		if err != nil {
+			return 0, false // client-submitted traffic (host -1) has no link prediction
+		}
+		return mbps, true
+	})
+	rt.SetLedger(ledger)
 	rt.Start()
-	return &AsyncRuntime{sys: s, rt: rt, flight: flight}, nil
+	return &AsyncRuntime{sys: s, rt: rt, flight: flight, ledger: ledger}, nil
 }
 
 // Settle blocks until gossip has been quiet for the given window (the
@@ -102,6 +118,10 @@ func (a *AsyncRuntime) Membership() membership.Snapshot {
 // ring of structured overlay events (hops, drops, staleness episodes,
 // anomalies) behind /v1/flight.
 func (a *AsyncRuntime) Flight() *telemetry.FlightRecorder { return a.flight }
+
+// Bandwidth returns the bandwidth ledger's snapshot — per-link byte
+// accounting joined against the prediction forest, behind /v1/bandwidth.
+func (a *AsyncRuntime) Bandwidth() bwledger.Snapshot { return a.ledger.Snapshot() }
 
 // Query routes a decentralized cluster query through the live runtime,
 // waiting up to timeout for the routed answer. Semantics match

@@ -26,7 +26,9 @@
 // economics that justify churn-native membership (DESIGN.md §8h) —
 // and the fleet router's cached query path must be at least 5x cheaper
 // than the uncached proxy path (the economics that justify the serving
-// tier's epoch-keyed cache; internal/fleet).
+// tier's epoch-keyed cache; internal/fleet), and the ledger-on query
+// path must stay within 3% of ledger-off (the bandwidth ledger's
+// hot-path budget; internal/bwledger).
 // An optional -baseline FILE diffs cell means against a committed
 // report and WARNS (never fails) on >20% regressions, so drift is
 // visible in CI logs without making the gate flaky across runner
@@ -515,6 +517,40 @@ func runGate(resultsPath, baselinePath string, out io.Writer) error {
 	}
 	if !cacheSeen {
 		fmt.Fprintln(out, "  (no FleetQueryCache cached/uncached pair in matrix; cache invariant skipped)")
+	}
+
+	// Invariant 5: the bandwidth ledger must stay effectively free on the
+	// query hot path — the ledger-on query within 3% of ledger-off at the
+	// gate procs level (see internal/runtime BenchmarkQueryLedgerOff/On).
+	// The accounting cost per delivered frame is one RLock and two atomic
+	// adds; if the 3% budget trips, per-link accounting has grown into
+	// per-query work and the "observability is free" claim (DESIGN.md
+	// §8k) no longer holds. Like the other tight bound the mean-based
+	// test must be confirmed by the min-of-samples, so background load on
+	// a shared runner cannot flake the gate.
+	const ledgerBudget = 1.03
+	ledgerSeen := false
+	for _, c := range rep.Matrix {
+		if !strings.HasSuffix(c.Name, "QueryLedgerOn") || c.Procs != gp {
+			continue
+		}
+		off := cellAt("QueryLedgerOff", c.Procs)
+		if off == nil || off.MeanNsPerOp <= 0 {
+			continue
+		}
+		ledgerSeen = true
+		ratio := c.MeanNsPerOp / off.MeanNsPerOp
+		if ratio > ledgerBudget && c.MinNsPerOp > off.MinNsPerOp*ledgerBudget {
+			failures = append(failures, fmt.Sprintf(
+				"%s at %d procs: ledger-on query %.0fns/op is %.1f%% over ledger-off %.0fns/op (budget %.0f%%)",
+				c.Name, c.Procs, c.MeanNsPerOp, (ratio-1)*100, off.MeanNsPerOp, (ledgerBudget-1)*100))
+		} else {
+			fmt.Fprintf(out, "  %-50s procs=%d on %.3gms vs off %.3gms (%+.1f%% <= %.0f%%) ok\n",
+				c.Name, c.Procs, c.MeanNsPerOp/1e6, off.MeanNsPerOp/1e6, (ratio-1)*100, (ledgerBudget-1)*100)
+		}
+	}
+	if !ledgerSeen {
+		fmt.Fprintln(out, "  (no QueryLedgerOff/On pair in matrix; ledger invariant skipped)")
 	}
 
 	// Baseline diff: warn-only, so hardware drift between runner

@@ -59,6 +59,12 @@ func main() {
 }
 
 func run(args []string) error {
+	// -version answers before mode dispatch, matching the other binaries
+	// (bwc-serve, bwc-sim, bwc-vet all take a plain -version flag).
+	if len(args) >= 1 && (args[0] == "-version" || args[0] == "--version") {
+		fmt.Println("bwc-fleet", buildinfo.String())
+		return nil
+	}
 	mode := "soak"
 	if len(args) >= 2 && args[0] == "-mode" {
 		mode, args = args[1], args[2:]

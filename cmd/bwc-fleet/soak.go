@@ -446,8 +446,67 @@ func runSoak(args []string) error {
 	if sum.Client4xx > 0 {
 		return fmt.Errorf("soak failed: %d unexpected 4xx responses (malformed workload or misrouted decentral query)", sum.Client4xx)
 	}
+	// The federated bandwidth rollup must cover every surviving shard
+	// process and report the killed replica as an explicit gap, with
+	// consistent epochs and real accounted traffic across the fleet.
+	if err := checkFleetBandwidth(httpc, routerURL, *shards, killed.Load()); err != nil {
+		return fmt.Errorf("soak failed: %w", err)
+	}
 	fmt.Printf("soak PASS: %d queries in %.1fs (%.0f qps), p50=%dus p99=%dus, %d cache hits, %d shed, %d 5xx\n",
 		sum.Queries, sum.Seconds, sum.QPS, sum.P50Micros, sum.P99Micros, sum.CacheHits, sum.Shed, sum.FiveXX)
+	return nil
+}
+
+// checkFleetBandwidth fetches the router's /v1/fleet/bandwidth rollup
+// and verifies the merged view: every live shard contributes a ledger
+// snapshot, a killed replica appears as a gap rather than a silent
+// shrink, epochs agree across the covered shards, and the cross-shard
+// aggregate accounts the overlay traffic the workload generated.
+func checkFleetBandwidth(httpc *http.Client, routerURL string, shards int, killed bool) error {
+	resp, err := httpc.Get(routerURL + "/v1/fleet/bandwidth")
+	if err != nil {
+		return fmt.Errorf("fleet bandwidth rollup: %w", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Shards          []json.RawMessage `json:"shards"`
+		ShardsCovered   int               `json:"shardsCovered"`
+		Gaps            []int             `json:"gaps"`
+		EpochConsistent bool              `json:"epochConsistent"`
+		Aggregate       struct {
+			TotalBytes    int64 `json:"totalBytes"`
+			TotalMessages int64 `json:"totalMessages"`
+		} `json:"aggregate"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("fleet bandwidth rollup: decode: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet bandwidth rollup: status %d", resp.StatusCode)
+	}
+	if len(body.Shards) != shards {
+		return fmt.Errorf("fleet bandwidth rollup lists %d shards, want %d", len(body.Shards), shards)
+	}
+	wantCovered := shards
+	if killed {
+		wantCovered = shards - 1
+	}
+	if body.ShardsCovered < wantCovered {
+		return fmt.Errorf("fleet bandwidth rollup covered %d shards, want >= %d (gaps %v)",
+			body.ShardsCovered, wantCovered, body.Gaps)
+	}
+	if killed && len(body.Gaps) == 0 {
+		return fmt.Errorf("killed replica missing from the rollup's gap list")
+	}
+	if !body.EpochConsistent {
+		return fmt.Errorf("fleet bandwidth rollup saw inconsistent epochs across shards")
+	}
+	if body.Aggregate.TotalBytes <= 0 || body.Aggregate.TotalMessages <= 0 {
+		return fmt.Errorf("fleet bandwidth rollup accounted no traffic (bytes=%d msgs=%d)",
+			body.Aggregate.TotalBytes, body.Aggregate.TotalMessages)
+	}
+	fmt.Printf("fleet bandwidth rollup: %d/%d shards covered, %d bytes / %d messages accounted, gaps %v\n",
+		body.ShardsCovered, shards, body.Aggregate.TotalBytes, body.Aggregate.TotalMessages, body.Gaps)
 	return nil
 }
 

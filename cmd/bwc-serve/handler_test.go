@@ -277,6 +277,35 @@ func TestFlightEndpoint(t *testing.T) {
 	}
 }
 
+// TestBandwidthEndpoint: the bandwidth ledger exists only in async mode;
+// a settled runtime has gossiped, so the ledger's cumulative accounting
+// is non-empty and split by message kind.
+func TestBandwidthEndpoint(t *testing.T) {
+	srv := testServer(t)
+	getJSON(t, srv.URL+"/v1/bandwidth", http.StatusNotFound)
+
+	asrv := testAsyncServer(t)
+	getJSON(t, asrv.URL+"/v1/cluster?k=4&b=15&mode=decentral&start=5", http.StatusOK)
+	body := getJSON(t, asrv.URL+"/v1/bandwidth", http.StatusOK)
+	if body["topK"].(float64) <= 0 {
+		t.Fatalf("topK = %v", body["topK"])
+	}
+	if body["utilizationThreshold"].(float64) <= 0 {
+		t.Fatalf("threshold = %v", body["utilizationThreshold"])
+	}
+	if body["totalBytes"].(float64) <= 0 || body["totalMessages"].(float64) <= 0 {
+		t.Fatalf("settled runtime accounted no traffic: %v", body)
+	}
+	kinds, _ := body["kinds"].([]any)
+	if len(kinds) == 0 {
+		t.Fatal("no per-kind split")
+	}
+	k0 := kinds[0].(map[string]any)
+	if k0["kind"].(string) == "" || k0["bytes"].(float64) <= 0 {
+		t.Fatalf("kind total = %v", k0)
+	}
+}
+
 // TestAsyncTraceEndpoint: a traced query routed over the live runtime
 // returns one reassembled span tree whose hop spans carry host ids.
 func TestAsyncTraceEndpoint(t *testing.T) {

@@ -35,7 +35,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("bwc-sim", flag.ContinueOnError)
 	fig := fs.Int("fig", 0, "figure to regenerate: 3, 4, 5 or 6")
 	ablation := fs.String("ablation", "", "ablation to run instead of a figure: ncut, trees, drift, construction or sword")
-	series := fs.String("series", "", "extra experiment series to run instead of a figure: faults, trace or churn")
+	series := fs.String("series", "", "extra experiment series to run instead of a figure: faults, trace, churn or bandwidth")
 	ds := fs.String("dataset", "hp", "dataset: hp or umd (figures 3-5)")
 	scale := fs.Float64("scale", 1, "work scale factor (rounds/queries multiplied by this)")
 	seed := fs.Int64("seed", 0, "override the experiment seed (0: per-figure default)")
@@ -81,8 +81,10 @@ func run(args []string) error {
 		err = runSeriesTrace(d, *scale, *seed, *parallel, *jsonOut)
 	case *series == "churn":
 		err = runSeriesChurn(d, *scale, *seed, *parallel, *jsonOut)
+	case *series == "bandwidth":
+		err = runSeriesBandwidth(d, *scale, *seed, *parallel, *jsonOut)
 	case *series != "":
-		return fmt.Errorf("unknown series %q (want faults, trace or churn)", *series)
+		return fmt.Errorf("unknown series %q (want faults, trace, churn or bandwidth)", *series)
 	case *fig == 3:
 		err = runFig3(d, *scale, *seed, *parallel, *jsonOut)
 	case *fig == 4:
@@ -456,6 +458,42 @@ func runSeriesChurn(d sim.Dataset, scale float64, seed int64, parallel int, json
 		fmt.Printf("%-7.2f %-6d %-7d %-8.1f %-11.1f %-12.1f %-10.1f %-12.1f %-7.3f %-8.4f %-7d %-6v\n",
 			p.Rate, p.Joins, p.Leaves, p.RepairRounds, p.RepairMsgs, p.RebuildMsgs,
 			p.MeasIncremental, p.MeasRebuild, p.RR, p.WPR, p.StaleRejects, p.FixedPoint)
+	}
+	return nil
+}
+
+func runSeriesBandwidth(d sim.Dataset, scale float64, seed int64, parallel int, jsonOut bool) error {
+	cfg := sim.DefaultBandwidthConfig(d).Scaled(scale)
+	if seed != 0 {
+		cfg.Seed = seed
+	}
+	cfg.Parallelism = parallel
+	res, err := sim.RunBandwidth(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		return emitJSON(res)
+	}
+	fmt.Printf("# bandwidth series (%s, n=%d, k=%d): per-link delivered bytes per window, joined against predicted link bandwidth\n",
+		d, res.N, res.K)
+	fmt.Printf("# windows close at phase boundaries: gossip fan-in to the fixed point, then the fig-3 query workload\n")
+	fmt.Printf("# ledger total: %d bytes / %d messages; delivered-counter delta: %d (reconciled=%v); violations: %d\n",
+		res.LedgerBytes, res.LedgerMessages, res.DeliveredDelta,
+		uint64(res.LedgerMessages) == res.DeliveredDelta, res.Violations)
+	fmt.Printf("%-9s %-5s %-7s %-10s %-7s %-12s %-10s %-7s %-10s\n",
+		"phase", "win", "link", "bytes", "msgs", "bytes/s", "pred.mbps", "util", "violation")
+	for _, p := range res.Phases {
+		w := p.Window
+		for _, lw := range w.Links {
+			fmt.Printf("%-9s %-5d %-7s %-10d %-7d %-12.1f %-10.2f %-7.4f %-10v\n",
+				p.Name, w.Seq, fmt.Sprintf("%d-%d", lw.A, lw.B),
+				lw.Bytes, lw.Messages, lw.BytesPerSec, lw.PredictedMbps, lw.Utilization, lw.Violation)
+		}
+		if w.OtherBytes > 0 {
+			fmt.Printf("%-9s %-5d %-7s %-10d %-7d %-12s %-10s %-7s %-10s\n",
+				p.Name, w.Seq, "other", w.OtherBytes, w.OtherMessages, "-", "-", "-", "-")
+		}
 	}
 	return nil
 }

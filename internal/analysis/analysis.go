@@ -112,6 +112,7 @@ func DefaultConfig() *Config {
 		mod + "/internal/transport",
 		mod + "/internal/fleet",
 		mod + "/internal/serveapi",
+		mod + "/internal/bwledger",
 	}
 	instrumented := append([]string{
 		mod,
@@ -142,6 +143,7 @@ func DefaultConfig() *Config {
 			mod + "/internal/membership",
 			mod + "/internal/telemetry",
 			mod + "/internal/fleet",
+			mod + "/internal/bwledger",
 		},
 		ProtocolPackages: []string{
 			mod + "/internal/runtime",

@@ -1,0 +1,529 @@
+// Package bwledger is the link-level bandwidth ledger: an epoch-windowed
+// account of wire bytes per (host, peer) link and message kind, joined
+// at window close against the prediction forest's per-link bandwidth so
+// each window reports actual bytes/sec vs predicted capacity and flags
+// utilization-ratio violations.
+//
+// The transports record into the ledger on every delivery (and, for TCP,
+// on every framed send), so the hot path is deliberately cheap: one
+// read-locked map lookup and a handful of atomic adds per message, no
+// allocation once a link is tracked. Cardinality is bounded: at most
+// TopK links are tracked per window, maintained space-saving style — a
+// new link arriving at capacity evicts the currently smallest tracked
+// link into a per-kind "other" bucket — so per-link numbers are
+// approximate heavy hitters while the per-kind and global totals stay
+// exact (tracked + other always reconciles with the transports'
+// delivered counters).
+//
+// The ledger never reads a clock. Window boundaries are driven by the
+// caller (the runtime's monitor rolls on its logical tick clock, the
+// simulation harness rolls at phase boundaries), which keeps windowing
+// deterministic under the repository's injected-clock policy.
+package bwledger
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"bwcluster/internal/telemetry"
+)
+
+// Defaults used by New for non-positive Config fields.
+const (
+	// DefaultTopK is the tracked-link bound per window.
+	DefaultTopK = 64
+	// DefaultWindows is how many completed windows the ledger retains.
+	DefaultWindows = 8
+	// DefaultThreshold is the utilization ratio (actual bits/sec over
+	// predicted bits/sec) at which a link counts as violating.
+	DefaultThreshold = 1.0
+)
+
+// maxKinds bounds the distinct message-kind labels one ledger accepts;
+// the wire protocol has eight, so the bound is never hit in practice and
+// overflow kinds fold into the last slot.
+const maxKinds = 16
+
+// AnomalyBandwidth is the flight-recorder anomaly kind fired when a
+// window closes with a link over its utilization threshold.
+const AnomalyBandwidth = "bandwidth_violation"
+
+// Config parameterizes a Ledger; zero values take the defaults above.
+type Config struct {
+	// TopK bounds the number of links tracked per window.
+	TopK int
+	// Windows bounds the completed-window ring.
+	Windows int
+	// Threshold is the utilization ratio at or above which a link is
+	// flagged as violating its predicted bandwidth.
+	Threshold float64
+}
+
+// KindTotal is one message kind's byte and message count.
+type KindTotal struct {
+	Kind     string `json:"kind"`
+	Bytes    int64  `json:"bytes"`
+	Messages int64  `json:"messages"`
+}
+
+// LinkWindow is one tracked link's account within a closed window.
+type LinkWindow struct {
+	// A and B identify the link as an ordered host pair (A < B; client
+	// -submitted traffic from host -1 keeps A = -1).
+	A int `json:"a"`
+	B int `json:"b"`
+	// Bytes and Messages total the window's traffic on the link.
+	Bytes    int64 `json:"bytes"`
+	Messages int64 `json:"messages"`
+	// Kinds splits the link's traffic by message kind, heaviest first.
+	Kinds []KindTotal `json:"kinds"`
+	// BytesPerSec is Bytes over the window length.
+	BytesPerSec float64 `json:"bytesPerSec"`
+	// PredictedMbps is the prediction forest's bandwidth for the link
+	// (0 when no predictor is attached or the pair is out of range).
+	PredictedMbps float64 `json:"predictedMbps,omitempty"`
+	// Utilization is actual bits/sec over predicted bits/sec.
+	Utilization float64 `json:"utilization,omitempty"`
+	// Violation reports Utilization at or above the ledger's threshold.
+	Violation bool `json:"violation,omitempty"`
+}
+
+// Violation is one over-threshold link at window close, kept flat for
+// the violation list the API serves.
+type Violation struct {
+	WindowSeq     uint64  `json:"windowSeq"`
+	A             int     `json:"a"`
+	B             int     `json:"b"`
+	BytesPerSec   float64 `json:"bytesPerSec"`
+	PredictedMbps float64 `json:"predictedMbps"`
+	Utilization   float64 `json:"utilization"`
+}
+
+// Window is one closed accounting window.
+type Window struct {
+	// Seq numbers windows from 0 in close order.
+	Seq uint64 `json:"seq"`
+	// Seconds is the window length the caller closed it with.
+	Seconds float64 `json:"seconds"`
+	// Links are the tracked links, heaviest first.
+	Links []LinkWindow `json:"links"`
+	// Other accumulates traffic of links evicted from the tracked set,
+	// split by kind; OtherBytes/OtherMessages are its totals.
+	Other         []KindTotal `json:"other,omitempty"`
+	OtherBytes    int64       `json:"otherBytes"`
+	OtherMessages int64       `json:"otherMessages"`
+	// Evictions counts tracked links folded into Other this window.
+	Evictions int64 `json:"evictions"`
+	// TotalBytes and TotalMessages are the window's exact totals
+	// (tracked links plus Other).
+	TotalBytes    int64 `json:"totalBytes"`
+	TotalMessages int64 `json:"totalMessages"`
+	// Violations lists the links over the utilization threshold.
+	Violations []Violation `json:"violations,omitempty"`
+}
+
+// Snapshot is a point-in-time view of the ledger for the API: cumulative
+// totals plus the retained window ring.
+type Snapshot struct {
+	TopK          int         `json:"topK"`
+	Threshold     float64     `json:"utilizationThreshold"`
+	WindowSeq     uint64      `json:"windowSeq"`
+	TotalBytes    int64       `json:"totalBytes"`
+	TotalMessages int64       `json:"totalMessages"`
+	Kinds         []KindTotal `json:"kinds"`
+	OpenLinks     int         `json:"openLinks"`
+	Windows       []Window    `json:"windows"`
+	Violations    []Violation `json:"violations"`
+}
+
+// linkKey identifies one undirected link as an ordered host pair.
+type linkKey struct {
+	a, b int32
+}
+
+// pairCount is an atomically updated (bytes, messages) pair.
+type pairCount struct {
+	bytes atomic.Int64
+	msgs  atomic.Int64
+}
+
+// cell is one tracked link's live counters for the open window.
+type cell struct {
+	key   linkKey
+	total pairCount
+	kinds [maxKinds]pairCount
+}
+
+// Ledger accounts wire bytes per link and kind. The zero value is not
+// usable; use New. A nil *Ledger is a valid no-op receiver for Record,
+// so transports thread an optional ledger without nil checks.
+type Ledger struct {
+	topK      int
+	windows   int
+	threshold float64
+
+	// Cumulative totals, never reset: the reconciliation denominator
+	// against the transports' delivered counters.
+	total      pairCount
+	kindTotals [maxKinds]pairCount
+
+	// predictor and flight are swapped atomically so Record and Roll
+	// never race attachment.
+	predictor atomic.Pointer[func(a, b int) (float64, bool)]
+	flight    atomic.Pointer[telemetry.FlightRecorder]
+
+	mu        sync.RWMutex
+	cells     map[linkKey]*cell // guarded by mu (cell counters are atomic)
+	kindIdx   map[string]int    // guarded by mu
+	kindNames []string          // guarded by mu; slot -> label
+	other     [maxKinds]int64   // guarded by mu; evicted traffic, bytes
+	otherMsgs [maxKinds]int64   // guarded by mu; evicted traffic, messages
+	evictions int64             // guarded by mu
+	windowSeq uint64            // guarded by mu; completed windows
+	ring      []Window          // guarded by mu; oldest first
+}
+
+// New builds a ledger; non-positive config fields take the defaults.
+func New(cfg Config) *Ledger {
+	if cfg.TopK <= 0 {
+		cfg.TopK = DefaultTopK
+	}
+	if cfg.Windows <= 0 {
+		cfg.Windows = DefaultWindows
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = DefaultThreshold
+	}
+	return &Ledger{
+		topK:      cfg.TopK,
+		windows:   cfg.Windows,
+		threshold: cfg.Threshold,
+		cells:     make(map[linkKey]*cell, cfg.TopK),
+		kindIdx:   make(map[string]int, maxKinds),
+	}
+}
+
+// SetPredictor attaches the predicted-bandwidth join: fn returns the
+// predicted link bandwidth in Mbps for a host pair, or ok=false when the
+// pair has no prediction (client-submitted traffic, out-of-range ids).
+// A nil fn detaches.
+func (l *Ledger) SetPredictor(fn func(a, b int) (mbps float64, ok bool)) {
+	if l == nil {
+		return
+	}
+	if fn == nil {
+		l.predictor.Store(nil)
+		return
+	}
+	l.predictor.Store(&fn)
+}
+
+// SetFlight attaches the flight recorder violations fire anomalies on.
+// A nil recorder detaches.
+func (l *Ledger) SetFlight(r *telemetry.FlightRecorder) {
+	if l == nil {
+		return
+	}
+	l.flight.Store(r)
+}
+
+// Record accounts n wire bytes of one message of the given kind on the
+// (from, to) link. Safe for concurrent use; a nil ledger or non-positive
+// n is a no-op. The steady-state cost is one read-locked lookup and four
+// atomic adds.
+func (l *Ledger) Record(from, to int, kind string, n int) {
+	if l == nil || n <= 0 {
+		return
+	}
+	a, b := from, to
+	if a > b {
+		a, b = b, a
+	}
+	key := linkKey{a: int32(a), b: int32(b)}
+	l.mu.RLock()
+	c := l.cells[key]
+	ki, ok := l.kindIdx[kind]
+	hit := c != nil && ok
+	if hit {
+		l.add(c, ki, n)
+	}
+	l.mu.RUnlock()
+	if !hit {
+		l.recordSlow(key, kind, n)
+	}
+}
+
+// add applies one message to a cell and the cumulative totals. Caller
+// holds l.mu (either mode); all counters are atomic.
+func (l *Ledger) add(c *cell, ki, n int) {
+	c.total.bytes.Add(int64(n))
+	c.total.msgs.Add(1)
+	c.kinds[ki].bytes.Add(int64(n))
+	c.kinds[ki].msgs.Add(1)
+	l.total.bytes.Add(int64(n))
+	l.total.msgs.Add(1)
+	l.kindTotals[ki].bytes.Add(int64(n))
+	l.kindTotals[ki].msgs.Add(1)
+}
+
+// recordSlow is the insertion path: intern the kind label and create the
+// link's cell, evicting the smallest tracked link when at capacity.
+func (l *Ledger) recordSlow(key linkKey, kind string, n int) {
+	l.mu.Lock()
+	ki, ok := l.kindIdx[kind]
+	if !ok {
+		if len(l.kindNames) < maxKinds {
+			ki = len(l.kindNames)
+			l.kindNames = append(l.kindNames, kind)
+		} else {
+			// Kind overflow: fold into the last interned label. The wire
+			// protocol has eight kinds, so this is a safety valve only.
+			ki = maxKinds - 1
+		}
+		l.kindIdx[kind] = ki
+	}
+	c := l.cells[key]
+	if c == nil {
+		if len(l.cells) >= l.topK {
+			l.evictMinLocked()
+		}
+		c = &cell{key: key}
+		l.cells[key] = c
+	}
+	l.add(c, ki, n)
+	l.mu.Unlock()
+}
+
+// evictMinLocked folds the smallest tracked link into the "other" bucket
+// to make room for a new one (space-saving style: the open window keeps
+// heavy links tracked while totals stay exact). Caller holds l.mu.
+func (l *Ledger) evictMinLocked() {
+	var victim *cell
+	for _, c := range l.cells {
+		if victim == nil || c.total.bytes.Load() < victim.total.bytes.Load() {
+			victim = c
+		}
+	}
+	if victim == nil {
+		return
+	}
+	for ki := range l.kindNames {
+		l.other[ki] += victim.kinds[ki].bytes.Load()
+		l.otherMsgs[ki] += victim.kinds[ki].msgs.Load()
+	}
+	delete(l.cells, victim.key)
+	l.evictions++
+	mEvictions.Inc()
+}
+
+// Roll closes the open window: the tracked links (joined against the
+// predictor, heaviest first), the other bucket, and the violation list
+// become a completed Window appended to the ring, and accounting starts
+// fresh. seconds is the window's length on the caller's clock (logical
+// or wall) and only scales the rates; non-positive is treated as 1.
+// Violations fire the attached flight recorder's anomaly hook, one per
+// offending link, after the ledger's lock is released.
+func (l *Ledger) Roll(seconds float64) Window {
+	if l == nil {
+		return Window{}
+	}
+	if seconds <= 0 {
+		seconds = 1
+	}
+	type linkSnap struct {
+		key   linkKey
+		bytes int64
+		msgs  int64
+		kinds []KindTotal
+	}
+	l.mu.Lock()
+	names := append([]string(nil), l.kindNames...)
+	snaps := make([]linkSnap, 0, len(l.cells))
+	for key, c := range l.cells {
+		s := linkSnap{key: key, bytes: c.total.bytes.Load(), msgs: c.total.msgs.Load()}
+		for ki, name := range names {
+			if kb := c.kinds[ki].bytes.Load(); kb > 0 {
+				s.kinds = append(s.kinds, KindTotal{Kind: name, Bytes: kb, Messages: c.kinds[ki].msgs.Load()})
+			}
+		}
+		snaps = append(snaps, s)
+	}
+	var other []KindTotal
+	var otherBytes, otherMsgs int64
+	for ki, name := range names {
+		if l.other[ki] > 0 || l.otherMsgs[ki] > 0 {
+			other = append(other, KindTotal{Kind: name, Bytes: l.other[ki], Messages: l.otherMsgs[ki]})
+			otherBytes += l.other[ki]
+			otherMsgs += l.otherMsgs[ki]
+		}
+		l.other[ki] = 0
+		l.otherMsgs[ki] = 0
+	}
+	evicted := l.evictions
+	l.evictions = 0
+	seq := l.windowSeq
+	l.windowSeq++
+	l.cells = make(map[linkKey]*cell, l.topK)
+	l.mu.Unlock()
+
+	// Deterministic order: heaviest first, host pair as tiebreak (the
+	// map iteration order above never reaches the output unsorted).
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].bytes != snaps[j].bytes {
+			return snaps[i].bytes > snaps[j].bytes
+		}
+		if snaps[i].key.a != snaps[j].key.a {
+			return snaps[i].key.a < snaps[j].key.a
+		}
+		return snaps[i].key.b < snaps[j].key.b
+	})
+
+	var pred func(a, b int) (float64, bool)
+	if p := l.predictor.Load(); p != nil {
+		pred = *p
+	}
+	w := Window{Seq: seq, Seconds: seconds, Other: other, OtherBytes: otherBytes,
+		OtherMessages: otherMsgs, Evictions: evicted,
+		TotalBytes: otherBytes, TotalMessages: otherMsgs}
+	for _, s := range snaps {
+		sort.Slice(s.kinds, func(i, j int) bool {
+			if s.kinds[i].Bytes != s.kinds[j].Bytes {
+				return s.kinds[i].Bytes > s.kinds[j].Bytes
+			}
+			return s.kinds[i].Kind < s.kinds[j].Kind
+		})
+		lw := LinkWindow{
+			A: int(s.key.a), B: int(s.key.b),
+			Bytes: s.bytes, Messages: s.msgs, Kinds: s.kinds,
+			BytesPerSec: float64(s.bytes) / seconds,
+		}
+		if pred != nil {
+			if mbps, ok := pred(lw.A, lw.B); ok && mbps > 0 {
+				lw.PredictedMbps = mbps
+				lw.Utilization = (lw.BytesPerSec * 8) / (mbps * 1e6)
+				lw.Violation = lw.Utilization >= l.threshold
+			}
+		}
+		if lw.Violation {
+			w.Violations = append(w.Violations, Violation{
+				WindowSeq: seq, A: lw.A, B: lw.B,
+				BytesPerSec: lw.BytesPerSec, PredictedMbps: lw.PredictedMbps,
+				Utilization: lw.Utilization,
+			})
+		}
+		w.TotalBytes += s.bytes
+		w.TotalMessages += s.msgs
+		w.Links = append(w.Links, lw)
+	}
+
+	mWindows.Inc()
+	mTrackedLinks.Set(float64(len(w.Links)))
+	for _, kt := range windowKinds(w) {
+		mBytes.Add(int(kt.Bytes), kt.Kind)
+		mMessages.Add(int(kt.Messages), kt.Kind)
+	}
+	fl := l.flight.Load()
+	for _, v := range w.Violations {
+		mViolations.Inc()
+		fl.Anomaly(AnomalyBandwidth, v.A, v.B, fmt.Sprintf(
+			"link %d-%d %.0f B/s vs %.3g Mbps predicted (util %.2f) window %d",
+			v.A, v.B, v.BytesPerSec, v.PredictedMbps, v.Utilization, v.WindowSeq))
+	}
+
+	l.mu.Lock()
+	l.ring = append(l.ring, w)
+	if len(l.ring) > l.windows {
+		l.ring = append(l.ring[:0], l.ring[len(l.ring)-l.windows:]...)
+	}
+	l.mu.Unlock()
+	return w
+}
+
+// windowKinds sums a closed window's traffic per kind across its tracked
+// links and other bucket, heaviest first.
+func windowKinds(w Window) []KindTotal {
+	acc := make(map[string]*KindTotal)
+	add := func(kt KindTotal) {
+		if e, ok := acc[kt.Kind]; ok {
+			e.Bytes += kt.Bytes
+			e.Messages += kt.Messages
+		} else {
+			c := kt
+			acc[kt.Kind] = &c
+		}
+	}
+	for _, lw := range w.Links {
+		for _, kt := range lw.Kinds {
+			add(kt)
+		}
+	}
+	for _, kt := range w.Other {
+		add(kt)
+	}
+	out := make([]KindTotal, 0, len(acc))
+	for _, e := range acc {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// TotalBytes returns the cumulative ledger-accounted bytes across all
+// windows, open and closed (0 for a nil ledger).
+func (l *Ledger) TotalBytes() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total.bytes.Load()
+}
+
+// TotalMessages returns the cumulative ledger-accounted message count
+// (0 for a nil ledger).
+func (l *Ledger) TotalMessages() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.total.msgs.Load()
+}
+
+// Snapshot returns the ledger's point-in-time view: cumulative per-kind
+// totals, the retained window ring (oldest first) and the ring's
+// violation list.
+func (l *Ledger) Snapshot() Snapshot {
+	if l == nil {
+		return Snapshot{}
+	}
+	l.mu.RLock()
+	s := Snapshot{
+		TopK:          l.topK,
+		Threshold:     l.threshold,
+		WindowSeq:     l.windowSeq,
+		TotalBytes:    l.total.bytes.Load(),
+		TotalMessages: l.total.msgs.Load(),
+		OpenLinks:     len(l.cells),
+		Windows:       append([]Window(nil), l.ring...),
+	}
+	for ki, name := range l.kindNames {
+		if b := l.kindTotals[ki].bytes.Load(); b > 0 {
+			s.Kinds = append(s.Kinds, KindTotal{Kind: name, Bytes: b, Messages: l.kindTotals[ki].msgs.Load()})
+		}
+	}
+	l.mu.RUnlock()
+	sort.Slice(s.Kinds, func(i, j int) bool {
+		if s.Kinds[i].Bytes != s.Kinds[j].Bytes {
+			return s.Kinds[i].Bytes > s.Kinds[j].Bytes
+		}
+		return s.Kinds[i].Kind < s.Kinds[j].Kind
+	})
+	for _, w := range s.Windows {
+		s.Violations = append(s.Violations, w.Violations...)
+	}
+	return s
+}

@@ -1,0 +1,277 @@
+package bwledger
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"bwcluster/internal/telemetry"
+)
+
+// TestTotalsExactUnderEviction drives more links than TopK and checks the
+// space-saving invariant: per-link numbers are approximate, but window
+// totals (tracked + other) and the cumulative counters stay exact.
+func TestTotalsExactUnderEviction(t *testing.T) {
+	l := New(Config{TopK: 4})
+	const links, perLink, size = 20, 3, 100
+	for i := 0; i < links; i++ {
+		for j := 0; j < perLink; j++ {
+			l.Record(i, i+100, "query", size)
+		}
+	}
+	wantBytes := int64(links * perLink * size)
+	wantMsgs := int64(links * perLink)
+	if got := l.TotalBytes(); got != wantBytes {
+		t.Fatalf("TotalBytes = %d, want %d", got, wantBytes)
+	}
+	if got := l.TotalMessages(); got != wantMsgs {
+		t.Fatalf("TotalMessages = %d, want %d", got, wantMsgs)
+	}
+	w := l.Roll(1)
+	if w.TotalBytes != wantBytes || w.TotalMessages != wantMsgs {
+		t.Fatalf("window totals = (%d, %d), want (%d, %d)",
+			w.TotalBytes, w.TotalMessages, wantBytes, wantMsgs)
+	}
+	if len(w.Links) > 4 {
+		t.Fatalf("tracked %d links, TopK is 4", len(w.Links))
+	}
+	if w.Evictions == 0 || w.OtherBytes == 0 {
+		t.Fatalf("expected evictions into other bucket, got evictions=%d otherBytes=%d",
+			w.Evictions, w.OtherBytes)
+	}
+	var tracked int64
+	for _, lw := range w.Links {
+		tracked += lw.Bytes
+	}
+	if tracked+w.OtherBytes != wantBytes {
+		t.Fatalf("tracked (%d) + other (%d) != total (%d)", tracked, w.OtherBytes, wantBytes)
+	}
+}
+
+// TestHeavyHittersSurvive checks that the heaviest links stay tracked and
+// come out heaviest-first when light links churn through the table.
+func TestHeavyHittersSurvive(t *testing.T) {
+	l := New(Config{TopK: 4})
+	// Two heavy links, established first, then a stream of singletons.
+	for i := 0; i < 50; i++ {
+		l.Record(1, 2, "nodeinfo", 1000)
+		l.Record(3, 4, "crt", 500)
+	}
+	for i := 0; i < 30; i++ {
+		l.Record(10+i, 200+i, "query", 10)
+	}
+	w := l.Roll(2)
+	if len(w.Links) == 0 {
+		t.Fatal("no tracked links")
+	}
+	if w.Links[0].A != 1 || w.Links[0].B != 2 || w.Links[0].Bytes != 50000 {
+		t.Fatalf("heaviest link = %d-%d (%d bytes), want 1-2 (50000)",
+			w.Links[0].A, w.Links[0].B, w.Links[0].Bytes)
+	}
+	if w.Links[1].A != 3 || w.Links[1].B != 4 {
+		t.Fatalf("second link = %d-%d, want 3-4", w.Links[1].A, w.Links[1].B)
+	}
+	if got := w.Links[0].BytesPerSec; got != 25000 {
+		t.Fatalf("BytesPerSec = %v, want 25000 (50000 bytes / 2s)", got)
+	}
+	for i := 1; i < len(w.Links); i++ {
+		if w.Links[i].Bytes > w.Links[i-1].Bytes {
+			t.Fatalf("links not sorted heaviest-first at %d", i)
+		}
+	}
+}
+
+// TestKindSplitAndOrdering checks per-link and per-window kind splits.
+func TestKindSplitAndOrdering(t *testing.T) {
+	l := New(Config{})
+	l.Record(0, 1, "nodeinfo", 100)
+	l.Record(0, 1, "nodeinfo", 100)
+	l.Record(0, 1, "query", 600)
+	l.Record(1, 0, "result", 50) // direction folds into the same link
+	w := l.Roll(1)
+	if len(w.Links) != 1 {
+		t.Fatalf("links = %d, want 1", len(w.Links))
+	}
+	lw := w.Links[0]
+	if lw.A != 0 || lw.B != 1 || lw.Bytes != 850 || lw.Messages != 4 {
+		t.Fatalf("link = %d-%d bytes=%d msgs=%d, want 0-1 850 4", lw.A, lw.B, lw.Bytes, lw.Messages)
+	}
+	want := []KindTotal{
+		{Kind: "query", Bytes: 600, Messages: 1},
+		{Kind: "nodeinfo", Bytes: 200, Messages: 2},
+		{Kind: "result", Bytes: 50, Messages: 1},
+	}
+	if len(lw.Kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", lw.Kinds, want)
+	}
+	for i := range want {
+		if lw.Kinds[i] != want[i] {
+			t.Fatalf("kinds[%d] = %+v, want %+v", i, lw.Kinds[i], want[i])
+		}
+	}
+}
+
+// TestWindowRingTrim checks the ring keeps only the configured number of
+// completed windows, oldest dropped first, and that sequence numbers and
+// the snapshot agree.
+func TestWindowRingTrim(t *testing.T) {
+	l := New(Config{Windows: 3})
+	for i := 0; i < 5; i++ {
+		l.Record(0, 1, "query", (i+1)*10)
+		l.Roll(1)
+	}
+	s := l.Snapshot()
+	if s.WindowSeq != 5 {
+		t.Fatalf("WindowSeq = %d, want 5", s.WindowSeq)
+	}
+	if len(s.Windows) != 3 {
+		t.Fatalf("ring holds %d windows, want 3", len(s.Windows))
+	}
+	for i, w := range s.Windows {
+		if want := uint64(2 + i); w.Seq != want {
+			t.Fatalf("ring[%d].Seq = %d, want %d", i, w.Seq, want)
+		}
+	}
+	if s.Windows[2].TotalBytes != 50 {
+		t.Fatalf("latest window bytes = %d, want 50", s.Windows[2].TotalBytes)
+	}
+	if s.TotalBytes != 10+20+30+40+50 {
+		t.Fatalf("cumulative bytes = %d, want 150", s.TotalBytes)
+	}
+	if len(s.Kinds) != 1 || s.Kinds[0].Kind != "query" || s.Kinds[0].Bytes != 150 {
+		t.Fatalf("cumulative kinds = %+v", s.Kinds)
+	}
+}
+
+// TestOverCapacityViolationFiresAnomaly is the acceptance check: a link
+// pushed past its predicted bandwidth must be flagged in the closed
+// window AND fire the flight recorder's anomaly hook with a ring
+// snapshot attached.
+func TestOverCapacityViolationFiresAnomaly(t *testing.T) {
+	l := New(Config{Threshold: 1.0})
+	l.SetPredictor(func(a, b int) (float64, bool) {
+		if a == 1 && b == 2 {
+			return 0.001, true // 1 kbit/s predicted: trivially saturated
+		}
+		return 1e6, true // effectively infinite for other links
+	})
+	fr := telemetry.NewFlightRecorder(16)
+	var (
+		mu       sync.Mutex
+		fired    []telemetry.FlightEvent
+		snapshot []telemetry.FlightEvent
+	)
+	fr.SetAnomalyHook(func(a telemetry.FlightEvent, snap []telemetry.FlightEvent) {
+		mu.Lock()
+		fired = append(fired, a)
+		snapshot = snap
+		mu.Unlock()
+	})
+	l.SetFlight(fr)
+
+	l.Record(1, 2, "snapshot", 1<<20) // 1 MiB in one window
+	l.Record(3, 4, "query", 100)      // under capacity, must not fire
+	w := l.Roll(1)
+
+	var lw12 *LinkWindow
+	for i := range w.Links {
+		if w.Links[i].A == 1 && w.Links[i].B == 2 {
+			lw12 = &w.Links[i]
+		}
+	}
+	if lw12 == nil || !lw12.Violation {
+		t.Fatalf("link 1-2 not flagged as violation: %+v", w.Links)
+	}
+	if lw12.Utilization < 1 {
+		t.Fatalf("utilization = %v, want >= 1", lw12.Utilization)
+	}
+	if len(w.Violations) != 1 || w.Violations[0].A != 1 || w.Violations[0].B != 2 {
+		t.Fatalf("violations = %+v, want exactly link 1-2", w.Violations)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 1 {
+		t.Fatalf("anomaly hook fired %d times, want 1", len(fired))
+	}
+	if fired[0].Kind != AnomalyBandwidth || fired[0].Host != 1 || fired[0].Peer != 2 {
+		t.Fatalf("anomaly = %+v, want kind=%s host=1 peer=2", fired[0], AnomalyBandwidth)
+	}
+	if len(snapshot) == 0 {
+		t.Fatal("anomaly hook received no ring snapshot")
+	}
+	s := l.Snapshot()
+	if len(s.Violations) != 1 {
+		t.Fatalf("snapshot violations = %+v, want 1", s.Violations)
+	}
+}
+
+// TestNoPredictorNoViolation checks a ledger without a predictor never
+// flags violations regardless of volume.
+func TestNoPredictorNoViolation(t *testing.T) {
+	l := New(Config{})
+	l.Record(0, 1, "snapshot", 1<<30)
+	w := l.Roll(1)
+	if len(w.Violations) != 0 {
+		t.Fatalf("violations without predictor: %+v", w.Violations)
+	}
+	if w.Links[0].PredictedMbps != 0 || w.Links[0].Utilization != 0 {
+		t.Fatalf("unexpected prediction join: %+v", w.Links[0])
+	}
+}
+
+// TestNilLedgerSafe checks the nil receiver contract transports rely on.
+func TestNilLedgerSafe(t *testing.T) {
+	var l *Ledger
+	l.Record(0, 1, "query", 10)
+	l.SetPredictor(nil)
+	l.SetFlight(nil)
+	if w := l.Roll(1); w.TotalBytes != 0 {
+		t.Fatalf("nil Roll = %+v", w)
+	}
+	if l.TotalBytes() != 0 || l.TotalMessages() != 0 {
+		t.Fatal("nil totals nonzero")
+	}
+	if s := l.Snapshot(); s.WindowSeq != 0 {
+		t.Fatalf("nil Snapshot = %+v", s)
+	}
+}
+
+// TestConcurrentRecordRoll is a smoke test: hammer Record from many
+// goroutines while Roll closes windows, then check nothing was lost.
+func TestConcurrentRecordRoll(t *testing.T) {
+	l := New(Config{TopK: 8})
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Record(w, (w+1+i)%64+64, fmt.Sprintf("kind%d", w%3), 7)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	var rolled []Window
+	for {
+		select {
+		case <-done:
+			rolled = append(rolled, l.Roll(1))
+			var sum int64
+			for _, w := range rolled {
+				sum += w.TotalBytes
+			}
+			want := int64(workers * per * 7)
+			if sum != want || l.TotalBytes() != want {
+				t.Fatalf("windows sum %d, cumulative %d, want %d", sum, l.TotalBytes(), want)
+			}
+			return
+		default:
+			rolled = append(rolled, l.Roll(1))
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package bwledger
+
+import "bwcluster/internal/telemetry"
+
+// Exposition metrics for the ledger, updated at window close (never on
+// the per-message hot path) so a scrape sees whole-window increments.
+var (
+	mBytes = telemetry.NewCounterVec("bwc_bwledger_bytes_total",
+		"Ledger-accounted wire bytes at window close, by message kind.",
+		"kind")
+	mMessages = telemetry.NewCounterVec("bwc_bwledger_messages_total",
+		"Ledger-accounted messages at window close, by message kind.",
+		"kind")
+	mTrackedLinks = telemetry.NewGauge("bwc_bwledger_tracked_links",
+		"Links tracked in the most recently closed window.")
+	mEvictions = telemetry.NewCounter("bwc_bwledger_evictions_total",
+		"Tracked links evicted into the other bucket by the top-K bound.")
+	mViolations = telemetry.NewCounter("bwc_bwledger_violations_total",
+		"Links flagged over their predicted-bandwidth utilization threshold.")
+	mWindows = telemetry.NewCounter("bwc_bwledger_windows_total",
+		"Completed ledger windows.")
+)

@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"bwcluster/internal/bwledger"
+	"bwcluster/internal/serveapi"
+)
+
+// Federated bandwidth rollup: the router scrapes every ready shard's
+// /v1/bandwidth (the shard-local ledger snapshot) and /v1/health and
+// serves the merged view on /v1/fleet/bandwidth. The rollup is honest
+// about partial coverage — a marked-down or failed shard appears as an
+// explicit gap entry instead of silently shrinking the totals — and
+// checks epoch consistency across the shards it did reach, because
+// summing byte counters from shards serving different forest epochs
+// would mix incomparable traffic.
+
+// shardBandwidth is one shard's slice of the rollup.
+type shardBandwidth struct {
+	// Shard and Addr identify the scraped shard.
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// Gap reports the shard contributed nothing: marked down at scrape
+	// time or failed to answer. Its counters are absent, not zero.
+	Gap bool `json:"gap"`
+	// Error carries the scrape failure for a gap that was attempted.
+	Error string `json:"error,omitempty"`
+	// Epoch is the shard's forest epoch per the router's probe loop.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Converged mirrors the shard's /v1/health verdict.
+	Converged bool `json:"converged,omitempty"`
+	// Bandwidth is the shard's ledger snapshot (nil on a gap).
+	Bandwidth *bwledger.Snapshot `json:"bandwidth,omitempty"`
+}
+
+// fleetBandwidth merges every reachable shard's ledger snapshot. One
+// scrape per shard, concurrently, bounded by the router client timeout.
+func (rt *Router) fleetBandwidth(w http.ResponseWriter, r *http.Request) {
+	shards := make([]shardBandwidth, len(rt.shards))
+	var wg sync.WaitGroup
+	for i, s := range rt.shards {
+		shards[i] = shardBandwidth{Shard: i, Addr: s.addr, Gap: true}
+		if !s.ready.Load() {
+			continue
+		}
+		shards[i].Epoch = s.epoch.Load()
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			snap, converged, err := rt.scrapeBandwidth(addr)
+			if err != nil {
+				shards[i].Error = err.Error()
+				return
+			}
+			shards[i].Gap = false
+			shards[i].Converged = converged
+			shards[i].Bandwidth = snap
+		}(i, s.addr)
+	}
+	wg.Wait()
+
+	// Cross-shard aggregate over the shards that answered.
+	var totalBytes, totalMessages int64
+	kindAcc := make(map[string]*bwledger.KindTotal)
+	type fleetViolation struct {
+		Shard int `json:"shard"`
+		bwledger.Violation
+	}
+	violations := []fleetViolation{}
+	covered, gaps := 0, []int{}
+	epochConsistent := true
+	var epochSeen uint64
+	for i := range shards {
+		sb := &shards[i]
+		if sb.Gap {
+			gaps = append(gaps, sb.Shard)
+			continue
+		}
+		covered++
+		if epochSeen == 0 {
+			epochSeen = sb.Epoch
+		} else if sb.Epoch != epochSeen {
+			epochConsistent = false
+		}
+		totalBytes += sb.Bandwidth.TotalBytes
+		totalMessages += sb.Bandwidth.TotalMessages
+		for _, kt := range sb.Bandwidth.Kinds {
+			if e, ok := kindAcc[kt.Kind]; ok {
+				e.Bytes += kt.Bytes
+				e.Messages += kt.Messages
+			} else {
+				c := kt
+				kindAcc[kt.Kind] = &c
+			}
+		}
+		for _, v := range sb.Bandwidth.Violations {
+			violations = append(violations, fleetViolation{Shard: sb.Shard, Violation: v})
+		}
+	}
+	kinds := make([]bwledger.KindTotal, 0, len(kindAcc))
+	for _, e := range kindAcc {
+		kinds = append(kinds, *e)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if kinds[i].Bytes != kinds[j].Bytes {
+			return kinds[i].Bytes > kinds[j].Bytes
+		}
+		return kinds[i].Kind < kinds[j].Kind
+	})
+	sort.Slice(violations, func(i, j int) bool {
+		if violations[i].Shard != violations[j].Shard {
+			return violations[i].Shard < violations[j].Shard
+		}
+		return violations[i].WindowSeq < violations[j].WindowSeq
+	})
+
+	status := http.StatusOK
+	if covered == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	serveapi.WriteJSON(w, status, map[string]any{
+		"shards":          shards,
+		"shardsCovered":   covered,
+		"gaps":            gaps,
+		"epochConsistent": epochConsistent,
+		"aggregate": map[string]any{
+			"totalBytes":    totalBytes,
+			"totalMessages": totalMessages,
+			"kinds":         kinds,
+			"violations":    len(violations),
+			"violationList": violations,
+		},
+	})
+}
+
+// scrapeBandwidth fetches one shard's ledger snapshot and health
+// verdict. A shard without an async runtime answers /v1/bandwidth with
+// 404; that is a scrape error (the shard is a gap, not a zero).
+func (rt *Router) scrapeBandwidth(addr string) (*bwledger.Snapshot, bool, error) {
+	resp, err := rt.client.Get(addr + "/v1/bandwidth")
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, errStatus(resp.StatusCode)
+	}
+	var snap bwledger.Snapshot
+	if err := decodeJSON(resp.Body, &snap); err != nil {
+		return nil, false, err
+	}
+	converged := false
+	if hr, err := rt.client.Get(addr + "/v1/health"); err == nil {
+		var hb struct {
+			Converged bool `json:"converged"`
+		}
+		// /v1/health answers 503 with the same body shape while the
+		// overlay converges; decode regardless of status.
+		_ = decodeJSON(hr.Body, &hb)
+		hr.Body.Close()
+		converged = hb.Converged
+	}
+	return &snap, converged, nil
+}
+
+// errStatus is a tiny error for non-200 scrape answers.
+type errStatus int
+
+func (e errStatus) Error() string { return "upstream status " + strconv.Itoa(int(e)) }

@@ -1,0 +1,99 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRouterBandwidthRollup drives the real 3-shard fleet, then checks
+// the federated rollup: every shard contributes a ledger snapshot, the
+// cross-shard aggregate accounts the overlay's gossip traffic, epochs
+// agree, and killing a shard turns it into an explicit gap rather than
+// silently shrinking the totals.
+func TestRouterBandwidthRollup(t *testing.T) {
+	f := startFleet(t, AdmissionConfig{})
+
+	// Generate some routed traffic on top of the gossip the runtimes
+	// already produced while converging.
+	for i := 0; i < 5; i++ {
+		status, body, _ := get(t, fmt.Sprintf("%s/v1/cluster?k=4&b=15&mode=decentral&start=%d", f.front.URL, i))
+		if status != http.StatusOK {
+			t.Fatalf("decentral warmup %d: status=%d body=%v", i, status, body)
+		}
+	}
+
+	status, body, _ := get(t, f.front.URL+"/v1/fleet/bandwidth")
+	if status != http.StatusOK {
+		t.Fatalf("rollup status = %d body=%v", status, body)
+	}
+	shards, _ := body["shards"].([]any)
+	if len(shards) != 3 {
+		t.Fatalf("rollup lists %d shards, want 3", len(shards))
+	}
+	if got := int(body["shardsCovered"].(float64)); got != 3 {
+		t.Fatalf("shardsCovered = %d, want 3 (gaps %v)", got, body["gaps"])
+	}
+	if body["epochConsistent"] != true {
+		t.Fatalf("epochConsistent = %v", body["epochConsistent"])
+	}
+	agg, _ := body["aggregate"].(map[string]any)
+	if agg == nil || agg["totalBytes"].(float64) <= 0 || agg["totalMessages"].(float64) <= 0 {
+		t.Fatalf("aggregate accounted no traffic: %v", agg)
+	}
+	if kinds, _ := agg["kinds"].([]any); len(kinds) == 0 {
+		t.Fatal("aggregate has no per-kind split")
+	}
+	// Per-shard entries carry their epoch and no gap flag.
+	for i, raw := range shards {
+		sh := raw.(map[string]any)
+		if sh["gap"] == true {
+			t.Fatalf("healthy shard %d reported as gap: %v", i, sh)
+		}
+		if uint64(sh["epoch"].(float64)) != f.sys.Epoch() {
+			t.Fatalf("shard %d epoch = %v, system epoch %d", i, sh["epoch"], f.sys.Epoch())
+		}
+	}
+
+	// Kill shard 2 and wait for the router to mark it down; the rollup
+	// must report it as a gap while the survivors keep contributing.
+	f.servers[2].CloseClientConnections()
+	f.servers[2].Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, rb, _ := get(t, f.front.URL+"/v1/ready")
+		if int(rb["shardsReady"].(float64)) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("router still reports %v shards ready", rb["shardsReady"])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	status, body, _ = get(t, f.front.URL+"/v1/fleet/bandwidth")
+	if status != http.StatusOK {
+		t.Fatalf("rollup after kill: status = %d", status)
+	}
+	if got := int(body["shardsCovered"].(float64)); got != 2 {
+		t.Fatalf("shardsCovered after kill = %d, want 2", got)
+	}
+	gaps, _ := body["gaps"].([]any)
+	if len(gaps) != 1 || int(gaps[0].(float64)) != 2 {
+		t.Fatalf("gaps = %v, want [2]", gaps)
+	}
+	dead := shardsAt(t, body, 2)
+	if dead["gap"] != true {
+		t.Fatalf("dead shard entry = %v, want gap=true", dead)
+	}
+}
+
+// shardsAt extracts the i-th shard entry from a rollup body.
+func shardsAt(t *testing.T, body map[string]any, i int) map[string]any {
+	t.Helper()
+	shards, _ := body["shards"].([]any)
+	if i >= len(shards) {
+		t.Fatalf("rollup has %d shards, want index %d", len(shards), i)
+	}
+	return shards[i].(map[string]any)
+}

@@ -116,6 +116,7 @@ func NewRouter(cfg RouterConfig) *Router {
 	mux.HandleFunc("GET /v1/info", rt.proxyAny)
 	mux.HandleFunc("GET /v1/ready", rt.readyEndpoint)
 	mux.HandleFunc("GET /v1/fleet", rt.fleetEndpoint)
+	mux.HandleFunc("GET /v1/fleet/bandwidth", rt.fleetBandwidth)
 	if cfg.Metrics != nil {
 		mux.Handle("GET /metrics", cfg.Metrics)
 	}

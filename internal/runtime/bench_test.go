@@ -3,6 +3,7 @@ package runtime
 import (
 	"testing"
 
+	"bwcluster/internal/bwledger"
 	"bwcluster/internal/telemetry"
 )
 
@@ -57,5 +58,38 @@ func BenchmarkQueryTracingOn(b *testing.B) {
 			b.Fatal(err)
 		}
 		span.Finish()
+	}
+}
+
+// BenchmarkQueryLedgerOff measures one routed query with no bandwidth
+// ledger attached — the disabled-path cost is a nil atomic load per
+// delivered frame. Against its LedgerOn sibling in BENCH_results.json
+// this is the evidence that per-link accounting stays within the 3%
+// budget (bwc-benchjson invariant 5).
+func BenchmarkQueryLedgerOff(b *testing.B) {
+	rt := benchRuntime(b)
+	hosts := rt.Hosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Query(hosts[i%len(hosts)], 4, 64, queryWait); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryLedgerOn is the same routed query with a live bandwidth
+// ledger: every delivered frame takes the ledger's RLock, resolves its
+// (link, kind) cell and adds its byte count. The delta against
+// BenchmarkQueryLedgerOff is the full per-query cost of bandwidth
+// accounting.
+func BenchmarkQueryLedgerOn(b *testing.B) {
+	rt := benchRuntime(b)
+	rt.SetLedger(bwledger.New(bwledger.Config{}))
+	hosts := rt.Hosts()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Query(hosts[i%len(hosts)], 4, 64, queryWait); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -115,6 +115,7 @@ func (rt *Runtime) monitor() {
 			rt.sweepPendingAt(now)
 			rt.refreshHealthAt(now)
 			rt.membershipScanAt(now)
+			rt.rollLedgerAt(now)
 		}
 	}
 }

@@ -91,9 +91,11 @@ type Runtime struct {
 	// the monitor each tick.
 	memb atomic.Pointer[memberScan]
 
-	// Observability plumbing: the optional flight recorder and the
-	// health monitor's logical clock + flags.
+	// Observability plumbing: the optional flight recorder, the
+	// optional bandwidth ledger, and the health monitor's logical
+	// clock + flags.
 	flight atomic.Pointer[telemetry.FlightRecorder]
+	ledgerState
 	monitorState
 	monStop chan struct{}
 	monOnce sync.Once

@@ -1,0 +1,85 @@
+package serveapi
+
+import (
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func obsWrap(next http.Handler) http.Handler {
+	return WithObservability(slog.New(slog.NewTextHandler(io.Discard, nil)), next)
+}
+
+// An upstream-assigned X-Request-Id must survive the middleware: echoed
+// on the response and visible to the wrapped handler, so one request
+// keeps one id across the fleet router hop.
+func TestObservabilityHonorsUpstreamRequestID(t *testing.T) {
+	var seen string
+	h := obsWrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Get("X-Request-Id")
+	}))
+	req := httptest.NewRequest("GET", "/v1/info", nil)
+	req.Header.Set("X-Request-Id", "router-abc-1")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if seen != "router-abc-1" {
+		t.Errorf("handler saw id %q, want router-abc-1", seen)
+	}
+	if got := rec.Header().Get("X-Request-Id"); got != "router-abc-1" {
+		t.Errorf("response echoed id %q, want router-abc-1", got)
+	}
+}
+
+// Without an upstream id the middleware originates one, echoes it on the
+// response, and mirrors it onto the request header so proxying handlers
+// can propagate it without extra plumbing.
+func TestObservabilityGeneratesRequestID(t *testing.T) {
+	var seen string
+	h := obsWrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Get("X-Request-Id")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/info", nil))
+	if seen == "" {
+		t.Error("handler saw no request id")
+	}
+	if got := rec.Header().Get("X-Request-Id"); got == "" || got != seen {
+		t.Errorf("response id %q, handler saw %q — must match and be non-empty", got, seen)
+	}
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest("GET", "/v1/info", nil))
+	if rec2.Header().Get("X-Request-Id") == rec.Header().Get("X-Request-Id") {
+		t.Error("two requests got the same generated id")
+	}
+}
+
+// Tenant attribution rides a pass-through header: the middleware must
+// hand X-Tenant to the wrapped handler untouched (the fleet router
+// forwards it shard-ward the same way).
+func TestObservabilityTenantPassThrough(t *testing.T) {
+	var seen string
+	h := obsWrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen = r.Header.Get("X-Tenant")
+	}))
+	req := httptest.NewRequest("GET", "/v1/cluster", nil)
+	req.Header.Set("X-Tenant", "team-blue")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if seen != "team-blue" {
+		t.Errorf("handler saw tenant %q, want team-blue", seen)
+	}
+}
+
+// The middleware reports the handler's status and keeps serving errors
+// visible: a 404 from the mux is recorded, not rewritten.
+func TestObservabilityPreservesStatus(t *testing.T) {
+	h := obsWrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusNotFound)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/missing", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", rec.Code)
+	}
+}

@@ -85,6 +85,7 @@ func New(cfg Config) *Handler {
 	mux.HandleFunc("GET /v1/health", h.health)
 	mux.HandleFunc("GET /v1/membership", h.membership)
 	mux.HandleFunc("GET /v1/flight", h.flight)
+	mux.HandleFunc("GET /v1/bandwidth", h.bandwidth)
 	// Observability plane: metrics exposition and the stdlib profiler.
 	if cfg.Metrics != nil {
 		mux.Handle("GET /metrics", cfg.Metrics)
@@ -510,6 +511,25 @@ func (h *Handler) flight(w http.ResponseWriter, r *http.Request) {
 		"seq":    rec.Seq(),
 		"events": rec.Snapshot(),
 	})
+}
+
+// bandwidth snapshots the async runtime's bandwidth ledger: cumulative
+// per-kind totals, the ring of closed accounting windows (top-K links
+// with per-kind splits, actual bytes/sec joined against the prediction
+// forest's link bandwidth), and the flat violation list. The ledger
+// rides the runtime's transport, so without an async runtime there is
+// nothing to account and the endpoint reports 404, mirroring /v1/flight.
+func (h *Handler) bandwidth(w http.ResponseWriter, r *http.Request) {
+	be := h.be.Load()
+	if be == nil {
+		NotReady(w)
+		return
+	}
+	if be.async == nil {
+		WriteJSON(w, http.StatusNotFound, errorBody{Error: "bandwidth ledger requires an async runtime"})
+		return
+	}
+	WriteJSON(w, http.StatusOK, be.async.Bandwidth())
 }
 
 func (h *Handler) label(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bwcluster/internal/bwledger"
+	"bwcluster/internal/dataset"
+	"bwcluster/internal/metric"
+	"bwcluster/internal/overlay"
+	"bwcluster/internal/runtime"
+	"bwcluster/internal/transport"
+)
+
+// BandwidthConfig parameterizes the bandwidth-accounting experiment: the
+// asynchronous runtime runs over a channel transport with a bandwidth
+// ledger attached, and the ledger's windows are closed at phase
+// boundaries — once after gossip fan-in converges, once after a fig-3
+// style query workload — so the series reports delivered bytes per link
+// per window joined against the prediction forest's link bandwidth.
+type BandwidthConfig struct {
+	Dataset Dataset
+	// N restricts the experiment to a subset (0: 24 hosts).
+	N int
+	// Queries is the query-phase workload size.
+	Queries int
+	// TopK bounds the ledger's tracked links (0: the ledger default).
+	TopK int
+	// Threshold is the ledger's utilization violation threshold (0: the
+	// ledger default of 1.0).
+	Threshold float64
+	// Tick is the runtime gossip period (0: 1ms).
+	Tick time.Duration
+	// SettleQuiet and SettleTimeout bound the convergence wait (0: 150ms
+	// and 30s).
+	SettleQuiet   time.Duration
+	SettleTimeout time.Duration
+	NCut          int
+	BSteps        int
+	C             float64
+	Seed          int64
+	// Parallelism bounds the framework-construction worker pool; it
+	// never changes results.
+	Parallelism int
+}
+
+// DefaultBandwidthConfig returns the workload recorded in
+// results/bandwidth_series.txt.
+func DefaultBandwidthConfig(ds Dataset) BandwidthConfig {
+	return BandwidthConfig{
+		Dataset: ds,
+		N:       24,
+		Queries: 60,
+		Tick:    time.Millisecond,
+		NCut:    overlay.DefaultNCut,
+		BSteps:  7,
+		C:       metric.DefaultC,
+		Seed:    13,
+	}
+}
+
+// Scaled returns a copy with the query workload multiplied by f.
+func (c BandwidthConfig) Scaled(f float64) BandwidthConfig {
+	c.Queries = scaleInt(c.Queries, f)
+	return c
+}
+
+// BandwidthPhase is one phase's closed ledger window plus its label.
+type BandwidthPhase struct {
+	// Name identifies the phase: "gossip" (fan-in to the fixed point) or
+	// "queries" (the fig-3 style workload).
+	Name string
+	// Window is the ledger window closed at the phase boundary.
+	Window bwledger.Window
+}
+
+// BandwidthResult is the bandwidth-accounting measurement.
+type BandwidthResult struct {
+	Dataset Dataset
+	N       int
+	K       int
+	// Phases holds one closed window per workload phase, in order.
+	Phases []BandwidthPhase
+	// LedgerBytes and LedgerMessages are the ledger's cumulative totals.
+	LedgerBytes    int64
+	LedgerMessages int64
+	// DeliveredDelta is the transport delivered-frame counter's movement
+	// across the run. The ledger records at exactly the delivery sites
+	// that increment that counter, so LedgerMessages must equal it — the
+	// reconciliation the harness test asserts.
+	DeliveredDelta uint64
+	// Violations counts over-threshold links across all phases.
+	Violations int
+}
+
+// RunBandwidth builds one prediction framework, runs the asynchronous
+// runtime over a ledger-attached channel transport, and closes one
+// accounting window per phase: gossip fan-in (Start to settled) and a
+// fig-3 style query workload. The ledger joins each window against the
+// framework's predicted link bandwidth.
+func RunBandwidth(cfg BandwidthConfig) (*BandwidthResult, error) {
+	dsCfg, err := cfg.Dataset.Config()
+	if err != nil {
+		return nil, err
+	}
+	k, bLo, bHi, err := cfg.Dataset.Band()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.N <= 0 {
+		cfg.N = 24
+	}
+	if cfg.Queries < 1 || cfg.BSteps < 1 {
+		return nil, fmt.Errorf("sim: bandwidth needs positive Queries and BSteps")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Millisecond
+	}
+	if cfg.SettleQuiet <= 0 {
+		cfg.SettleQuiet = 150 * time.Millisecond
+	}
+	if cfg.SettleTimeout <= 0 {
+		cfg.SettleTimeout = 30 * time.Second
+	}
+	if cfg.C <= 0 {
+		cfg.C = metric.DefaultC
+	}
+	if cfg.NCut == 0 {
+		cfg.NCut = overlay.DefaultNCut
+	}
+
+	dataRng := rand.New(rand.NewSource(cfg.Seed))
+	bw, err := dataset.Generate(dsCfg.WithN(cfg.N), dataRng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: bandwidth dataset: %w", err)
+	}
+	classes, err := overlay.ClassesFromBandwidths(linspace(bLo, bHi, cfg.BSteps), cfg.C)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := BuildFramework(bw, FrameworkConfig{
+		C: cfg.C, NCut: cfg.NCut, Classes: classes, Parallelism: cfg.Parallelism,
+	}, dataRng)
+	if err != nil {
+		return nil, fmt.Errorf("sim: bandwidth framework: %w", err)
+	}
+	hosts := make([]int, cfg.N)
+	for i := range hosts {
+		hosts[i] = i
+	}
+
+	// The ledger attaches to the transport directly (not via the
+	// runtime's window driver) so windows land exactly on the phase
+	// boundaries instead of the runtime's periodic tick schedule.
+	ledger := bwledger.New(bwledger.Config{TopK: cfg.TopK, Threshold: cfg.Threshold})
+	n := cfg.N
+	ledger.SetPredictor(func(a, b int) (float64, bool) {
+		if a < 0 || b < 0 || a >= n || b >= n {
+			return 0, false
+		}
+		return fw.PredictedBandwidth(a, b), true
+	})
+	tr := transport.NewChan(0)
+	tr.SetLedger(ledger)
+	deliveredBefore := transport.DeliveredTotal()
+
+	rt, err := runtime.NewWithTransport(fw.Forest, overlay.Config{NCut: cfg.NCut, Classes: classes}, cfg.Tick, tr, nil)
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	rt.Start()
+	defer func() {
+		rt.Stop()
+		tr.Close()
+	}()
+
+	out := &BandwidthResult{Dataset: cfg.Dataset, N: cfg.N, K: k}
+	closePhase := func(name string, fromTick, toTick uint64) {
+		// Window length on the runtime's logical clock: deterministic for
+		// a fixed tick duration, never a wall-clock read.
+		seconds := float64(toTick-fromTick) * cfg.Tick.Seconds()
+		w := ledger.Roll(seconds)
+		out.Phases = append(out.Phases, BandwidthPhase{Name: name, Window: w})
+		out.Violations += len(w.Violations)
+	}
+
+	// Phase 1: gossip fan-in to the fixed point.
+	if err := rt.Settle(cfg.SettleQuiet, cfg.SettleTimeout); err != nil {
+		return nil, fmt.Errorf("sim: bandwidth settle: %w", err)
+	}
+	settleTick := rt.Ticks()
+	closePhase("gossip", 0, settleTick)
+
+	// Phase 2: the fig-3 style query workload (random starts, bandwidth
+	// constraints swept across the dataset's band).
+	queryRng := rand.New(rand.NewSource(cfg.Seed + 500))
+	bValues := linspace(bLo, bHi, cfg.BSteps)
+	for q := 0; q < cfg.Queries; q++ {
+		b := bValues[queryRng.Intn(len(bValues))]
+		l, err := metric.DistanceForBandwidthConstraint(b, cfg.C)
+		if err != nil {
+			return nil, err
+		}
+		start := hosts[queryRng.Intn(len(hosts))]
+		if _, err := rt.Query(start, k, l, cfg.SettleTimeout); err != nil {
+			return nil, fmt.Errorf("sim: bandwidth query %d: %w", q, err)
+		}
+	}
+	closePhase("queries", settleTick, rt.Ticks())
+
+	// Quiesce the overlay before reading the cumulative counters: gossip
+	// keeps delivering until Stop, and the reconciliation below compares
+	// point-in-time totals. Stop is idempotent, so the deferred cleanup
+	// stays valid.
+	rt.Stop()
+	out.LedgerBytes = ledger.TotalBytes()
+	out.LedgerMessages = ledger.TotalMessages()
+	out.DeliveredDelta = transport.DeliveredTotal() - deliveredBefore
+	return out, nil
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// TestRunBandwidthReconciles runs the bandwidth experiment small and
+// checks the acceptance invariant: the ledger's cumulative message
+// count equals the transport delivered-frame counter's movement across
+// the run (same sites, message for message), phase windows are closed
+// in order with real traffic, and every tracked link joins against a
+// positive predicted bandwidth.
+func TestRunBandwidthReconciles(t *testing.T) {
+	cfg := DefaultBandwidthConfig(HP)
+	cfg.N = 16
+	cfg.Queries = 10
+	res, err := RunBandwidth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 || res.Phases[0].Name != "gossip" || res.Phases[1].Name != "queries" {
+		t.Fatalf("phases = %+v, want [gossip queries]", res.Phases)
+	}
+	if res.LedgerMessages == 0 || res.LedgerBytes == 0 {
+		t.Fatal("ledger accounted no traffic")
+	}
+	if uint64(res.LedgerMessages) != res.DeliveredDelta {
+		t.Fatalf("ledger messages %d != delivered-counter delta %d — transport accounting diverged",
+			res.LedgerMessages, res.DeliveredDelta)
+	}
+	gossip := res.Phases[0].Window
+	if gossip.Seq != 0 || gossip.TotalBytes == 0 || len(gossip.Links) == 0 {
+		t.Fatalf("gossip window = seq %d, %d bytes, %d links", gossip.Seq, gossip.TotalBytes, len(gossip.Links))
+	}
+	queries := res.Phases[1].Window
+	if queries.Seq != 1 {
+		t.Fatalf("query window seq = %d, want 1", queries.Seq)
+	}
+	for _, lw := range gossip.Links {
+		if lw.PredictedMbps <= 0 {
+			t.Fatalf("link %d-%d missing prediction join: %+v", lw.A, lw.B, lw)
+		}
+		if lw.BytesPerSec <= 0 {
+			t.Fatalf("link %d-%d has no rate: %+v", lw.A, lw.B, lw)
+		}
+	}
+	// Window totals plus the still-open tail must cover the cumulative
+	// ledger account exactly (tracked + other is exact per window).
+	var windowed int64
+	for _, p := range res.Phases {
+		windowed += p.Window.TotalBytes
+	}
+	if windowed > res.LedgerBytes {
+		t.Fatalf("windows account %d bytes > cumulative %d", windowed, res.LedgerBytes)
+	}
+}

@@ -26,6 +26,32 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return err
 }
 
+// escapeLabelValue escapes a label value per the text exposition format
+// (version 0.0.4): backslash, double quote and newline — and nothing
+// else. Go's %q is close but not equal (it escapes tabs, control bytes
+// and non-ASCII runes Prometheus expects verbatim), so exposition writes
+// its own escaping instead of fmt's.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // Handler returns an http.Handler serving the registry in Prometheus
 // text format — mount it at /metrics.
 func (r *Registry) Handler() http.Handler {

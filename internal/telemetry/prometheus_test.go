@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		// The clean common case returns the input unchanged (no alloc).
+		{"gossip", "gossip"},
+		{`path\to`, `path\\to`},
+		{`say "hi"`, `say \"hi\"`},
+		{"line1\nline2", `line1\nline2`},
+		{"\\\"\n", `\\\"\n`},
+		// Tabs, control bytes and non-ASCII runes pass through verbatim:
+		// the exposition format only escapes backslash, quote, newline.
+		{"tab\there", "tab\there"},
+		{"héllo→世界", "héllo→世界"},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestExpositionEscapesHostileLabelValues feeds a label value containing
+// every character the text format escapes through a real CounterVec and
+// checks the rendered exposition line — a scrape of a hostile kind label
+// must stay one well-formed sample line, not break the quoting or split
+// the line.
+func TestExpositionEscapesHostileLabelValues(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("hostile_total", "escaping test", "kind")
+	v.Add(3, `a\b"c`+"\nd")
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `hostile_total{kind="a\\b\"c\nd"} 3`
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing escaped sample %q:\n%s", want, out)
+	}
+	// The raw newline must not survive into the body: every line of the
+	// output has to be a comment or a sample, never a bare fragment.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "hostile_total{") {
+			continue
+		}
+		t.Fatalf("exposition contains a bare fragment line %q:\n%s", line, out)
+	}
+}

@@ -299,7 +299,14 @@ func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVe
 
 // Inc increments the child selected by the label values (which must
 // match the declared labels in number).
-func (v *CounterVec) Inc(values ...string) {
+func (v *CounterVec) Inc(values ...string) { v.Add(1, values...) }
+
+// Add increases the child selected by the label values by n (negative n
+// panics: counters only go up).
+func (v *CounterVec) Add(n int, values ...string) {
+	if n < 0 {
+		panic("telemetry: counter decrease")
+	}
 	if len(values) != len(v.labels) {
 		panic(fmt.Sprintf("telemetry: %s expects %d label values, got %d",
 			v.name, len(v.labels), len(values)))
@@ -316,7 +323,7 @@ func (v *CounterVec) Inc(values ...string) {
 		}
 		v.mu.Unlock()
 	}
-	c.v.Add(1)
+	c.v.Add(uint64(n))
 }
 
 // Value returns the count for one label combination (0 if never
@@ -349,7 +356,7 @@ func (v *CounterVec) write(b *strings.Builder) {
 			if i > 0 {
 				b.WriteByte(',')
 			}
-			fmt.Fprintf(b, "%s=%q", v.labels[i], lv)
+			fmt.Fprintf(b, "%s=\"%s\"", v.labels[i], escapeLabelValue(lv))
 		}
 		fmt.Fprintf(b, "} %d\n", c.v.Load())
 	}

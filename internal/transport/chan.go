@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bwcluster/internal/bwledger"
 	"bwcluster/internal/telemetry"
 )
 
@@ -30,6 +31,7 @@ type ChanTransport struct {
 	closed    chan struct{}
 	closeOnce sync.Once
 	flight    flightRef
+	ledger    ledgerRef
 
 	mu  sync.Mutex
 	eps map[int]*endpoint // guarded by mu
@@ -38,6 +40,10 @@ type ChanTransport struct {
 // SetFlight attaches a flight recorder; non-gossip deliveries and all
 // drops are recorded. A nil recorder detaches.
 func (t *ChanTransport) SetFlight(r *telemetry.FlightRecorder) { t.flight.set(r) }
+
+// SetLedger attaches a bandwidth ledger; every delivery accounts its
+// WireSize estimate on the (from, to) link. A nil ledger detaches.
+func (t *ChanTransport) SetLedger(l *bwledger.Ledger) { t.ledger.set(l) }
 
 // NewChan builds an in-process channel transport with the given per-peer
 // inbox capacity (non-positive: DefaultInboxCapacity).
@@ -95,9 +101,14 @@ func (t *ChanTransport) Send(m Message) error {
 	if ep == nil {
 		return ErrUnknownPeer
 	}
+	// Size the frame before the handoff: once the inbox accepts m the
+	// receiver owns its pointer fields (a query's Path grows at the next
+	// hop), so reading them afterwards would race.
+	size := m.WireSize()
 	select {
 	case ep.inbox <- m:
 		mDelivered.Inc(m.Kind.String())
+		t.ledger.get().Record(m.From, m.To, m.Kind.String(), size)
 		if !m.Kind.Gossip() {
 			t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
 		}
@@ -116,9 +127,11 @@ func (t *ChanTransport) TrySend(m Message) error {
 	if ep == nil {
 		return ErrUnknownPeer
 	}
+	size := m.WireSize() // before the handoff; see Send
 	select {
 	case ep.inbox <- m:
 		mDelivered.Inc(m.Kind.String())
+		t.ledger.get().Record(m.From, m.To, m.Kind.String(), size)
 		if !m.Kind.Gossip() {
 			t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
 		}

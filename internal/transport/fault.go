@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"bwcluster/internal/bwledger"
 	"bwcluster/internal/telemetry"
 )
 
@@ -180,6 +181,15 @@ func (t *FaultTransport) SetFlight(r *telemetry.FlightRecorder) {
 	t.flight.set(r)
 	if fs, ok := t.inner.(flightSetter); ok {
 		fs.SetFlight(r)
+	}
+}
+
+// SetLedger forwards the bandwidth ledger to the inner transport, which
+// accounts bytes at actual delivery — so injected drops and partitions
+// never count, and duplicates count twice, exactly as they hit inboxes.
+func (t *FaultTransport) SetLedger(l *bwledger.Ledger) {
+	if ls, ok := t.inner.(ledgerSetter); ok {
+		ls.SetLedger(l)
 	}
 }
 

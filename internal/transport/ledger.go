@@ -1,0 +1,74 @@
+package transport
+
+import (
+	"sync/atomic"
+
+	"bwcluster/internal/bwledger"
+)
+
+// Bandwidth-ledger integration, mirroring the flight-recorder plumbing:
+// transports never reach for a process-global ledger; the hosting
+// runtime threads one in with SetLedger, and every accounting site goes
+// through a nil-safe pointer load, so an unwired transport pays one
+// atomic read per delivery.
+//
+// Attribution policy: the in-process transports account each message
+// once, at delivery, using the deterministic WireSize estimate. TCP
+// accounts framed traffic on both sides of the wire — the writer records
+// the exact frame length on a successful write, the reader records the
+// exact frame length on delivery — because the two ends live in
+// different processes with different ledgers; in-process short-circuit
+// deliveries are recorded once like the channel transport.
+
+// ledgerRef is the shared one-field holder embedded by every transport:
+// an atomically swappable, nil-safe ledger reference.
+type ledgerRef struct {
+	p atomic.Pointer[bwledger.Ledger]
+}
+
+// set installs the ledger (nil detaches it).
+func (l *ledgerRef) set(lg *bwledger.Ledger) { l.p.Store(lg) }
+
+// get returns the current ledger; nil (a no-op ledger) when unset.
+func (l *ledgerRef) get() *bwledger.Ledger { return l.p.Load() }
+
+// ledgerSetter is implemented by every transport in this package;
+// FaultTransport uses it to forward its ledger to the wrapped inner
+// transport, and the runtime uses it to wire a ledger through whatever
+// transport it was built over.
+type ledgerSetter interface {
+	SetLedger(*bwledger.Ledger)
+}
+
+// WireSize returns a deterministic estimate of the message's framed
+// size in bytes: the TCP frame header plus 8 bytes per scalar or slice
+// element and the raw payload bytes. The in-process transports account
+// ledger bytes with this estimate so byte totals are reproducible for a
+// fixed workload regardless of transport backend; TCP uses the exact
+// encoded frame length instead, which tracks this estimate closely.
+func (m Message) WireSize() int {
+	n := 6 + 1 + 2*8 // frame header, kind, from/to
+	n += 8 * (len(m.Nodes) + len(m.CRT))
+	if m.Query != nil {
+		n += 8*7 + 8*len(m.Query.Path)
+	}
+	if m.NodeQuery != nil {
+		n += 8*8 + 8*len(m.NodeQuery.Set)
+	}
+	if m.Result != nil {
+		n += 8*6 + 8*(len(m.Result.Cluster)+len(m.Result.Path))
+	}
+	if m.NodeResult != nil {
+		n += 8 * 5
+	}
+	if m.Snapshot != nil {
+		n += 8*4 + len(m.Snapshot.Data)
+	}
+	if m.Trace != nil {
+		n += 8 * 5
+	}
+	if m.Event != nil {
+		n += 8*9 + len(m.Event.Kind) + len(m.Event.Note)
+	}
+	return n
+}

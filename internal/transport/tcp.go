@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bwcluster/internal/bwledger"
 	"bwcluster/internal/telemetry"
 )
 
@@ -149,6 +150,7 @@ type TCPTransport struct {
 	wg         sync.WaitGroup
 	reconnects atomic.Int64
 	flight     flightRef
+	ledger     ledgerRef
 
 	mu     sync.Mutex
 	eps    map[int]*endpoint   // guarded by mu
@@ -161,6 +163,13 @@ type TCPTransport struct {
 // sequence fires a reconnect_storm anomaly dump. A nil recorder
 // detaches.
 func (t *TCPTransport) SetFlight(r *telemetry.FlightRecorder) { t.flight.set(r) }
+
+// SetLedger attaches a bandwidth ledger: outbound frames account their
+// exact wire length on a successful write, inbound frames on delivery
+// to a local inbox, and in-process short-circuit deliveries account the
+// WireSize estimate once like the channel transport. A nil ledger
+// detaches.
+func (t *TCPTransport) SetLedger(l *bwledger.Ledger) { t.ledger.set(l) }
 
 // noteReconnect accounts one failed dial/write attempt on a connection:
 // counters, the flight ring, and — when the consecutive-failure count
@@ -344,9 +353,14 @@ func (t *TCPTransport) conn(addr string) *tcpConn {
 // blocking).
 func (t *TCPTransport) Send(m Message) error {
 	if ep := t.endpoint(m.To); ep != nil {
+		// Size the frame before the handoff: once the inbox accepts m
+		// the receiver owns its pointer fields, so reading them
+		// afterwards would race (see ChanTransport.Send).
+		size := m.WireSize()
 		select {
 		case ep.inbox <- m:
 			mDelivered.Inc(m.Kind.String())
+			t.ledger.get().Record(m.From, m.To, m.Kind.String(), size)
 			if !m.Kind.Gossip() {
 				t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
 			}
@@ -388,9 +402,11 @@ func (t *TCPTransport) Send(m Message) error {
 // only superseded values are discarded.
 func (t *TCPTransport) TrySend(m Message) error {
 	if ep := t.endpoint(m.To); ep != nil {
+		size := m.WireSize() // before the handoff; see Send
 		select {
 		case ep.inbox <- m:
 			mDelivered.Inc(m.Kind.String())
+			t.ledger.get().Record(m.From, m.To, m.Kind.String(), size)
 			if !m.Kind.Gossip() {
 				t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
 			}
@@ -496,6 +512,7 @@ func (t *TCPTransport) writeLoop(c *tcpConn) {
 			conn.SetWriteDeadline(time.Now().Add(t.cfg.SendTimeout))
 			if _, err = conn.Write(frame); err == nil {
 				mTCPFrames.Inc(dirSent)
+				t.ledger.get().Record(m.From, m.To, m.Kind.String(), len(frame))
 				if !m.Kind.Gossip() {
 					t.flight.get().Record(flightSend, m.From, m.To, m.Kind.String())
 				}
@@ -577,7 +594,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 	}()
 	br := bufio.NewReader(conn)
 	for {
-		m, err := readFrame(br)
+		m, size, err := readFrame(br)
 		if err != nil {
 			return
 		}
@@ -596,6 +613,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 			select {
 			case ep.inbox <- m:
 				mDelivered.Inc(m.Kind.String())
+				t.ledger.get().Record(m.From, m.To, m.Kind.String(), size)
 				if !m.Kind.Gossip() {
 					t.flight.get().Record(flightRecv, m.To, m.From, m.Kind.String())
 				}
@@ -608,6 +626,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		select {
 		case ep.inbox <- m:
 			mDelivered.Inc(m.Kind.String())
+			t.ledger.get().Record(m.From, m.To, m.Kind.String(), size)
 			t.flight.get().Record(flightRecv, m.To, m.From, m.Kind.String())
 		case <-ep.gone:
 			mDropped.Inc(reasonUnknownPeer)
@@ -658,42 +677,45 @@ func encodeFrame(m Message) ([]byte, error) {
 
 // readFrame reads and decodes one frame from r, rejecting frames whose
 // header declares a version or payload tag this build does not speak.
-func readFrame(r io.Reader) (Message, error) {
+// The second return is the frame's full wire length (header included),
+// which the read loop accounts to the bandwidth ledger on delivery.
+func readFrame(r io.Reader) (Message, int, error) {
 	var hdr [6]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return Message{}, err
+		return Message{}, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	if n > maxFrame {
-		return Message{}, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, maxFrame)
+		return Message{}, 0, fmt.Errorf("transport: frame of %d bytes exceeds limit %d", n, maxFrame)
 	}
 	if hdr[4] != wireVersion {
-		return Message{}, fmt.Errorf("transport: unsupported wire version %d (this build speaks %d)", hdr[4], wireVersion)
+		return Message{}, 0, fmt.Errorf("transport: unsupported wire version %d (this build speaks %d)", hdr[4], wireVersion)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Message{}, err
+		return Message{}, 0, err
 	}
+	size := len(hdr) + len(body)
 	switch hdr[5] {
 	case frameLean:
 		var w wireMessage
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&w); err != nil {
-			return Message{}, fmt.Errorf("transport: decode frame: %w", err)
+			return Message{}, 0, fmt.Errorf("transport: decode frame: %w", err)
 		}
 		return Message{
 			Kind: w.Kind, From: w.From, To: w.To,
 			Nodes: w.Nodes, CRT: w.CRT,
 			Query: w.Query, NodeQuery: w.NodeQuery,
 			Result: w.Result, NodeResult: w.NodeResult,
-		}, nil
+		}, size, nil
 	case frameTraced, frameSnapshot:
 		var m Message
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&m); err != nil {
-			return Message{}, fmt.Errorf("transport: decode frame: %w", err)
+			return Message{}, 0, fmt.Errorf("transport: decode frame: %w", err)
 		}
-		return m, nil
+		return m, size, nil
 	}
-	return Message{}, fmt.Errorf("transport: unsupported frame payload tag %d", hdr[5])
+	return Message{}, 0, fmt.Errorf("transport: unsupported frame payload tag %d", hdr[5])
 }
 
 // Close shuts the transport down: the listener stops accepting, every

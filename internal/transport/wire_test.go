@@ -30,7 +30,7 @@ func TestWireVersionRoundTrip(t *testing.T) {
 	if frame[5] != frameTraced {
 		t.Fatalf("traced frame tag = %d, want %d", frame[5], frameTraced)
 	}
-	got, err := readFrame(bytes.NewReader(frame))
+	got, _, err := readFrame(bytes.NewReader(frame))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestWireVersionRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err = readFrame(bytes.NewReader(frame))
+	got, _, err = readFrame(bytes.NewReader(frame))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestWireLeanFrames(t *testing.T) {
 	if bytes.Contains(frame, []byte("TraceContext")) || bytes.Contains(frame, []byte("TraceEvent")) {
 		t.Fatal("untraced frame carries trace type descriptors")
 	}
-	got, err := readFrame(bytes.NewReader(frame))
+	got, _, err := readFrame(bytes.NewReader(frame))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestWireSnapshotFrames(t *testing.T) {
 	if frame[5] != frameSnapshot {
 		t.Fatalf("snapshot frame tag = %d, want %d", frame[5], frameSnapshot)
 	}
-	got, err := readFrame(bytes.NewReader(frame))
+	got, _, err := readFrame(bytes.NewReader(frame))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestWireRejectsUnknownTag(t *testing.T) {
 		t.Fatal(err)
 	}
 	frame[5] = 0x7f
-	if _, err := readFrame(bytes.NewReader(frame)); err == nil ||
+	if _, _, err := readFrame(bytes.NewReader(frame)); err == nil ||
 		!strings.Contains(err.Error(), "payload tag") {
 		t.Fatalf("unknown payload tag accepted or wrong error: %v", err)
 	}
@@ -153,7 +153,7 @@ func TestWireVersionRejectsFuture(t *testing.T) {
 		t.Fatal(err)
 	}
 	frame[4] = wireVersion + 1
-	if _, err := readFrame(bytes.NewReader(frame)); err == nil ||
+	if _, _, err := readFrame(bytes.NewReader(frame)); err == nil ||
 		!strings.Contains(err.Error(), "wire version") {
 		t.Fatalf("future version accepted or wrong error: %v", err)
 	}
@@ -170,7 +170,7 @@ func TestWireVersionRejectsLegacy(t *testing.T) {
 	legacy := make([]byte, 4+body.Len())
 	binary.BigEndian.PutUint32(legacy, uint32(body.Len()))
 	copy(legacy[4:], body.Bytes())
-	if _, err := readFrame(bytes.NewReader(legacy)); err == nil {
+	if _, _, err := readFrame(bytes.NewReader(legacy)); err == nil {
 		t.Fatal("legacy unversioned frame was accepted")
 	}
 }
